@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Sec. VI comparison with CLITE (the authors' HPCA'20 BO system for
+ * latency-critical co-location): applied to throughput-oriented
+ * workloads with two competing objectives, CLITE "performs similar
+ * to PARTIES and underperforms SATORI by a similar margin" because
+ * it neither separates per-goal records nor dynamically
+ * re-prioritizes goals.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace satori;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner(
+        "Sec. VI: CLITE in SATORI's problem context",
+        "Paper: CLITE lands near PARTIES and below SATORI when used "
+        "for throughput+fairness co-location.",
+        opt);
+
+    const PlatformSpec platform = PlatformSpec::paperTestbed();
+    const auto mixes =
+        workloads::allMixes(workloads::parsecSuite(), 5);
+    const Seconds duration = opt.full ? 60.0 : 20.0;
+    const std::size_t stride = opt.full ? 1 : 3;
+
+    const auto comps = bench::sweepComparisons(
+        platform, mixes, {"CLITE", "PARTIES", "SATORI"}, duration, 42,
+        stride);
+
+    TablePrinter table({"technique", "throughput (% of oracle)",
+                        "fairness (% of oracle)"});
+    for (const auto* name : {"CLITE", "PARTIES", "SATORI"}) {
+        table.addRow({name,
+                      bench::pct(harness::meanThroughputPct(comps, name)),
+                      bench::pct(harness::meanFairnessPct(comps, name))});
+    }
+    table.print();
+
+    const double gap_t = harness::meanThroughputPct(comps, "SATORI") -
+                         harness::meanThroughputPct(comps, "CLITE");
+    const double gap_f = harness::meanFairnessPct(comps, "SATORI") -
+                         harness::meanFairnessPct(comps, "CLITE");
+    std::printf("\nSATORI - CLITE: %+.1f / %+.1f %%-points (paper: a "
+                "PARTIES-like margin)\n",
+                gap_t * 100.0, gap_f * 100.0);
+    return 0;
+}

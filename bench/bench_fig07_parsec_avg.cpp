@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fig. 7: throughput and fairness of every technique, averaged across
+ * the 21 five-job PARSEC mixes, as % of the Balanced Oracle.
+ *
+ * Paper headline: SATORI achieves 92% of the Balanced Oracle on both
+ * goals, outperforming dCAT/CoPart/PARTIES by 19/17/14 %-points on
+ * throughput and 25/17/14 on fairness; Throughput-SATORI approaches
+ * the Throughput Oracle and Fairness-SATORI the Fairness Oracle.
+ */
+
+#include <cstdio>
+#include <optional>
+
+#include "bench_util.hpp"
+
+using namespace satori;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner(
+        "Fig. 7: PARSEC averages, % of Balanced Oracle",
+        "Paper: SATORI ~92%/92%; next-best PARTIES trails by ~14 "
+        "points on both goals.",
+        opt);
+
+    const PlatformSpec platform = PlatformSpec::paperTestbed();
+    const auto mixes =
+        workloads::allMixes(workloads::parsecSuite(), 5);
+    const Seconds duration = opt.full ? 60.0 : 24.0;
+    const std::size_t stride = opt.full ? 1 : 1;
+
+    const std::vector<std::string> policies{
+        "Random",           "dCAT",
+        "CoPart",           "PARTIES",
+        "SATORI",           "Throughput-SATORI",
+        "Fairness-SATORI",  "Throughput-Oracle",
+        "Fairness-Oracle"};
+
+    const auto comps = bench::sweepComparisons(platform, mixes,
+                                               policies, duration, 42,
+                                               stride);
+
+    TablePrinter table({"technique", "throughput (% of oracle)",
+                        "fairness (% of oracle)"});
+    std::optional<CsvWriter> csv_opt;
+    if (opt.csv)
+        csv_opt.emplace("bench_fig07_parsec_avg.csv",
+                        std::vector<std::string>{"technique", "throughput_pct", "fairness_pct"});
+    CsvWriter* csv = opt.csv ? &*csv_opt : nullptr;
+    for (const auto& name : policies) {
+        const double t = harness::meanThroughputPct(comps, name);
+        const double f = harness::meanFairnessPct(comps, name);
+        table.addRow({name, bench::pct(t), bench::pct(f)});
+        if (opt.csv)
+            csv->addRow({name, TablePrinter::num(t * 100, 2),
+                        TablePrinter::num(f * 100, 2)});
+    }
+    table.addRow({"Balanced-Oracle", "100.0%", "100.0%"});
+    table.print();
+
+    const double satori_t = harness::meanThroughputPct(comps, "SATORI");
+    const double parties_t =
+        harness::meanThroughputPct(comps, "PARTIES");
+    const double satori_f = harness::meanFairnessPct(comps, "SATORI");
+    const double parties_f = harness::meanFairnessPct(comps, "PARTIES");
+    std::printf("\nSATORI vs next-best (PARTIES): %+.1f %%-points "
+                "throughput, %+.1f %%-points fairness "
+                "(paper: +14/+14)\n",
+                (satori_t - parties_t) * 100.0,
+                (satori_f - parties_f) * 100.0);
+    std::printf("Mixes evaluated: %zu of %zu, %.0f s each\n",
+                comps.size(), mixes.size(), duration);
+    return 0;
+}

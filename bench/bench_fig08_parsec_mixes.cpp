@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 8: per-mix throughput and fairness for all 21 five-job PARSEC
+ * mixes (paper: SATORI is consistently best, by up to 20 %-points
+ * throughput / 10 fairness over PARTIES, never worse overall).
+ * Results are sorted by SATORI's throughput, matching the figure.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <numeric>
+
+#include "bench_util.hpp"
+
+using namespace satori;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner(
+        "Fig. 8: per-mix PARSEC results, % of Balanced Oracle",
+        "Paper: SATORI consistently outperforms across all 21 mixes.",
+        opt);
+
+    const PlatformSpec platform = PlatformSpec::paperTestbed();
+    const auto mixes =
+        workloads::allMixes(workloads::parsecSuite(), 5);
+    const Seconds duration = opt.full ? 60.0 : 20.0;
+
+    const auto policies = harness::comparisonPolicyNames();
+    const auto comps = bench::sweepComparisons(platform, mixes,
+                                               policies, duration, 42);
+
+    // Sort mixes by SATORI throughput (ascending), as in the figure.
+    std::vector<std::size_t> order(comps.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                  return comps[a].score("SATORI").throughput_pct <
+                         comps[b].score("SATORI").throughput_pct;
+              });
+
+    TablePrinter table({"mix", "workloads", "SATORI T/F",
+                        "PARTIES T/F", "dCAT T/F", "CoPart T/F",
+                        "Random T/F"});
+    std::optional<CsvWriter> csv_opt;
+    if (opt.csv)
+        csv_opt.emplace("bench_fig08_parsec_mixes.csv",
+                        std::vector<std::string>{"mix", "policy", "throughput_pct", "fairness_pct"});
+    CsvWriter* csv = opt.csv ? &*csv_opt : nullptr;
+    auto cell = [](const harness::PolicyScore& s) {
+        return bench::pct(s.throughput_pct) + "/" +
+               bench::pct(s.fairness_pct);
+    };
+    int wins = 0;
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        const auto& comp = comps[order[rank]];
+        table.addRow({std::to_string(rank), comp.mix_label,
+                      cell(comp.score("SATORI")),
+                      cell(comp.score("PARTIES")),
+                      cell(comp.score("dCAT")),
+                      cell(comp.score("CoPart")),
+                      cell(comp.score("Random"))});
+        const auto& s = comp.score("SATORI");
+        const auto& p = comp.score("PARTIES");
+        wins += (s.throughput_pct + s.fairness_pct >=
+                 p.throughput_pct + p.fairness_pct);
+        if (opt.csv) {
+            for (const auto& name : policies) {
+                const auto& sc = comp.score(name);
+                csv->addRow({comp.mix_label, name,
+                            TablePrinter::num(sc.throughput_pct * 100, 2),
+                            TablePrinter::num(sc.fairness_pct * 100, 2)});
+            }
+        }
+    }
+    table.print();
+    std::printf("\nSATORI beats PARTIES on combined T+F in %d of %zu "
+                "mixes (paper: all)\n",
+                wins, comps.size());
+    return 0;
+}

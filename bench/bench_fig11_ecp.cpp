@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figs. 11 + 13: ECP proxy-app evaluation - per-mix results for all
+ * 10 two-job mixes plus suite averages (paper: SATORI beats PARTIES
+ * by ~15% on both goals; the miniFE+SWFFT mix is hardest because
+ * both are LLC-hungry; AMG+Hypre is easiest because their demands
+ * are near-identical).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace satori;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner(
+        "Figs. 11+13: ECP mixes (2 of 5 co-located)",
+        "Paper: SATORI outperforms PARTIES by ~15% on both goals; "
+        "miniFE+SWFFT worst, AMG+Hypre best.",
+        opt);
+
+    const PlatformSpec platform = PlatformSpec::paperTestbed();
+    const auto mixes = workloads::allMixes(workloads::ecpSuite(), 2);
+    const Seconds duration = opt.full ? 60.0 : 24.0;
+
+    const auto policies = harness::comparisonPolicyNames();
+    const auto comps = bench::sweepComparisons(platform, mixes,
+                                               policies, duration, 242);
+
+    TablePrinter table({"mix", "SATORI T/F", "PARTIES T/F", "dCAT T/F",
+                        "CoPart T/F", "Random T/F"});
+    auto cell = [](const harness::PolicyScore& s) {
+        return bench::pct(s.throughput_pct) + "/" +
+               bench::pct(s.fairness_pct);
+    };
+    for (const auto& comp : comps) {
+        table.addRow({comp.mix_label, cell(comp.score("SATORI")),
+                      cell(comp.score("PARTIES")),
+                      cell(comp.score("dCAT")),
+                      cell(comp.score("CoPart")),
+                      cell(comp.score("Random"))});
+    }
+    table.print();
+
+    std::printf("\nSuite averages (Fig. 13):\n");
+    TablePrinter avg({"technique", "throughput (% of oracle)",
+                      "fairness (% of oracle)"});
+    for (const auto& name : policies) {
+        avg.addRow({name,
+                    bench::pct(harness::meanThroughputPct(comps, name)),
+                    bench::pct(harness::meanFairnessPct(comps, name))});
+    }
+    avg.print();
+
+    // The paper's hardest/easiest mixes.
+    auto combined = [&](const harness::MixComparison& c) {
+        const auto& s = c.score("SATORI");
+        return s.throughput_pct + s.fairness_pct;
+    };
+    const auto hardest = std::min_element(
+        comps.begin(), comps.end(),
+        [&](const auto& a, const auto& b) {
+            return combined(a) < combined(b);
+        });
+    const auto easiest = std::max_element(
+        comps.begin(), comps.end(),
+        [&](const auto& a, const auto& b) {
+            return combined(a) < combined(b);
+        });
+    std::printf("\nHardest mix for SATORI: %s (paper: minife+swfft)\n",
+                hardest->mix_label.c_str());
+    std::printf("Easiest mix for SATORI: %s (paper: amg+hypre)\n",
+                easiest->mix_label.c_str());
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fig. 16: sensitivity to the prioritization period (T_P) and the
+ * equalization period (T_E). Paper: performance is insensitive over
+ * a wide range, degrading only for very long periods (T_P > 5 s,
+ * T_E > 30 s).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace satori;
+
+namespace {
+
+std::pair<double, double>
+evaluate(const PlatformSpec& platform,
+         const std::vector<workloads::JobMix>& mixes, Seconds t_p,
+         Seconds t_e, Seconds duration, std::size_t stride)
+{
+    core::SatoriOptions sopt;
+    sopt.weights.prioritization_period = t_p;
+    sopt.weights.equalization_period = t_e;
+    harness::ExperimentOptions eopt;
+    eopt.duration = duration;
+    OnlineStats t_acc, f_acc;
+    for (std::size_t m = 0; m < mixes.size(); m += stride) {
+        const auto comp = harness::comparePolicies(
+            platform, mixes[m], {"SATORI"}, eopt, 42 + m, sopt);
+        t_acc.add(comp.score("SATORI").throughput_pct);
+        f_acc.add(comp.score("SATORI").fairness_pct);
+    }
+    return {t_acc.mean(), f_acc.mean()};
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner(
+        "Fig. 16: sensitivity to T_P and T_E",
+        "Paper: low sensitivity; degradation only for T_P > 5 s or "
+        "T_E > 30 s.",
+        opt);
+
+    const PlatformSpec platform = PlatformSpec::paperTestbed();
+    const auto mixes =
+        workloads::allMixes(workloads::parsecSuite(), 5);
+    const Seconds duration = opt.full ? 60.0 : 20.0;
+    const std::size_t stride = opt.full ? 3 : 7;
+
+    // Sweep T_P with T_E fixed at its default (10 s).
+    TablePrinter tp_table({"T_P (s)", "throughput (% of oracle)",
+                           "fairness (% of oracle)"});
+    for (double t_p : {0.5, 1.0, 2.0, 5.0, 10.0}) {
+        const auto [t, f] =
+            evaluate(platform, mixes, t_p, std::max(10.0, t_p), duration,
+                     stride);
+        tp_table.addRow({TablePrinter::num(t_p, 1), bench::pct(t),
+                         bench::pct(f)});
+    }
+    std::printf("Prioritization-period sweep (T_E = 10 s):\n");
+    tp_table.print();
+
+    // Sweep T_E with T_P fixed at its default (1 s).
+    TablePrinter te_table({"T_E (s)", "throughput (% of oracle)",
+                           "fairness (% of oracle)"});
+    for (double t_e : {5.0, 10.0, 20.0, 30.0, 60.0}) {
+        const auto [t, f] =
+            evaluate(platform, mixes, 1.0, t_e, duration, stride);
+        te_table.addRow({TablePrinter::num(t_e, 0), bench::pct(t),
+                         bench::pct(f)});
+    }
+    std::printf("\nEqualization-period sweep (T_P = 1 s):\n");
+    te_table.print();
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Sec. V scalability: SATORI's advantage over PARTIES grows with the
+ * co-location degree (paper: the %-point gap rises monotonically -
+ * 8/11/13/13/15 for 3/4/5/6/7 co-located applications) because
+ * larger spaces have more local maxima that trap gradient descent.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace satori;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner(
+        "Sec. V scalability: co-location degree 3..7",
+        "Paper: SATORI-PARTIES gap grows 8 -> 15 %-points from 3 to 7 "
+        "co-located applications.",
+        opt);
+
+    const PlatformSpec platform = PlatformSpec::paperTestbed();
+    const auto suite = workloads::parsecSuite();
+    const Seconds duration = opt.full ? 60.0 : 20.0;
+    const std::size_t mixes_per_degree = opt.full ? 6 : 3;
+
+    TablePrinter table({"co-located jobs", "SATORI T/F",
+                        "PARTIES T/F", "gap (T+F)/2 %-points"});
+    for (std::size_t k = 3; k <= 7; ++k) {
+        auto mixes = workloads::allMixes(suite, k);
+        const std::size_t stride =
+            std::max<std::size_t>(1, mixes.size() / mixes_per_degree);
+        const auto comps = bench::sweepComparisons(
+            platform, mixes, {"SATORI", "PARTIES"}, duration,
+            42 + k * 100, stride);
+        const double st = harness::meanThroughputPct(comps, "SATORI");
+        const double sf = harness::meanFairnessPct(comps, "SATORI");
+        const double pt = harness::meanThroughputPct(comps, "PARTIES");
+        const double pf = harness::meanFairnessPct(comps, "PARTIES");
+        const double gap =
+            ((st + sf) - (pt + pf)) / 2.0 * 100.0;
+        table.addRow({std::to_string(k),
+                      bench::pct(st) + "/" + bench::pct(sf),
+                      bench::pct(pt) + "/" + bench::pct(pf),
+                      TablePrinter::num(gap, 1)});
+    }
+    table.print();
+    std::printf("\nExpected shape: the gap column grows with the "
+                "co-location degree (paper: 8, 11, 13, 13, 15).\n");
+    return 0;
+}

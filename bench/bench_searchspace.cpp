@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces the Sec. II search-space-growth numbers: the size of the
+ * configuration space for the paper's examples (1,296 / 7,056 /
+ * 592,704) plus the full testbed, demonstrating why exhaustive online
+ * search is infeasible.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace satori;
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner("Sec. II search-space growth (text table)",
+                  "Configuration count explodes with jobs and resources; "
+                  "paper cites 1,296 / 7,056 / 592,704.",
+                  opt);
+
+    TablePrinter table({"resources", "units each", "jobs",
+                        "configurations", "paper value"});
+
+    PlatformSpec two;
+    two.addResource(ResourceKind::Cores, 10);
+    two.addResource(ResourceKind::MemBandwidth, 10);
+    table.addRow({"2", "10", "3",
+                  std::to_string(ConfigurationSpace::sizeOf(two, 3)),
+                  "1,296"});
+    table.addRow({"2", "10", "4",
+                  std::to_string(ConfigurationSpace::sizeOf(two, 4)),
+                  "7,056"});
+
+    PlatformSpec three = two;
+    three.addResource(ResourceKind::LlcWays, 10);
+    table.addRow({"3", "10", "4",
+                  std::to_string(ConfigurationSpace::sizeOf(three, 4)),
+                  "592,704"});
+
+    const PlatformSpec paper = PlatformSpec::paperTestbed();
+    for (std::size_t jobs = 3; jobs <= 7; ++jobs) {
+        table.addRow({"3", "10/11/10", std::to_string(jobs),
+                      std::to_string(
+                          ConfigurationSpace::sizeOf(paper, jobs)),
+                      "-"});
+    }
+    table.print();
+
+    if (opt.csv) {
+        CsvWriter csv("bench_searchspace.csv",
+                      {"resources", "jobs", "configurations"});
+        csv.addRow({"2", "3",
+                    std::to_string(ConfigurationSpace::sizeOf(two, 3))});
+        csv.addRow({"2", "4",
+                    std::to_string(ConfigurationSpace::sizeOf(two, 4))});
+        csv.addRow({"3", "4", std::to_string(ConfigurationSpace::sizeOf(
+                                  three, 4))});
+        for (std::size_t jobs = 3; jobs <= 7; ++jobs)
+            csv.addRow({"3(testbed)", std::to_string(jobs),
+                        std::to_string(
+                            ConfigurationSpace::sizeOf(paper, jobs))});
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction benchmark binaries:
+ * argument parsing (--full for paper-scale runs, --csv for data
+ * export), canonical scenarios, and comparison sweeps.
+ */
+
+#ifndef SATORI_BENCH_BENCH_UTIL_HPP
+#define SATORI_BENCH_BENCH_UTIL_HPP
+
+#include <string>
+#include <vector>
+
+#include "satori/satori.hpp"
+
+namespace satori {
+namespace bench {
+
+/** Command-line options common to all experiment binaries. */
+struct BenchOptions
+{
+    bool full = false; ///< Paper-scale durations/mix counts.
+    bool csv = false;  ///< Also write <bench>.csv next to the binary.
+};
+
+/** Parse --full / --csv; anything else prints usage and exits. */
+BenchOptions parseArgs(int argc, char** argv);
+
+/** Print the standard experiment banner. */
+void banner(const std::string& experiment, const std::string& claim,
+            const BenchOptions& options);
+
+/**
+ * The five-job PARSEC mix used by the paper's characterization
+ * figures (Figs. 1-3, 17-19).
+ */
+workloads::JobMix canonicalParsecMix();
+
+/**
+ * Run the given policies plus the Balanced Oracle on every mix
+ * (optionally strided) and return the normalized comparisons.
+ *
+ * @param duration Simulated seconds per run.
+ * @param stride Evaluate every stride-th mix (1 = all).
+ */
+std::vector<harness::MixComparison> sweepComparisons(
+    const PlatformSpec& platform,
+    const std::vector<workloads::JobMix>& mixes,
+    const std::vector<std::string>& policies, Seconds duration,
+    std::uint64_t seed_base = 42, std::size_t stride = 1);
+
+/** "x.y%" formatting shorthand. */
+std::string pct(double fraction);
+
+} // namespace bench
+} // namespace satori
+
+#endif // SATORI_BENCH_BENCH_UTIL_HPP

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Extending the library: (1) writing a custom partitioning policy
+ * against the PartitioningPolicy interface, and (2) registering a
+ * third optimization goal (energy proxy) with SATORI's extensible
+ * objective (Sec. III-B). Both run against the same scenario.
+ */
+
+#include <cstdio>
+
+#include "satori/satori.hpp"
+
+using namespace satori;
+
+namespace {
+
+/**
+ * A simple custom policy: proportional-share partitioning. Each job
+ * receives resources proportional to its isolation IPS (heavier jobs
+ * get more), re-derived whenever the baseline changes.
+ */
+class ProportionalSharePolicy final : public policies::PartitioningPolicy
+{
+  public:
+    ProportionalSharePolicy(const PlatformSpec& platform,
+                            std::size_t num_jobs)
+        : platform_(platform), num_jobs_(num_jobs)
+    {
+    }
+
+    std::string name() const override { return "ProportionalShare"; }
+
+    Configuration decide(const sim::IntervalObservation& obs) override
+    {
+        double total = 0.0;
+        for (double iso : obs.isolation_ips)
+            total += iso;
+        Configuration c =
+            Configuration::equalPartition(platform_, num_jobs_);
+        for (std::size_t r = 0; r < platform_.numResources(); ++r) {
+            const int units = platform_.units(r);
+            // Give every job one unit, split the rest by weight.
+            std::vector<int> row(num_jobs_, 1);
+            int left = units - static_cast<int>(num_jobs_);
+            for (std::size_t j = 0; j < num_jobs_ && left > 0; ++j) {
+                const int grant = std::min(
+                    left, static_cast<int>(obs.isolation_ips[j] / total *
+                                           (units - num_jobs_)));
+                row[j] += grant;
+                left -= grant;
+            }
+            for (std::size_t j = 0; left > 0;
+                 j = (j + 1) % num_jobs_) {
+                row[j] += 1;
+                --left;
+            }
+            for (std::size_t j = 0; j < num_jobs_; ++j)
+                c.units(r, j) = row[j];
+        }
+        return c;
+    }
+
+  private:
+    PlatformSpec platform_;
+    std::size_t num_jobs_;
+};
+
+} // namespace
+
+int
+main()
+{
+    const PlatformSpec platform = PlatformSpec::paperTestbed();
+    const workloads::JobMix mix =
+        workloads::mixOf({"minife", "xsbench", "amg"});
+
+    harness::ExperimentOptions options;
+    options.duration = 30.0;
+    const harness::ExperimentRunner runner(options);
+
+    // --- 1. The custom policy vs SATORI ------------------------------
+    sim::SimulatedServer s1 = harness::makeServer(platform, mix);
+    ProportionalSharePolicy prop(platform, s1.numJobs());
+    const auto prop_result = runner.run(s1, prop, mix.label);
+
+    sim::SimulatedServer s2 = harness::makeServer(platform, mix);
+    core::SatoriController satori(platform, s2.numJobs());
+    const auto satori_result = runner.run(s2, satori, mix.label);
+
+    std::printf("Custom policy vs SATORI on %s:\n", mix.label.c_str());
+    TablePrinter table({"policy", "throughput", "fairness"});
+    for (const auto* r : {&prop_result, &satori_result}) {
+        table.addRow({r->policy_name,
+                      TablePrinter::num(r->mean_throughput, 3),
+                      TablePrinter::num(r->mean_fairness, 3)});
+    }
+    table.print();
+
+    // --- 2. SATORI with a third goal: an energy proxy ----------------
+    // Reward configurations that can satisfy demand with less memory
+    // bandwidth headroom (a DRAM-power proxy): goal = 1 - allocated
+    // bandwidth fraction beyond the fair share.
+    core::ExtraGoal energy;
+    energy.name = "dram-energy";
+    energy.weight_share = 0.2;
+    energy.evaluator = [&](const sim::IntervalObservation& obs) {
+        const int bw = platform.indexOf(ResourceKind::MemBandwidth);
+        if (bw < 0)
+            return 1.0;
+        const auto r = static_cast<std::size_t>(bw);
+        // Penalize bandwidth concentration: the more skewed the MBA
+        // allocation, the hotter the memory bus runs.
+        std::vector<double> shares;
+        for (std::size_t j = 0; j < obs.config.numJobs(); ++j)
+            shares.push_back(
+                static_cast<double>(obs.config.units(r, j)));
+        return jainFairnessIndex(shares);
+    };
+
+    core::SatoriOptions with_energy;
+    with_energy.objective = core::ObjectiveSpec(
+        ThroughputMetric::SumIps, FairnessMetric::JainIndex, {energy});
+
+    sim::SimulatedServer s3 = harness::makeServer(platform, mix);
+    core::SatoriController satori3(platform, s3.numJobs(), with_energy);
+    const auto tri_result = runner.run(s3, satori3, mix.label);
+
+    std::printf("\nSATORI with a third goal (20%% weight on a DRAM "
+                "energy proxy):\n");
+    TablePrinter tri({"variant", "throughput", "fairness"});
+    tri.addRow({"SATORI (T+F)",
+                TablePrinter::num(satori_result.mean_throughput, 3),
+                TablePrinter::num(satori_result.mean_fairness, 3)});
+    tri.addRow({"SATORI (T+F+energy)",
+                TablePrinter::num(tri_result.mean_throughput, 3),
+                TablePrinter::num(tri_result.mean_fairness, 3)});
+    tri.print();
+    std::printf("\nThe objective is reconstructed from per-goal records "
+                "every iteration, so adding goals needs no new "
+                "profiling or model changes (Sec. III-B).\n");
+    return 0;
+}

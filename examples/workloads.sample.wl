@@ -1,0 +1,46 @@
+# Sample workload definitions for satori_sim --workload-file.
+# Format reference: docs/GUIDE.md section 4.
+
+# A bandwidth-hungry streaming kernel: high IPC, very parallel, a miss
+# floor that cache ways cannot remove.
+workload streamer
+  suite custom
+  description Synthetic streaming kernel (bandwidth-bound)
+  fixed_work 2e11
+  phase stream
+    base_ipc 1.8
+    parallel_fraction 0.95
+    mpki_one 14
+    mpki_floor 10
+    mrc exponential 2.0
+    miss_penalty 120
+    bytes_per_miss 100
+    cache_pressure 0.05
+    length 3e10
+  phase checkpoint
+    base_ipc 1.2
+    parallel_fraction 0.6
+    mpki_one 6
+    mpki_floor 2
+    mrc exponential 2.0
+    miss_penalty 120
+    bytes_per_miss 80
+    cache_pressure 0.05
+    length 8e9
+
+# A pointer-chasing graph kernel with a working-set cliff at 6 ways:
+# below the cliff extra ways are useless, above it misses collapse.
+workload chaser
+  suite custom
+  description Synthetic pointer-chasing kernel (cache-cliff at 6 ways)
+  fixed_work 2e11
+  phase traverse
+    base_ipc 0.7
+    parallel_fraction 0.7
+    mpki_one 32
+    mpki_floor 3
+    mrc cliff 6.0 0.9
+    miss_penalty 180
+    bytes_per_miss 72
+    cache_pressure 0.4
+    length 2.5e10

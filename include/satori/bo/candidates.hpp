@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Candidate-set generation for acquisition maximization.
+ *
+ * The joint configuration space is far too large to score the
+ * acquisition function exhaustively online, so SATORI maximizes it
+ * over a candidate set of (a) uniformly sampled configurations
+ * (exploration), (b) one-unit-transfer neighbors of the incumbent
+ * best (exploitation/refinement), and (c) a structured set of "good"
+ * starting configurations - equal partitions and low-imbalance
+ * variants (Sec. V: SATORI mitigates BO's initialization sensitivity
+ * by starting from a reasonable set of good configurations).
+ */
+
+#ifndef SATORI_BO_CANDIDATES_HPP
+#define SATORI_BO_CANDIDATES_HPP
+
+#include <vector>
+
+#include "satori/common/rng.hpp"
+#include "satori/config/configuration.hpp"
+#include "satori/config/enumeration.hpp"
+
+namespace satori {
+namespace bo {
+
+/** Candidate-generation knobs. */
+struct CandidateOptions
+{
+    /** Uniform random candidates per round. */
+    std::size_t num_random = 256;
+
+    /** Include all one-unit neighbors of the incumbent best. */
+    bool include_neighbors = true;
+
+    /** Include the structured "good" seed configurations. */
+    bool include_seeds = true;
+
+    /**
+     * Include concentration candidates: for every (job, resource)
+     * pair, variants of the equal partition that hand that job a
+     * half or maximal share of that resource. These cover the
+     * working-set-cliff regimes that unit-step neighborhoods and
+     * uniform sampling rarely reach.
+     */
+    bool include_concentrated = true;
+};
+
+/**
+ * Generates candidate configurations for one BO iteration.
+ */
+class CandidateGenerator
+{
+  public:
+    CandidateGenerator(const ConfigurationSpace& space,
+                       CandidateOptions options = {});
+
+    /**
+     * The structured initial configurations S_init: the equal
+     * partition plus low-imbalance single-transfer variants.
+     */
+    std::vector<Configuration> seedConfigurations() const;
+
+    /**
+     * The concentration set: for every (job, resource) pair, equal-
+     * partition variants granting that job a half or maximal share
+     * of that resource (working-set-cliff coverage).
+     */
+    std::vector<Configuration> concentratedConfigurations() const;
+
+    /**
+     * One round of candidates: random samples, neighbors of
+     * @p incumbent (if enabled), seeds, and the concentration set,
+     * deduplicated by rank.
+     */
+    std::vector<Configuration> generate(const Configuration& incumbent,
+                                        Rng& rng) const;
+
+  private:
+    const ConfigurationSpace& space_;
+    CandidateOptions options_;
+};
+
+} // namespace bo
+} // namespace satori
+
+#endif // SATORI_BO_CANDIDATES_HPP

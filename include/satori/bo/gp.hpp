@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Gaussian-process regression: the stochastic proxy model at the
+ * heart of SATORI's BO engine (Sec. III-A). Predicts a mean and an
+ * uncertainty for unsampled configurations.
+ */
+
+#ifndef SATORI_BO_GP_HPP
+#define SATORI_BO_GP_HPP
+
+#include <memory>
+#include <vector>
+
+#include "satori/bo/kernel.hpp"
+#include "satori/common/types.hpp"
+#include "satori/linalg/cholesky.hpp"
+
+namespace satori {
+namespace bo {
+
+/** GP posterior at one query point. */
+struct GpPrediction
+{
+    double mean = 0.0;
+    double variance = 0.0;
+
+    /** Standard deviation (sqrt of variance, floored at 0). */
+    double stddev() const;
+};
+
+/**
+ * Gaussian-process regression with a pluggable kernel and Gaussian
+ * observation noise. fit() is a full refit (O(n^3)), matching
+ * SATORI's software-based proxy-model reconstruction each iteration
+ * (Sec. III-B); predictions are O(n) mean / O(n^2) variance.
+ *
+ * Targets are internally standardized (zero mean, unit variance) so
+ * kernel signal variance ~1 remains well-matched as the objective
+ * scale changes with the dynamic weights.
+ */
+class GaussianProcess
+{
+  public:
+    /** @param noise_variance observation-noise variance (>= 0). */
+    explicit GaussianProcess(std::unique_ptr<Kernel> kernel,
+                             double noise_variance = 1e-4);
+
+    GaussianProcess(const GaussianProcess& other);
+    GaussianProcess& operator=(const GaussianProcess& other);
+    GaussianProcess(GaussianProcess&&) = default;
+    GaussianProcess& operator=(GaussianProcess&&) = default;
+
+    /**
+     * Fit to @p inputs (n vectors, equal length) and @p targets
+     * (length n). Replaces any previous fit. @pre n >= 1.
+     */
+    void fit(const std::vector<RealVec>& inputs,
+             const std::vector<double>& targets);
+
+    /** True once fit() succeeded with at least one sample. */
+    bool isFitted() const { return fitted_; }
+
+    /** Posterior mean/variance at @p x (in the original target scale). */
+    GpPrediction predict(const RealVec& x) const;
+
+    /** Log marginal likelihood of the current fit (standardized y). */
+    double logMarginalLikelihood() const;
+
+    /**
+     * Refit trying each length scale in @p grid and keeping the one
+     * with the highest log marginal likelihood. Cheap-and-cheerful
+     * hyperparameter adaptation suitable for online use.
+     */
+    void fitWithLengthScaleGrid(const std::vector<RealVec>& inputs,
+                                const std::vector<double>& targets,
+                                const std::vector<double>& grid);
+
+    /** Number of training samples in the current fit. */
+    std::size_t numSamples() const { return inputs_.size(); }
+
+    /** The kernel in use. */
+    const Kernel& kernel() const { return *kernel_; }
+
+  private:
+    void fitStandardized();
+
+    std::unique_ptr<Kernel> kernel_;
+    double noise_variance_;
+    bool fitted_ = false;
+
+    std::vector<RealVec> inputs_;
+    std::vector<double> y_raw_;
+    std::vector<double> y_std_;   // standardized targets
+    double y_mean_ = 0.0;
+    double y_scale_ = 1.0;
+    std::unique_ptr<linalg::Cholesky> chol_;
+    std::vector<double> alpha_;   // K^-1 y_std
+    double log_marginal_ = 0.0;
+};
+
+} // namespace bo
+} // namespace satori
+
+#endif // SATORI_BO_GP_HPP

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Covariance kernels for the Gaussian-process proxy model. SATORI
+ * uses the Matern 5/2 kernel (Sec. III-A); an RBF kernel is provided
+ * for comparison/ablation.
+ */
+
+#ifndef SATORI_BO_KERNEL_HPP
+#define SATORI_BO_KERNEL_HPP
+
+#include <memory>
+#include <vector>
+
+#include "satori/common/types.hpp"
+
+namespace satori {
+namespace bo {
+
+/** Abstract stationary covariance kernel k(a, b). */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    /** Covariance between inputs @p a and @p b (equal length). */
+    virtual double covariance(const RealVec& a, const RealVec& b) const = 0;
+
+    /** k(x, x): the signal variance. */
+    virtual double variance() const = 0;
+
+    /** Copy with a different length scale (for hyperparameter search). */
+    virtual std::unique_ptr<Kernel> withLengthScale(double ls) const = 0;
+
+    /** The current length scale. */
+    virtual double lengthScale() const = 0;
+
+    /** Deep copy. */
+    virtual std::unique_ptr<Kernel> clone() const = 0;
+};
+
+/**
+ * Matern 5/2 kernel:
+ * k(r) = s^2 (1 + sqrt(5) r / l + 5 r^2 / (3 l^2)) exp(-sqrt(5) r / l).
+ *
+ * Twice-differentiable sample paths: smooth enough for efficient
+ * optimization yet not unrealistically smooth for systems data - the
+ * standard practical-BO choice (Snoek et al.), and SATORI's.
+ */
+class Matern52Kernel final : public Kernel
+{
+  public:
+    /** @pre length_scale > 0, signal_variance > 0. */
+    explicit Matern52Kernel(double length_scale = 0.3,
+                            double signal_variance = 1.0);
+
+    double covariance(const RealVec& a, const RealVec& b) const override;
+    double variance() const override { return signal_variance_; }
+    std::unique_ptr<Kernel> withLengthScale(double ls) const override;
+    double lengthScale() const override { return length_scale_; }
+    std::unique_ptr<Kernel> clone() const override;
+
+  private:
+    double length_scale_;
+    double signal_variance_;
+};
+
+/** Squared-exponential (RBF) kernel: k(r) = s^2 exp(-r^2 / (2 l^2)). */
+class RbfKernel final : public Kernel
+{
+  public:
+    /** @pre length_scale > 0, signal_variance > 0. */
+    explicit RbfKernel(double length_scale = 0.3,
+                       double signal_variance = 1.0);
+
+    double covariance(const RealVec& a, const RealVec& b) const override;
+    double variance() const override { return signal_variance_; }
+    std::unique_ptr<Kernel> withLengthScale(double ls) const override;
+    double lengthScale() const override { return length_scale_; }
+    std::unique_ptr<Kernel> clone() const override;
+
+  private:
+    double length_scale_;
+    double signal_variance_;
+};
+
+} // namespace bo
+} // namespace satori
+
+#endif // SATORI_BO_KERNEL_HPP

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's panic()/fatal():
+ * panic for internal invariant violations, fatal for user errors.
+ */
+
+#ifndef SATORI_COMMON_LOGGING_HPP
+#define SATORI_COMMON_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace satori {
+
+/**
+ * Thrown when a user-supplied configuration is invalid (the analogue
+ * of gem5's fatal(): the library cannot continue, but it is not a bug
+ * in the library itself).
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/**
+ * Thrown when an internal invariant is violated (the analogue of
+ * gem5's panic(): a bug in SATORI itself).
+ */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string& msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+throwFatal(const char* file, int line, const std::string& msg)
+{
+    throw FatalError(std::string(file) + ":" + std::to_string(line) +
+                     ": fatal: " + msg);
+}
+
+[[noreturn]] inline void
+throwPanic(const char* file, int line, const std::string& msg)
+{
+    throw PanicError(std::string(file) + ":" + std::to_string(line) +
+                     ": panic: " + msg);
+}
+
+} // namespace detail
+} // namespace satori
+
+/** Report an unrecoverable user error (bad arguments, bad config). */
+#define SATORI_FATAL(msg) \
+    ::satori::detail::throwFatal(__FILE__, __LINE__, (msg))
+
+/** Report an internal invariant violation (a SATORI bug). */
+#define SATORI_PANIC(msg) \
+    ::satori::detail::throwPanic(__FILE__, __LINE__, (msg))
+
+/** Check an internal invariant; panics with the stringized condition. */
+#define SATORI_ASSERT(cond) \
+    do { \
+        if (!(cond)) { \
+            SATORI_PANIC(std::string("assertion failed: ") + #cond); \
+        } \
+    } while (0)
+
+#endif // SATORI_COMMON_LOGGING_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator and
+ * the BO engine. Implements xoshiro256** (Blackman & Vigna) seeded via
+ * splitmix64, so experiments are reproducible across platforms without
+ * depending on libstdc++ distribution internals.
+ */
+
+#ifndef SATORI_COMMON_RNG_HPP
+#define SATORI_COMMON_RNG_HPP
+
+#include <array>
+#include <cstdint>
+
+namespace satori {
+
+/**
+ * A small, fast, reproducible PRNG (xoshiro256**).
+ *
+ * All stochastic behaviour in the library (simulator noise, random
+ * policy, BO candidate sampling) flows through this class so that a
+ * single seed fully determines an experiment.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded through splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x5A70121u);
+
+    /** Next raw 64-bit output. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Standard normal variate (Box-Muller, cached spare). */
+    double gaussian();
+
+    /** Normal variate with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Split off an independently seeded child generator. */
+    Rng split();
+
+  private:
+    std::array<std::uint64_t, 4> state_;
+    bool hasSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace satori
+
+#endif // SATORI_COMMON_RNG_HPP

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Streaming statistics helpers used by the experiment harness.
+ */
+
+#ifndef SATORI_COMMON_STATS_HPP
+#define SATORI_COMMON_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace satori {
+
+/**
+ * Online mean/variance accumulator (Welford's algorithm).
+ *
+ * Used to aggregate per-interval throughput/fairness samples over an
+ * experiment without retaining the full time series.
+ */
+class OnlineStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n_; }
+
+    /** Running mean (0 if empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (0 if fewer than 2 samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (+inf if empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf if empty). */
+    double max() const { return max_; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/**
+ * A named time series of scalar samples, with simple aggregation,
+ * used to record figure data (weights over time, distances, etc.).
+ */
+class TimeSeries
+{
+  public:
+    /** Record one (time, value) point. */
+    void add(double t, double v);
+
+    /** All sample times, in insertion order. */
+    const std::vector<double>& times() const { return times_; }
+
+    /** All sample values, in insertion order. */
+    const std::vector<double>& values() const { return values_; }
+
+    /** Number of points. */
+    std::size_t size() const { return values_.size(); }
+
+    /** Mean of all values (0 if empty). */
+    double mean() const;
+
+    /**
+     * Mean over the window [t0, t1] (inclusive); 0 if no points fall
+     * inside the window.
+     */
+    double meanOver(double t0, double t1) const;
+
+  private:
+    std::vector<double> times_;
+    std::vector<double> values_;
+};
+
+/** Percentile (0..100) of a copy of @p v via linear interpolation. */
+double percentile(std::vector<double> v, double pct);
+
+} // namespace satori
+
+#endif // SATORI_COMMON_STATS_HPP

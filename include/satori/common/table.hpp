@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Console table and CSV output used by the benchmark harness to print
+ * paper-style result rows.
+ */
+
+#ifndef SATORI_COMMON_TABLE_HPP
+#define SATORI_COMMON_TABLE_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace satori {
+
+/**
+ * Accumulates rows of string cells and prints them as an aligned
+ * ASCII table with a header rule.
+ */
+class TablePrinter
+{
+  public:
+    /** Construct with column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append a row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to a string. */
+    std::string render() const;
+
+    /** Print the table to stdout. */
+    void print() const;
+
+    /** Format a double with @p precision decimal places. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a value as a percentage string, e.g. "92.1%". */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Minimal CSV writer; one file per experiment, used when a bench is
+ * invoked with --csv so figures can be re-plotted.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing and emit the header row. */
+    CsvWriter(const std::string& path, std::vector<std::string> headers);
+
+    /** Append a data row (cells are written verbatim, comma-joined). */
+    void addRow(const std::vector<std::string>& cells);
+
+    /** True if the file opened successfully. */
+    bool ok() const { return out_.good(); }
+
+  private:
+    std::ofstream out_;
+    std::size_t columns_;
+};
+
+} // namespace satori
+
+#endif // SATORI_COMMON_TABLE_HPP

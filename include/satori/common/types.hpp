@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental type aliases and small value types shared across SATORI.
+ */
+
+#ifndef SATORI_COMMON_TYPES_HPP
+#define SATORI_COMMON_TYPES_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace satori {
+
+/** Index of a co-located job within a mix (0-based). */
+using JobIndex = std::size_t;
+
+/** Index of a shared architectural resource (0-based). */
+using ResourceIndex = std::size_t;
+
+/** Wall-clock simulated time, in seconds. */
+using Seconds = double;
+
+/** Instructions-per-second of a job (the paper's pqos IPS signal). */
+using Ips = double;
+
+/** Number of retired instructions. */
+using Instructions = double;
+
+/** A dense real vector (used for normalized configurations, GP inputs). */
+using RealVec = std::vector<double>;
+
+/**
+ * The controller sampling interval used throughout the paper: SATORI
+ * updates its resource allocation every 0.1 seconds (Sec. IV).
+ */
+inline constexpr Seconds kDefaultIntervalSeconds = 0.1;
+
+} // namespace satori
+
+#endif // SATORI_COMMON_TYPES_HPP

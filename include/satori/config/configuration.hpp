@@ -1,0 +1,112 @@
+/**
+ * @file
+ * A resource-partitioning configuration: how many units of every
+ * shared resource each co-located job receives (Sec. II).
+ */
+
+#ifndef SATORI_CONFIG_CONFIGURATION_HPP
+#define SATORI_CONFIG_CONFIGURATION_HPP
+
+#include <string>
+#include <vector>
+
+#include "satori/common/types.hpp"
+#include "satori/config/platform.hpp"
+
+namespace satori {
+
+/**
+ * One permutation of resource allocation of all available resources
+ * to all co-located jobs. Every job receives at least one unit of
+ * every resource and the units of each resource are fully assigned.
+ *
+ * Stored as allocation[resource][job] in integer units.
+ */
+class Configuration
+{
+  public:
+    /** An empty configuration (no jobs/resources). */
+    Configuration() = default;
+
+    /**
+     * Construct from explicit unit assignments.
+     *
+     * @param alloc alloc[r][j] = units of resource r given to job j.
+     */
+    explicit Configuration(std::vector<std::vector<int>> alloc);
+
+    /** Number of co-located jobs. */
+    std::size_t numJobs() const;
+
+    /** Number of resources. */
+    std::size_t numResources() const { return alloc_.size(); }
+
+    /** Units of resource @p r given to job @p j. */
+    int units(ResourceIndex r, JobIndex j) const;
+
+    /** Mutable unit count (validity must be restored by the caller). */
+    int& units(ResourceIndex r, JobIndex j);
+
+    /** The allocation row for resource @p r (one entry per job). */
+    const std::vector<int>& resourceRow(ResourceIndex r) const;
+
+    /** Total units assigned for resource @p r. */
+    int totalUnits(ResourceIndex r) const;
+
+    /**
+     * True if the configuration is well-formed for @p platform and
+     * @p num_jobs: right shape, every job gets >= 1 unit of every
+     * resource, all units fully assigned.
+     */
+    bool isValidFor(const PlatformSpec& platform,
+                    std::size_t num_jobs) const;
+
+    /**
+     * The S_init configuration: every resource divided as equally as
+     * possible among jobs (Algorithm 1); leftovers go to the
+     * lowest-indexed jobs.
+     */
+    static Configuration equalPartition(const PlatformSpec& platform,
+                                        std::size_t num_jobs);
+
+    /**
+     * Flatten to a share-normalized real vector of dimension
+     * numResources x numJobs: element (r * numJobs + j) is job j's
+     * fraction of resource r. This is the GP input representation and
+     * the space in which the paper's Fig. 15 distances are computed
+     * (scaled back to units there).
+     */
+    RealVec normalizedVector() const;
+
+    /**
+     * Euclidean distance between two configurations in *unit* space
+     * (the Fig. 15 metric: 15-dimensional vectors of unit counts).
+     */
+    static double distance(const Configuration& a, const Configuration& b);
+
+    /**
+     * L1 (total moved units) distance between two configurations -
+     * the natural measure of reconfiguration effort.
+     */
+    static int l1Distance(const Configuration& a, const Configuration& b);
+
+    /**
+     * Transfer one unit of resource @p r from job @p from to job @p to.
+     * @return false (and leave the configuration unchanged) if @p from
+     * has only one unit left.
+     */
+    bool transferUnit(ResourceIndex r, JobIndex from, JobIndex to);
+
+    /** Compact human-readable rendering, e.g. "[5,5|6,5|5,5]". */
+    std::string toString() const;
+
+    /** Structural equality. */
+    bool operator==(const Configuration& other) const;
+
+  private:
+    std::vector<std::vector<int>> alloc_;
+};
+
+} // namespace satori
+
+#endif // SATORI_CONFIG_CONFIGURATION_HPP

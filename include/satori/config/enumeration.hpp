@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Enumeration of the resource-partitioning configuration space.
+ *
+ * The space of one resource with U units split among M jobs (>= 1 unit
+ * each) is the set of compositions of U into M positive parts, of size
+ * C(U-1, M-1); the joint space is the Cartesian product over resources
+ * (Sec. II: S_conf = prod_r C(U_r - 1, M - 1)).
+ */
+
+#ifndef SATORI_CONFIG_ENUMERATION_HPP
+#define SATORI_CONFIG_ENUMERATION_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "satori/common/rng.hpp"
+#include "satori/config/configuration.hpp"
+#include "satori/config/platform.hpp"
+
+namespace satori {
+
+/**
+ * Enumerates compositions of @p units into @p parts positive integer
+ * parts in lexicographic order, with O(parts) ranking/unranking.
+ */
+class CompositionSpace
+{
+  public:
+    /** @pre units >= parts >= 1. */
+    CompositionSpace(int units, int parts);
+
+    /** Number of compositions: C(units-1, parts-1). */
+    std::uint64_t size() const { return size_; }
+
+    /** The @p index-th composition in lexicographic order. */
+    std::vector<int> at(std::uint64_t index) const;
+
+    /** Rank of a composition (inverse of at()). */
+    std::uint64_t rank(const std::vector<int>& composition) const;
+
+    /** A uniformly random composition. */
+    std::vector<int> sample(Rng& rng) const;
+
+    /** Units being split. */
+    int units() const { return units_; }
+
+    /** Number of parts. */
+    int parts() const { return parts_; }
+
+  private:
+    int units_;
+    int parts_;
+    std::uint64_t size_;
+};
+
+/**
+ * The joint configuration space over all resources of a platform for
+ * a fixed number of co-located jobs. Provides size, index<->config
+ * bijection, uniform sampling, and neighborhood generation.
+ */
+class ConfigurationSpace
+{
+  public:
+    ConfigurationSpace(const PlatformSpec& platform, std::size_t num_jobs);
+
+    /** Total number of valid configurations (Sec. II formula). */
+    std::uint64_t size() const { return size_; }
+
+    /** The @p index-th configuration (mixed-radix over resources). */
+    Configuration at(std::uint64_t index) const;
+
+    /** Rank of a configuration (inverse of at()). */
+    std::uint64_t rank(const Configuration& config) const;
+
+    /** A uniformly random configuration. */
+    Configuration sample(Rng& rng) const;
+
+    /**
+     * All configurations reachable from @p config by moving exactly
+     * one unit of one resource between two jobs (the local moves used
+     * by BO candidate refinement and the gradient-descent baseline).
+     */
+    std::vector<Configuration> neighbors(const Configuration& config) const;
+
+    /** Number of co-located jobs. */
+    std::size_t numJobs() const { return num_jobs_; }
+
+    /** The platform this space was built for. */
+    const PlatformSpec& platform() const { return platform_; }
+
+    /**
+     * Closed-form size of a space without building it, e.g. for the
+     * search-space-growth table of Sec. II.
+     */
+    static std::uint64_t sizeOf(const PlatformSpec& platform,
+                                std::size_t num_jobs);
+
+  private:
+    PlatformSpec platform_;
+    std::size_t num_jobs_;
+    std::vector<CompositionSpace> per_resource_;
+    std::uint64_t size_;
+};
+
+} // namespace satori
+
+#endif // SATORI_CONFIG_ENUMERATION_HPP

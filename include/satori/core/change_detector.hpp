@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Online change detection for SATORI's reactivation path: decides
+ * when the settled configuration's performance has genuinely shifted
+ * (program phase change, workload churn) versus mere measurement
+ * noise. Implements a two-sided CUSUM detector over a streaming
+ * signal; available as an alternative to the default
+ * consecutive-violation rule (SatoriOptions::use_cusum_reactivation).
+ */
+
+#ifndef SATORI_CORE_CHANGE_DETECTOR_HPP
+#define SATORI_CORE_CHANGE_DETECTOR_HPP
+
+#include <cstddef>
+
+namespace satori {
+namespace core {
+
+/** CUSUM tuning. */
+struct ChangeDetectorOptions
+{
+    /**
+     * Slack in reference-standard-deviation units: deviations below
+     * this are attributed to noise (classic CUSUM "k" parameter).
+     */
+    double slack_sigmas = 1.25;
+
+    /**
+     * Alarm threshold in reference-standard-deviation units (classic
+     * CUSUM "h"); higher = fewer false alarms, slower detection.
+     */
+    double threshold_sigmas = 8.0;
+
+    /** Samples used to (re)estimate the reference mean/sigma. */
+    std::size_t calibration_samples = 15;
+
+    /** Floor on the estimated sigma (fraction of the mean). */
+    double min_relative_sigma = 0.01;
+};
+
+/**
+ * Two-sided CUSUM change detector.
+ *
+ * Usage: feed one observation per interval with update(); a true
+ * return signals a detected mean shift (in either direction), after
+ * which the detector re-calibrates on the following samples.
+ */
+class ChangeDetector
+{
+  public:
+    explicit ChangeDetector(ChangeDetectorOptions options = {});
+
+    /**
+     * Consume one observation.
+     * @return true exactly once per detected change (then resets).
+     */
+    bool update(double value);
+
+    /** True while the reference statistics are being estimated. */
+    bool calibrating() const { return calibrating_; }
+
+    /** The current reference mean (0 while calibrating the first). */
+    double referenceMean() const { return mean_; }
+
+    /** Restart calibration from scratch. */
+    void reset();
+
+    /** The options in force. */
+    const ChangeDetectorOptions& options() const { return options_; }
+
+  private:
+    ChangeDetectorOptions options_;
+
+    bool calibrating_ = true;
+    std::size_t calib_n_ = 0;
+    double calib_sum_ = 0.0;
+    double calib_sq_ = 0.0;
+
+    double mean_ = 0.0;
+    double sigma_ = 1.0;
+    double cusum_hi_ = 0.0;
+    double cusum_lo_ = 0.0;
+};
+
+} // namespace core
+} // namespace satori
+
+#endif // SATORI_CORE_CHANGE_DETECTOR_HPP

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * The SATORI controller (Algorithm 1): BO-driven joint exploration of
+ * the multi-resource partitioning space with a dynamically
+ * re-prioritized throughput+fairness objective.
+ */
+
+#ifndef SATORI_CORE_CONTROLLER_HPP
+#define SATORI_CORE_CONTROLLER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "satori/bo/candidates.hpp"
+#include "satori/bo/engine.hpp"
+#include "satori/common/rng.hpp"
+#include "satori/config/enumeration.hpp"
+#include "satori/core/change_detector.hpp"
+#include "satori/core/goal_record.hpp"
+#include "satori/core/objective.hpp"
+#include "satori/core/weights.hpp"
+#include "satori/policies/policy.hpp"
+
+namespace satori {
+namespace core {
+
+/** Which goal regime a SATORI instance runs in (Sec. IV variants). */
+enum class GoalMode
+{
+    Balanced,       ///< Dynamic W_T/W_F re-prioritization (SATORI).
+    StaticEqual,    ///< Fixed 0.5/0.5 ("SATORI w/o prioritization").
+    ThroughputOnly, ///< W_T = 1, W_F = 0 ("Throughput SATORI").
+    FairnessOnly,   ///< W_T = 0, W_F = 1 ("Fairness SATORI").
+};
+
+/** Printable name of a goal mode variant. */
+std::string goalModeName(GoalMode mode);
+
+/** Everything tunable about a SATORI instance. */
+struct SatoriOptions
+{
+    GoalMode mode = GoalMode::Balanced;
+    WeightController::Options weights;
+    bo::EngineOptions engine;
+    bo::CandidateOptions candidates;
+    ObjectiveSpec objective;
+
+    /** Samples retained for proxy-model reconstruction. */
+    std::size_t window = 120;
+
+    /** RNG seed for candidate sampling. */
+    std::uint64_t seed = 7;
+
+    /** Probe points kept for Fig. 17(b) proxy-change diagnostics. */
+    std::size_t num_probes = 48;
+
+    /**
+     * Convergence detection (Sec. V): once the best balanced
+     * objective has not improved for this many iterations, SATORI
+     * settles on the incumbent configuration and stops updating the
+     * GP ("avoiding frequent updates to the GP model after the
+     * optimal configuration detection"). 0 disables settling.
+     */
+    std::size_t stall_intervals = 12;
+
+    /** Minimum samples before settling is allowed. */
+    std::size_t min_explore_samples = 40;
+
+    /**
+     * Reconfiguration-aware acquisition: acquisition scores are
+     * reduced by this much per unit of allocation moved relative to
+     * the currently running configuration, reflecting the transient
+     * cost of migrations and cache re-warming on real hardware.
+     */
+    double switch_penalty = 0.0;
+
+    /**
+     * While exploring, run the incumbent-best configuration every
+     * this many decisions instead of the acquisition suggestion, so
+     * jobs are not stuck on speculative configurations throughout a
+     * search burst (0 disables interleaving).
+     */
+    std::size_t exploit_period = 0;
+
+    /**
+     * Intervals each explored configuration is held before the next
+     * suggestion, amortizing the reconfiguration transient and
+     * averaging measurement noise over repeated samples.
+     */
+    std::size_t dwell_intervals = 1;
+
+    /** Maximum structured seed configurations evaluated at warm-up. */
+    std::size_t max_seeds = 9;
+
+    /**
+     * Uncertainty discount applied when selecting the incumbent or
+     * the settle configuration from noisy records: score = mean -
+     * kappa / sqrt(effective evaluations). Guards against settling on
+     * a configuration that measured well once by luck.
+     */
+    double incumbent_kappa = 0.04;
+
+    /**
+     * Fractional drop of the measured balanced objective below its
+     * settled reference that re-activates exploration (the paper:
+     * SATORI "is invoked only when the performance of a specific job
+     * changes significantly or the job mix changes"). Two consecutive
+     * violating intervals are required to filter noise.
+     */
+    double reactivate_threshold = 0.08;
+
+    /**
+     * Per-job trigger (the paper: SATORI is re-invoked "when the
+     * performance of a specific job changes significantly"): relative
+     * IPS change of any job versus its settled reference that
+     * re-activates exploration, in either direction (0 disables).
+     */
+    double reactivate_job_threshold = 0.0;
+
+    /**
+     * Use a two-sided CUSUM detector on the balanced objective for
+     * reactivation instead of the fixed-threshold rule - more robust
+     * under heavy measurement noise, slightly slower to react.
+     */
+    bool use_cusum_reactivation = false;
+
+    /** CUSUM tuning (when use_cusum_reactivation is set). */
+    ChangeDetectorOptions cusum;
+
+    /**
+     * On reactivation, trim the goal records to this many most-recent
+     * samples so measurements from the stale program phase do not
+     * drag the incumbent selection (0 keeps everything).
+     */
+    std::size_t reactivate_keep_samples = 30;
+
+    /**
+     * Hard cap on an exploration burst: after this many exploring
+     * iterations SATORI settles on the best configuration found so
+     * far even if the search was still improving, bounding the time
+     * jobs spend under speculative configurations.
+     */
+    std::size_t burst_max_intervals = 20;
+};
+
+/** Per-iteration internals exposed for the paper's analysis figures. */
+struct SatoriDiagnostics
+{
+    WeightComponents weights;        ///< Fig. 14(a) decomposition.
+    double objective_value = 0.0;    ///< Fig. 17(a) trajectory.
+    double throughput = 0.0;         ///< Normalized T of last interval.
+    double fairness = 0.0;           ///< Normalized F of last interval.
+    double proxy_change_pct = 0.0;   ///< Fig. 17(b): mean |d mean| %.
+    std::size_t num_samples = 0;     ///< Proxy-model training size.
+    bool settled = false;            ///< True while exploration is off.
+};
+
+/**
+ * SATORI: the paper's controller, as a PartitioningPolicy.
+ *
+ * Each decide() call implements one iteration of Algorithm 1:
+ * record the just-measured throughput/fairness for the configuration
+ * that ran, regenerate the objective function from the per-goal
+ * records under the current dynamic weights, software-reconstruct
+ * the GP proxy model, maximize the acquisition function over a
+ * candidate set, and return the next configuration to run.
+ */
+class SatoriController final : public policies::PartitioningPolicy
+{
+  public:
+    /**
+     * @param platform The server's partitionable resources.
+     * @param num_jobs Number of co-located jobs.
+     * @param options Tuning; defaults match the paper (T_P = 1 s,
+     *        T_E = 10 s, Matern 5/2, EI).
+     */
+    SatoriController(const PlatformSpec& platform, std::size_t num_jobs,
+                     SatoriOptions options = {});
+
+    std::string name() const override;
+    Configuration decide(const sim::IntervalObservation& obs) override;
+    void reset() override;
+
+    /** Diagnostics of the most recent iteration. */
+    const SatoriDiagnostics& diagnostics() const { return diagnostics_; }
+
+    /** The configuration space being explored. */
+    const ConfigurationSpace& space() const { return space_; }
+
+    /** The options in force. */
+    const SatoriOptions& options() const { return options_; }
+
+  private:
+    /** Current (w_t, w_f) per the goal mode and weight controller. */
+    std::pair<double, double> currentWeights(double throughput,
+                                             double fairness);
+
+    SatoriOptions options_;
+    ConfigurationSpace space_;
+    bo::CandidateGenerator candgen_;
+    bo::BoEngine engine_;
+    GoalRecorder recorder_;
+    WeightController weight_controller_;
+    Rng rng_;
+
+    std::vector<Configuration> seeds_;
+    std::size_t next_seed_ = 0;
+
+    std::vector<RealVec> probes_;
+    std::vector<double> last_probe_means_;
+
+    // Convergence / settling state (Sec. V overhead optimization).
+    bool settled_ = false;
+    Configuration settled_config_;
+    double settled_ref_objective_ = -1.0;
+    std::vector<Ips> settled_ref_ips_;
+    int reactivate_strikes_ = 0;
+    int job_strikes_ = 0;
+    int settled_warmup_ = 0; ///< Intervals until refs are anchored.
+    ChangeDetector cusum_;
+    double best_balanced_ = -1.0;
+    std::size_t stall_counter_ = 0;
+    std::size_t explore_steps_ = 0;
+    std::size_t burst_len_ = 0;
+    Configuration last_decision_;
+    std::size_t dwell_left_ = 0;
+
+    SatoriDiagnostics diagnostics_;
+};
+
+} // namespace core
+} // namespace satori
+
+#endif // SATORI_CORE_CONTROLLER_HPP

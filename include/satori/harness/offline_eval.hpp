@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Offline exhaustive evaluation against the analytic model: the
+ * substrate for the paper's brute-force Oracle (Sec. IV). Because
+ * the simulator's true objective is computable, the Oracle here is
+ * exact (the paper needed hours of offline search per mix).
+ *
+ * Per-job IPS lookup tables over per-resource unit counts make one
+ * full sweep of millions of configurations take well under a second;
+ * results are memoized per phase signature since the model is
+ * deterministic given the phases.
+ */
+
+#ifndef SATORI_HARNESS_OFFLINE_EVAL_HPP
+#define SATORI_HARNESS_OFFLINE_EVAL_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "satori/config/enumeration.hpp"
+#include "satori/metrics/metrics.hpp"
+#include "satori/sim/server.hpp"
+
+namespace satori {
+namespace harness {
+
+/** Result of an exhaustive search for one phase signature. */
+struct OracleResult
+{
+    Configuration config;     ///< The argmax configuration.
+    double objective = 0.0;   ///< w_t * T + w_f * F at the argmax.
+    double throughput = 0.0;  ///< Normalized throughput at the argmax.
+    double fairness = 0.0;    ///< Fairness at the argmax.
+    bool exhaustive = true;   ///< False if the search was strided.
+};
+
+/** Offline-search knobs. */
+struct OfflineEvalOptions
+{
+    /**
+     * Maximum configurations evaluated per search; spaces larger
+     * than this are sampled with a uniform stride (the result is
+     * flagged non-exhaustive).
+     */
+    std::uint64_t max_evals = 30'000'000;
+
+    ThroughputMetric tmetric = ThroughputMetric::SumIps;
+    FairnessMetric fmetric = FairnessMetric::JainIndex;
+};
+
+/**
+ * Evaluates configurations offline with the noiseless model and
+ * finds per-phase-signature optima.
+ */
+class OfflineEvaluator
+{
+  public:
+    /** Kept for source compatibility with nested-options style. */
+    using Options = OfflineEvalOptions;
+
+    /** Attach to a server (read-only; never mutates it). */
+    explicit OfflineEvaluator(const sim::SimulatedServer& server,
+                              Options options = {});
+
+    /**
+     * Normalized (throughput, fairness) of @p config with jobs pinned
+     * at @p phase_signature.
+     */
+    std::pair<double, double> metricsFor(
+        const Configuration& config,
+        const std::vector<std::size_t>& phase_signature) const;
+
+    /**
+     * Exhaustive (or strided) argmax of w_t * T + w_f * F over the
+     * whole configuration space at @p phase_signature; memoized.
+     */
+    const OracleResult& bestFor(
+        const std::vector<std::size_t>& phase_signature, double w_t,
+        double w_f);
+
+    /** The configuration space being searched. */
+    const ConfigurationSpace& space() const { return space_; }
+
+    /** Number of distinct searches performed (memo misses). */
+    std::size_t searchesPerformed() const { return searches_; }
+
+  private:
+    /** Per-job IPS lookup tables for one phase signature. */
+    struct IpsTables;
+
+    IpsTables buildTables(
+        const std::vector<std::size_t>& phase_signature) const;
+
+    const sim::SimulatedServer& server_;
+    Options options_;
+    ConfigurationSpace space_;
+
+    using MemoKey = std::pair<std::vector<std::size_t>,
+                              std::pair<std::int64_t, std::int64_t>>;
+    std::map<MemoKey, OracleResult> memo_;
+    std::size_t searches_ = 0;
+};
+
+} // namespace harness
+} // namespace satori
+
+#endif // SATORI_HARNESS_OFFLINE_EVAL_HPP

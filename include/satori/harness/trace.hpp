@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Structured experiment tracing: per-interval records (time, config,
+ * per-job IPS/speedups, metrics, weights) streamed to CSV or JSON
+ * Lines, so runs can be analyzed or re-plotted outside the harness.
+ */
+
+#ifndef SATORI_HARNESS_TRACE_HPP
+#define SATORI_HARNESS_TRACE_HPP
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "satori/common/types.hpp"
+#include "satori/config/configuration.hpp"
+
+namespace satori {
+namespace harness {
+
+/** One interval's trace record. */
+struct TraceRecord
+{
+    Seconds time = 0.0;
+    std::string policy;
+    Configuration config;
+    std::vector<Ips> ips;
+    std::vector<double> speedups;
+    double throughput = 0.0; ///< Normalized.
+    double fairness = 0.0;
+    double w_t = 0.5; ///< Weights, when the policy exposes them.
+    double w_f = 0.5;
+    bool settled = false;
+};
+
+/** Output encoding for a trace file. */
+enum class TraceFormat
+{
+    Csv,       ///< One flat row per interval.
+    JsonLines, ///< One JSON object per line.
+};
+
+/**
+ * Streams TraceRecords to a file. The writer is format-stable: the
+ * CSV header (or JSON keys) are fixed by the first record's job
+ * count.
+ */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing. @throws FatalError if the file cannot
+     * be created.
+     */
+    TraceWriter(const std::string& path, TraceFormat format);
+
+    /** Append one record. */
+    void write(const TraceRecord& record);
+
+    /** Records written so far. */
+    std::size_t count() const { return count_; }
+
+    /** Flush buffered output. */
+    void flush();
+
+  private:
+    void writeCsvHeader(const TraceRecord& record);
+    void writeCsv(const TraceRecord& record);
+    void writeJson(const TraceRecord& record);
+
+    std::ofstream out_;
+    TraceFormat format_;
+    std::size_t count_ = 0;
+    bool header_written_ = false;
+};
+
+} // namespace harness
+} // namespace satori
+
+#endif // SATORI_HARNESS_TRACE_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Cholesky factorization and triangular solves for symmetric positive
+ * definite kernel matrices, with automatic diagonal jitter escalation
+ * for near-singular cases (duplicate GP sample points).
+ */
+
+#ifndef SATORI_LINALG_CHOLESKY_HPP
+#define SATORI_LINALG_CHOLESKY_HPP
+
+#include <vector>
+
+#include "satori/linalg/matrix.hpp"
+
+namespace satori {
+namespace linalg {
+
+/**
+ * Lower-triangular Cholesky factor of an SPD matrix, plus the solves
+ * the GP needs. Construction never fails for symmetric matrices with
+ * bounded condition number: if the plain factorization breaks down,
+ * increasing jitter is added to the diagonal (reported via jitter()).
+ */
+class Cholesky
+{
+  public:
+    /**
+     * Factorize @p a (must be square and symmetric).
+     *
+     * @param a The SPD matrix to factorize.
+     * @param initial_jitter Jitter to try first when factorization
+     *        fails; escalates by 10x up to a bounded number of tries.
+     */
+    explicit Cholesky(Matrix a, double initial_jitter = 1e-10);
+
+    /** The lower-triangular factor L with A + jitter*I = L L^T. */
+    const Matrix& factor() const { return l_; }
+
+    /** The jitter that was finally added to the diagonal (0 if none). */
+    double jitter() const { return jitter_; }
+
+    /** Solve L y = b (forward substitution). */
+    std::vector<double> solveLower(const std::vector<double>& b) const;
+
+    /** Solve L^T x = b (backward substitution). */
+    std::vector<double> solveUpper(const std::vector<double>& b) const;
+
+    /** Solve A x = b via the two triangular solves. */
+    std::vector<double> solve(const std::vector<double>& b) const;
+
+    /** log(det(A)) = 2 * sum(log(L_ii)). */
+    double logDet() const;
+
+  private:
+    bool tryFactorize(const Matrix& a, double jitter);
+
+    Matrix l_;
+    double jitter_ = 0.0;
+};
+
+} // namespace linalg
+} // namespace satori
+
+#endif // SATORI_LINALG_CHOLESKY_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Minimal dense linear algebra for the Gaussian-process proxy model.
+ *
+ * The GP in SATORI operates on at most a few hundred samples, so a
+ * simple row-major double matrix with O(n^3) factorizations is more
+ * than fast enough (the paper reports all BO tasks take ~1.2 ms per
+ * 100 ms interval; see bench_overhead).
+ */
+
+#ifndef SATORI_LINALG_MATRIX_HPP
+#define SATORI_LINALG_MATRIX_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace satori {
+namespace linalg {
+
+/** A dense, row-major matrix of doubles. */
+class Matrix
+{
+  public:
+    /** An empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** A rows x cols matrix initialized to @p fill. */
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /** Number of rows. */
+    std::size_t rows() const { return rows_; }
+
+    /** Number of columns. */
+    std::size_t cols() const { return cols_; }
+
+    /** Mutable element access (no bounds check in release builds). */
+    double& operator()(std::size_t r, std::size_t c);
+
+    /** Const element access. */
+    double operator()(std::size_t r, std::size_t c) const;
+
+    /** The identity matrix of size n. */
+    static Matrix identity(std::size_t n);
+
+    /** Matrix-vector product. @pre v.size() == cols(). */
+    std::vector<double> multiply(const std::vector<double>& v) const;
+
+    /** Matrix-matrix product. @pre other.rows() == cols(). */
+    Matrix multiply(const Matrix& other) const;
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Add @p v to every diagonal element. @pre square. */
+    void addDiagonal(double v);
+
+    /** Raw storage (row-major), mainly for tests. */
+    const std::vector<double>& data() const { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Dot product of equal-length vectors. */
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+} // namespace linalg
+} // namespace satori
+
+#endif // SATORI_LINALG_MATRIX_HPP

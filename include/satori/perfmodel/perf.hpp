@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The analytic performance model that stands in for real hardware.
+ *
+ * Given a phase's sensitivity parameters and a (cores, LLC ways,
+ * bandwidth share, power share) allocation, computes the job's IPS
+ * with a classic CPI-stack + Amdahl + bandwidth-roofline composition:
+ *
+ *   cpi      = 1/base_ipc + mpki(ways)/1000 * miss_penalty
+ *   ips_core = freq * power_scale / cpi * amdahl(cores)
+ *   demand   = ips_core * mpki/1000 * bytes_per_miss
+ *   ips      = ips_core * min(1, bw_cap / demand)
+ *
+ * This couples the resources the same way real machines do: more ways
+ * reduce both stalls and bandwidth demand, so the utility of ways
+ * depends on the bandwidth allocation and vice versa (the "correlated
+ * utility" SATORI's joint exploration exploits, Sec. VI).
+ */
+
+#ifndef SATORI_PERFMODEL_PERF_HPP
+#define SATORI_PERFMODEL_PERF_HPP
+
+#include "satori/common/types.hpp"
+#include "satori/perfmodel/phase.hpp"
+
+namespace satori {
+namespace perfmodel {
+
+/** Physical constants of the simulated machine. */
+struct MachineParams
+{
+    /** Core clock in GHz. */
+    double freq_ghz = 2.4;
+
+    /** Peak DRAM bandwidth in GB/s (MBA partitions fractions of it). */
+    double peak_bw_gbps = 42.0;
+
+    /**
+     * Exponent of the power-cap frequency response; only used when a
+     * PowerCap resource is present. 0.4 approximates DVFS curves.
+     */
+    double power_exponent = 0.4;
+
+    /** A Skylake-like machine matching the paper's testbed. */
+    static MachineParams paperLike() { return {}; }
+};
+
+/** Allocation handed to the model, in resource units/fractions. */
+struct AllocationView
+{
+    int cores = 1;             ///< Physical cores allocated.
+    int llc_ways = 1;          ///< LLC ways allocated.
+    double bw_fraction = 1.0;  ///< Fraction of peak bandwidth (MBA cap).
+    double power_fraction = 1.0; ///< Fraction of the fair power share.
+};
+
+/** Model outputs for one job over one interval. */
+struct PerfResult
+{
+    Ips ips = 0.0;                ///< Achieved instructions/second.
+    double ipc_per_core = 0.0;    ///< Effective IPC of one core.
+    double mpki = 0.0;            ///< LLC misses per kilo-instruction.
+    double bw_demand_gbps = 0.0;  ///< Unthrottled bandwidth demand.
+    double bw_used_gbps = 0.0;    ///< Bandwidth actually consumed.
+    bool bw_limited = false;      ///< True if the MBA cap bound IPS.
+};
+
+/** Amdahl speedup of @p cores cores with parallel fraction @p p. */
+double amdahlSpeedup(double p, int cores);
+
+/**
+ * Evaluate the model for one phase under one allocation.
+ *
+ * @pre alloc.cores >= 1, alloc.llc_ways >= 1,
+ *      0 < alloc.bw_fraction <= 1, 0 < alloc.power_fraction.
+ */
+PerfResult evaluatePhase(const PhaseParams& phase,
+                         const MachineParams& machine,
+                         const AllocationView& alloc);
+
+} // namespace perfmodel
+} // namespace satori
+
+#endif // SATORI_PERFMODEL_PERF_HPP

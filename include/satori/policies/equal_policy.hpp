@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Static equal partitioning: the S_init configuration held forever.
+ * Serves as the "unmanaged" reference point.
+ */
+
+#ifndef SATORI_POLICIES_EQUAL_POLICY_HPP
+#define SATORI_POLICIES_EQUAL_POLICY_HPP
+
+#include "satori/policies/policy.hpp"
+
+namespace satori {
+namespace policies {
+
+/** Divides every resource equally among jobs and never adapts. */
+class EqualPartitionPolicy final : public PartitioningPolicy
+{
+  public:
+    EqualPartitionPolicy(const PlatformSpec& platform,
+                         std::size_t num_jobs);
+
+    std::string name() const override { return "Equal"; }
+    Configuration decide(const sim::IntervalObservation& obs) override;
+
+  private:
+    Configuration config_;
+};
+
+} // namespace policies
+} // namespace satori
+
+#endif // SATORI_POLICIES_EQUAL_POLICY_HPP

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The interface every resource-partitioning policy implements:
+ * observe one controller interval, return the configuration for the
+ * next interval. SATORI, the baselines, and the oracles all plug in
+ * here, so the experiment harness treats them uniformly.
+ */
+
+#ifndef SATORI_POLICIES_POLICY_HPP
+#define SATORI_POLICIES_POLICY_HPP
+
+#include <string>
+
+#include "satori/config/configuration.hpp"
+#include "satori/sim/monitor.hpp"
+
+namespace satori {
+namespace policies {
+
+/**
+ * A dynamic resource-partitioning policy.
+ *
+ * The harness calls decide() once per controller interval (100 ms by
+ * default) with the measurements of the interval that just elapsed;
+ * the returned configuration is applied for the next interval -
+ * matching the paper's deployment model where jobs keep running on
+ * the previous allocation while the controller deliberates.
+ */
+class PartitioningPolicy
+{
+  public:
+    virtual ~PartitioningPolicy();
+
+    /** Short policy name used in result tables ("SATORI", "dCAT"...). */
+    virtual std::string name() const = 0;
+
+    /** Choose the configuration for the next interval. */
+    virtual Configuration decide(const sim::IntervalObservation& obs) = 0;
+
+    /**
+     * Forget learned state (called between experiments and on job
+     * churn for policies without built-in adaptation).
+     */
+    virtual void reset() {}
+};
+
+} // namespace policies
+} // namespace satori
+
+#endif // SATORI_POLICIES_POLICY_HPP

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Adapter that restricts a policy to a subset of the platform's
+ * resources: the inner policy partitions only the managed resources,
+ * while every unmanaged resource stays at the equal partition. Used
+ * by the Sec. V ablation (SATORI-LLC-only vs dCAT, SATORI-LLC+MB vs
+ * CoPart).
+ */
+
+#ifndef SATORI_POLICIES_RESTRICTED_POLICY_HPP
+#define SATORI_POLICIES_RESTRICTED_POLICY_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "satori/policies/policy.hpp"
+
+namespace satori {
+namespace policies {
+
+/** Runs an inner policy over a resource-restricted view. */
+class RestrictedPolicy final : public PartitioningPolicy
+{
+  public:
+    /** Factory building the inner policy for the restricted view. */
+    using InnerFactory = std::function<std::unique_ptr<PartitioningPolicy>(
+        const PlatformSpec& restricted, std::size_t num_jobs)>;
+
+    /**
+     * @param full_platform The server's real platform.
+     * @param num_jobs Co-located job count.
+     * @param managed Resource kinds the inner policy may partition.
+     * @param factory Builds the inner policy for the restricted view.
+     */
+    RestrictedPolicy(const PlatformSpec& full_platform,
+                     std::size_t num_jobs,
+                     const std::vector<ResourceKind>& managed,
+                     const InnerFactory& factory);
+
+    std::string name() const override;
+    Configuration decide(const sim::IntervalObservation& obs) override;
+    void reset() override;
+
+  private:
+    /** Project a full-platform config down to the managed resources. */
+    Configuration project(const Configuration& full) const;
+
+    /** Embed a restricted config into the full platform (equal rest). */
+    Configuration embed(const Configuration& restricted) const;
+
+    PlatformSpec full_;
+    PlatformSpec restricted_;
+    std::size_t num_jobs_;
+    std::vector<std::size_t> managed_indices_; ///< Full-platform indices.
+    std::unique_ptr<PartitioningPolicy> inner_;
+};
+
+} // namespace policies
+} // namespace satori
+
+#endif // SATORI_POLICIES_RESTRICTED_POLICY_HPP

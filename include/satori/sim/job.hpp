@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A co-located job: a workload profile plus runtime progress state
+ * (phase position, retired instructions, fixed-work completions).
+ */
+
+#ifndef SATORI_SIM_JOB_HPP
+#define SATORI_SIM_JOB_HPP
+
+#include <cstdint>
+
+#include "satori/perfmodel/phase.hpp"
+#include "satori/workloads/profile.hpp"
+
+namespace satori {
+namespace sim {
+
+/**
+ * Runtime state of one job executing on the simulated server.
+ *
+ * Follows the paper's fixed-work methodology (Sec. IV): a job "run"
+ * is a fixed number of instructions; jobs restart upon completion so
+ * long-horizon co-location experiments always have work available.
+ */
+class Job
+{
+  public:
+    /** Start the job at the beginning of its first phase. */
+    explicit Job(workloads::WorkloadProfile profile);
+
+    /** The workload this job executes. */
+    const workloads::WorkloadProfile& profile() const { return profile_; }
+
+    /** Parameters of the phase currently executing. */
+    const perfmodel::PhaseParams& currentPhase() const;
+
+    /** Index of the current phase within the profile's cycle. */
+    std::size_t currentPhaseIndex() const;
+
+    /** Retire @p n instructions, advancing phase and work accounting. */
+    void retire(Instructions n);
+
+    /** Total instructions retired since construction/reset. */
+    Instructions totalRetired() const { return total_retired_; }
+
+    /** Completed fixed-work runs (for fixed-work experiments). */
+    std::uint64_t completedRuns() const { return completed_runs_; }
+
+    /** Progress through the current fixed-work run, in [0, 1). */
+    double runProgress() const;
+
+    /** Restart from scratch (phase 0, zero counters). */
+    void reset();
+
+  private:
+    workloads::WorkloadProfile profile_;
+    perfmodel::PhaseSequence phases_;
+    Instructions total_retired_ = 0;
+    Instructions run_retired_ = 0;
+    std::uint64_t completed_runs_ = 0;
+};
+
+} // namespace sim
+} // namespace satori
+
+#endif // SATORI_SIM_JOB_HPP

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Performance monitoring: the simulated stand-in for the paper's
+ * pqos-based IPS sampling plus isolation-baseline bookkeeping.
+ */
+
+#ifndef SATORI_SIM_MONITOR_HPP
+#define SATORI_SIM_MONITOR_HPP
+
+#include <vector>
+
+#include "satori/common/types.hpp"
+#include "satori/config/configuration.hpp"
+#include "satori/sim/server.hpp"
+
+namespace satori {
+namespace sim {
+
+/**
+ * Everything a partitioning policy sees about one controller
+ * interval. Policies must base decisions only on these observables
+ * (the oracle, which peeks at the model, is constructed with
+ * privileged access instead).
+ */
+struct IntervalObservation
+{
+    /** Simulated time at the *end* of the interval. */
+    Seconds time = 0.0;
+
+    /** Interval length. */
+    Seconds dt = kDefaultIntervalSeconds;
+
+    /** The configuration that was in force during the interval. */
+    Configuration config;
+
+    /** Measured per-job IPS over the interval. */
+    std::vector<Ips> ips;
+
+    /** Isolation-baseline IPS per job (last recorded baseline). */
+    std::vector<Ips> isolation_ips;
+};
+
+/**
+ * Steps the server one controller interval at a time and packages
+ * observations; owns the isolation baseline (re-recorded via
+ * resetBaseline(), which the harness calls every equalization period
+ * and on job churn, per Algorithm 1 line 12).
+ */
+class PerfMonitor
+{
+  public:
+    /** Attach to a server and record the initial baseline. */
+    explicit PerfMonitor(SimulatedServer& server);
+
+    /**
+     * Advance the server by @p dt and return the observation for the
+     * elapsed interval.
+     */
+    IntervalObservation observe(Seconds dt = kDefaultIntervalSeconds);
+
+    /** Re-record the isolation baseline at the jobs' current phases. */
+    void resetBaseline();
+
+    /** The isolation baseline in use. */
+    const std::vector<Ips>& baseline() const { return baseline_; }
+
+    /** The monitored server. */
+    SimulatedServer& server() { return server_; }
+
+  private:
+    SimulatedServer& server_;
+    std::vector<Ips> baseline_;
+};
+
+} // namespace sim
+} // namespace satori
+
+#endif // SATORI_SIM_MONITOR_HPP

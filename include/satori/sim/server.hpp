@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The simulated CMP server: the substrate standing in for the paper's
+ * Intel Xeon testbed with CAT/MBA/taskset partitioning (Sec. IV).
+ *
+ * The server holds a set of co-located jobs and the active resource-
+ * partitioning configuration; step() advances simulated time in
+ * controller intervals (100 ms by default), evaluating each job's IPS
+ * under the analytic performance model plus measurement noise.
+ */
+
+#ifndef SATORI_SIM_SERVER_HPP
+#define SATORI_SIM_SERVER_HPP
+
+#include <vector>
+
+#include "satori/common/rng.hpp"
+#include "satori/common/types.hpp"
+#include "satori/config/configuration.hpp"
+#include "satori/config/platform.hpp"
+#include "satori/perfmodel/perf.hpp"
+#include "satori/sim/job.hpp"
+#include "satori/workloads/profile.hpp"
+
+namespace satori {
+namespace sim {
+
+/** Simulator construction knobs. */
+struct ServerOptions
+{
+    /** RNG seed; fully determines the run. */
+    std::uint64_t seed = 42;
+
+    /**
+     * Relative standard deviation of multiplicative IPS measurement
+     * noise (models pqos sampling jitter and residual interference
+     * from unpartitioned structures such as SMT and the ring).
+     */
+    double noise_sigma = 0.04;
+
+    /**
+     * Transient IPS loss per unit of allocation change, by resource
+     * kind: re-pinning threads evicts private-cache state, CAT way
+     * remaps must re-warm the LLC, MBA reprogramming is just an MSR
+     * write. The penalty decays geometrically across intervals.
+     */
+    double reconfig_cost_cores = 0.06;
+    double reconfig_cost_ways = 0.03;
+    double reconfig_cost_bw = 0.005;
+
+    /** Cap on the per-interval transient loss fraction. */
+    double reconfig_cost_cap = 0.35;
+
+    /** Geometric per-interval decay of the transient. */
+    double reconfig_decay = 0.35;
+};
+
+/** A partitionable multi-core server executing co-located jobs. */
+class SimulatedServer
+{
+  public:
+    /**
+     * Build a server for @p platform running one job per profile in
+     * @p mix, starting from the equal partition (S_init).
+     *
+     * @throws FatalError if any resource has fewer units than jobs.
+     */
+    SimulatedServer(PlatformSpec platform,
+                    perfmodel::MachineParams machine,
+                    std::vector<workloads::WorkloadProfile> mix,
+                    ServerOptions options = {});
+
+    /** Number of co-located jobs. */
+    std::size_t numJobs() const { return jobs_.size(); }
+
+    /** The platform's partitionable resources. */
+    const PlatformSpec& platform() const { return platform_; }
+
+    /** Machine performance constants. */
+    const perfmodel::MachineParams& machine() const { return machine_; }
+
+    /** Apply a new partitioning configuration (validated). */
+    void setConfiguration(const Configuration& config);
+
+    /** The configuration currently in force. */
+    const Configuration& configuration() const { return config_; }
+
+    /**
+     * Advance simulated time by @p dt seconds under the current
+     * configuration.
+     *
+     * @return Per-job IPS measured over the interval (noise included).
+     */
+    std::vector<Ips> step(Seconds dt);
+
+    /** Simulated time elapsed so far. */
+    Seconds now() const { return now_; }
+
+    /**
+     * Per-job isolated-execution IPS at each job's *current* phase
+     * (the job alone on the whole machine); noiseless. This is the
+     * paper's online isolation baseline measurement.
+     */
+    std::vector<Ips> isolationIpsNow() const;
+
+    /** Current phase index of every job (the oracle's memo key). */
+    std::vector<std::size_t> phaseSignature() const;
+
+    /** Job state access. */
+    const Job& job(std::size_t j) const;
+
+    /** Mutable job state access. */
+    Job& job(std::size_t j);
+
+    /**
+     * Replace job @p j with a new workload mid-run (job churn); the
+     * new job starts from scratch. The configuration is kept.
+     */
+    void replaceJob(std::size_t j, workloads::WorkloadProfile profile);
+
+    /**
+     * Evaluate the noiseless model: per-job IPS under @p config with
+     * jobs pinned at @p phase_signature. Does not mutate the server.
+     * Used by the offline oracle and the characterization benches.
+     */
+    std::vector<Ips> evaluateIps(
+        const Configuration& config,
+        const std::vector<std::size_t>& phase_signature) const;
+
+    /**
+     * Noiseless isolation IPS of job @p j pinned at phase
+     * @p phase_index.
+     */
+    Ips isolationIpsAt(std::size_t j, std::size_t phase_index) const;
+
+    /** Map @p config to the model's AllocationView for job @p j. */
+    perfmodel::AllocationView allocationView(const Configuration& config,
+                                             JobIndex j) const;
+
+  private:
+    PlatformSpec platform_;
+    perfmodel::MachineParams machine_;
+    ServerOptions options_;
+    std::vector<Job> jobs_;
+    Configuration config_;
+    Rng rng_;
+    Seconds now_ = 0.0;
+
+    /** Per-job outstanding reconfiguration transient (IPS fraction). */
+    std::vector<double> reconfig_penalty_;
+};
+
+} // namespace sim
+} // namespace satori
+
+#endif // SATORI_SIM_SERVER_HPP

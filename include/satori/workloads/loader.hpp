@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Loading workload profiles from a simple text format, so downstream
+ * users can experiment with their own applications without
+ * recompiling. Format (one directive per line, '#' comments):
+ *
+ *   workload mykernel
+ *     suite custom
+ *     description My streaming kernel
+ *     fixed_work 3e11
+ *     phase compute
+ *       base_ipc 1.5
+ *       parallel_fraction 0.9
+ *       mpki_one 20
+ *       mpki_floor 4
+ *       mrc exponential 3.0        # decay in ways
+ *       miss_penalty 140
+ *       bytes_per_miss 85
+ *       cache_pressure 0.3
+ *       length 1.2e10
+ *     phase stream
+ *       ...
+ *
+ * `mrc` accepts `exponential <decay_ways>` or `cliff <knee> <width>`.
+ * Indentation is ignored; `workload` and `phase` open new scopes.
+ */
+
+#ifndef SATORI_WORKLOADS_LOADER_HPP
+#define SATORI_WORKLOADS_LOADER_HPP
+
+#include <string>
+#include <vector>
+
+#include "satori/workloads/profile.hpp"
+
+namespace satori {
+namespace workloads {
+
+/**
+ * Parse workload definitions from text.
+ * @throws FatalError with a line-numbered message on malformed input.
+ */
+std::vector<WorkloadProfile> parseWorkloadText(const std::string& text);
+
+/**
+ * Parse workload definitions from a file.
+ * @throws FatalError if the file cannot be read or is malformed.
+ */
+std::vector<WorkloadProfile> loadWorkloadFile(const std::string& path);
+
+/**
+ * Serialize profiles back to the loader format (round-trippable);
+ * useful for exporting the built-in suites as editable templates.
+ */
+std::string formatWorkloads(const std::vector<WorkloadProfile>& profiles);
+
+} // namespace workloads
+} // namespace satori
+
+#endif // SATORI_WORKLOADS_LOADER_HPP

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Job-mix generation: all k-subsets of a suite, matching the paper's
+ * methodology (21 five-of-seven PARSEC mixes, 10 three-of-five
+ * CloudSuite mixes, 10 two-of-five ECP mixes; Sec. IV).
+ */
+
+#ifndef SATORI_WORKLOADS_MIXES_HPP
+#define SATORI_WORKLOADS_MIXES_HPP
+
+#include <string>
+#include <vector>
+
+#include "satori/workloads/profile.hpp"
+
+namespace satori {
+namespace workloads {
+
+/** A job mix: the chosen workloads plus a printable label. */
+struct JobMix
+{
+    std::vector<WorkloadProfile> jobs;
+    std::string label;
+};
+
+/**
+ * All C(n, k) k-subsets of {0..n-1} in lexicographic order.
+ * @pre 1 <= k <= n.
+ */
+std::vector<std::vector<std::size_t>> combinations(std::size_t n,
+                                                   std::size_t k);
+
+/** All k-job mixes of a suite, lexicographic, with "name+name" labels. */
+std::vector<JobMix> allMixes(const std::vector<WorkloadProfile>& suite,
+                             std::size_t k);
+
+/** A single mix from explicit workload names (cross-suite allowed). */
+JobMix mixOf(const std::vector<std::string>& names);
+
+} // namespace workloads
+} // namespace satori
+
+#endif // SATORI_WORKLOADS_MIXES_HPP

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Registries of the benchmark suites used in the paper's evaluation:
+ * PARSEC (Table I + vips), CloudSuite (Table II), ECP (Table III).
+ *
+ * Each entry is a synthetic analytic model tuned to reproduce the
+ * qualitative resource sensitivities the paper relies on, e.g.
+ * fluidanimate's core sensitivity (Sec. V), blackscholes' memory-
+ * bandwidth contention, miniFE's and SWFFT's joint LLC appetite, and
+ * the AMG/Hypre similarity.
+ */
+
+#ifndef SATORI_WORKLOADS_SUITES_HPP
+#define SATORI_WORKLOADS_SUITES_HPP
+
+#include <vector>
+
+#include "satori/workloads/profile.hpp"
+
+namespace satori {
+namespace workloads {
+
+/** The seven PARSEC benchmarks used in the paper's mixes. */
+std::vector<WorkloadProfile> parsecSuite();
+
+/** The five CloudSuite benchmarks (Table II). */
+std::vector<WorkloadProfile> cloudSuite();
+
+/** The five ECP proxy applications (Table III). */
+std::vector<WorkloadProfile> ecpSuite();
+
+/** Look up a suite by name ("parsec", "cloudsuite", "ecp"). */
+std::vector<WorkloadProfile> suiteByName(const std::string& name);
+
+/** Look up one workload by name across all suites; throws if absent. */
+WorkloadProfile workloadByName(const std::string& name);
+
+} // namespace workloads
+} // namespace satori
+
+#endif // SATORI_WORKLOADS_SUITES_HPP

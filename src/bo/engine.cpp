@@ -1,0 +1,126 @@
+#include "satori/bo/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace bo {
+
+BoEngine::BoEngine(EngineOptions options) : options_(std::move(options))
+{
+    gp_ = std::make_unique<GaussianProcess>(
+        std::make_unique<Matern52Kernel>(options_.length_scale),
+        options_.noise_variance);
+}
+
+void
+BoEngine::setSamples(const std::vector<RealVec>& inputs,
+                     const std::vector<double>& targets)
+{
+    SATORI_ASSERT(inputs.size() == targets.size());
+    SATORI_ASSERT(!inputs.empty());
+    inputs_ = inputs;
+    targets_ = targets;
+    refit();
+}
+
+void
+BoEngine::addSample(const RealVec& input, double target)
+{
+    inputs_.push_back(input);
+    targets_.push_back(target);
+    refit();
+}
+
+void
+BoEngine::refit()
+{
+    ++fits_since_grid_;
+    const bool use_grid = !options_.length_scale_grid.empty() &&
+                          options_.grid_refit_period > 0 &&
+                          fits_since_grid_ >= options_.grid_refit_period &&
+                          inputs_.size() >= 8;
+    if (use_grid) {
+        gp_->fitWithLengthScaleGrid(inputs_, targets_,
+                                    options_.length_scale_grid);
+        fits_since_grid_ = 0;
+    } else {
+        gp_->fit(inputs_, targets_);
+    }
+}
+
+double
+BoEngine::bestObserved() const
+{
+    SATORI_ASSERT(!targets_.empty());
+    return *std::max_element(targets_.begin(), targets_.end());
+}
+
+std::size_t
+BoEngine::bestIndex() const
+{
+    SATORI_ASSERT(!targets_.empty());
+    return static_cast<std::size_t>(
+        std::max_element(targets_.begin(), targets_.end()) -
+        targets_.begin());
+}
+
+std::size_t
+BoEngine::suggestIndex(const std::vector<RealVec>& candidates) const
+{
+    return suggestIndex(candidates,
+                        std::vector<double>(candidates.size(), 0.0));
+}
+
+std::size_t
+BoEngine::suggestIndex(const std::vector<RealVec>& candidates,
+                       const std::vector<double>& penalties) const
+{
+    SATORI_ASSERT(ready());
+    SATORI_ASSERT(!candidates.empty());
+    SATORI_ASSERT(penalties.size() == candidates.size());
+    const double best = bestObserved();
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::size_t best_idx = 0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        const auto pred = gp_->predict(candidates[i]);
+        const double score =
+            acquisition(options_.acquisition, pred, best, options_.xi,
+                        options_.ucb_beta) -
+            penalties[i];
+        if (score > best_score) {
+            best_score = score;
+            best_idx = i;
+        }
+    }
+    return best_idx;
+}
+
+GpPrediction
+BoEngine::predict(const RealVec& x) const
+{
+    SATORI_ASSERT(ready());
+    return gp_->predict(x);
+}
+
+std::vector<double>
+BoEngine::probeMeans(const std::vector<RealVec>& probes) const
+{
+    SATORI_ASSERT(ready());
+    std::vector<double> means;
+    means.reserve(probes.size());
+    for (const auto& p : probes)
+        means.push_back(gp_->predict(p).mean);
+    return means;
+}
+
+std::size_t
+BoEngine::numSamples() const
+{
+    return inputs_.size();
+}
+
+} // namespace bo
+} // namespace satori

@@ -1,0 +1,137 @@
+#include "satori/bo/gp.hpp"
+
+#include <cmath>
+
+#include "satori/common/logging.hpp"
+#include "satori/common/math.hpp"
+#include "satori/linalg/matrix.hpp"
+
+namespace satori {
+namespace bo {
+
+double
+GpPrediction::stddev() const
+{
+    return std::sqrt(std::max(variance, 0.0));
+}
+
+GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel,
+                                 double noise_variance)
+    : kernel_(std::move(kernel)), noise_variance_(noise_variance)
+{
+    SATORI_ASSERT(kernel_ != nullptr);
+    SATORI_ASSERT(noise_variance_ >= 0.0);
+}
+
+GaussianProcess::GaussianProcess(const GaussianProcess& other)
+    : kernel_(other.kernel_->clone()),
+      noise_variance_(other.noise_variance_), fitted_(false)
+{
+    if (other.fitted_)
+        fit(other.inputs_, other.y_raw_);
+}
+
+GaussianProcess&
+GaussianProcess::operator=(const GaussianProcess& other)
+{
+    if (this != &other) {
+        kernel_ = other.kernel_->clone();
+        noise_variance_ = other.noise_variance_;
+        fitted_ = false;
+        chol_.reset();
+        if (other.fitted_)
+            fit(other.inputs_, other.y_raw_);
+    }
+    return *this;
+}
+
+void
+GaussianProcess::fit(const std::vector<RealVec>& inputs,
+                     const std::vector<double>& targets)
+{
+    SATORI_ASSERT(inputs.size() == targets.size());
+    SATORI_ASSERT(!inputs.empty());
+    inputs_ = inputs;
+    y_raw_ = targets;
+    fitStandardized();
+}
+
+void
+GaussianProcess::fitStandardized()
+{
+    const std::size_t n = inputs_.size();
+    y_mean_ = mean(y_raw_);
+    y_scale_ = stddev(y_raw_);
+    if (y_scale_ < 1e-12)
+        y_scale_ = 1.0; // constant targets: keep scale neutral
+    y_std_.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+        y_std_[i] = (y_raw_[i] - y_mean_) / y_scale_;
+
+    linalg::Matrix k(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i; j < n; ++j) {
+            const double v = kernel_->covariance(inputs_[i], inputs_[j]);
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+        k(i, i) += noise_variance_;
+    }
+    chol_ = std::make_unique<linalg::Cholesky>(std::move(k));
+    alpha_ = chol_->solve(y_std_);
+
+    // log p(y|X) = -0.5 y^T alpha - 0.5 log|K| - n/2 log(2 pi)
+    log_marginal_ = -0.5 * linalg::dot(y_std_, alpha_) -
+                    0.5 * chol_->logDet() -
+                    0.5 * static_cast<double>(n) * std::log(2.0 * M_PI);
+    fitted_ = true;
+}
+
+GpPrediction
+GaussianProcess::predict(const RealVec& x) const
+{
+    SATORI_ASSERT(fitted_);
+    const std::size_t n = inputs_.size();
+    std::vector<double> kstar(n);
+    for (std::size_t i = 0; i < n; ++i)
+        kstar[i] = kernel_->covariance(x, inputs_[i]);
+
+    GpPrediction pred;
+    pred.mean = y_mean_ + y_scale_ * linalg::dot(kstar, alpha_);
+
+    const std::vector<double> v = chol_->solveLower(kstar);
+    const double var_std =
+        kernel_->variance() - linalg::dot(v, v);
+    pred.variance = std::max(var_std, 0.0) * y_scale_ * y_scale_;
+    return pred;
+}
+
+double
+GaussianProcess::logMarginalLikelihood() const
+{
+    SATORI_ASSERT(fitted_);
+    return log_marginal_;
+}
+
+void
+GaussianProcess::fitWithLengthScaleGrid(const std::vector<RealVec>& inputs,
+                                        const std::vector<double>& targets,
+                                        const std::vector<double>& grid)
+{
+    SATORI_ASSERT(!grid.empty());
+    double best_lml = -std::numeric_limits<double>::infinity();
+    std::unique_ptr<Kernel> best_kernel;
+    for (double ls : grid) {
+        kernel_ = kernel_->withLengthScale(ls);
+        fit(inputs, targets);
+        if (log_marginal_ > best_lml) {
+            best_lml = log_marginal_;
+            best_kernel = kernel_->clone();
+        }
+    }
+    kernel_ = std::move(best_kernel);
+    fit(inputs, targets);
+}
+
+} // namespace bo
+} // namespace satori

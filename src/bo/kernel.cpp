@@ -1,0 +1,64 @@
+#include "satori/bo/kernel.hpp"
+
+#include <cmath>
+
+#include "satori/common/logging.hpp"
+#include "satori/common/math.hpp"
+
+namespace satori {
+namespace bo {
+
+Matern52Kernel::Matern52Kernel(double length_scale, double signal_variance)
+    : length_scale_(length_scale), signal_variance_(signal_variance)
+{
+    SATORI_ASSERT(length_scale_ > 0.0 && signal_variance_ > 0.0);
+}
+
+double
+Matern52Kernel::covariance(const RealVec& a, const RealVec& b) const
+{
+    const double r = euclideanDistance(a, b);
+    const double z = std::sqrt(5.0) * r / length_scale_;
+    return signal_variance_ * (1.0 + z + z * z / 3.0) * std::exp(-z);
+}
+
+std::unique_ptr<Kernel>
+Matern52Kernel::withLengthScale(double ls) const
+{
+    return std::make_unique<Matern52Kernel>(ls, signal_variance_);
+}
+
+std::unique_ptr<Kernel>
+Matern52Kernel::clone() const
+{
+    return std::make_unique<Matern52Kernel>(*this);
+}
+
+RbfKernel::RbfKernel(double length_scale, double signal_variance)
+    : length_scale_(length_scale), signal_variance_(signal_variance)
+{
+    SATORI_ASSERT(length_scale_ > 0.0 && signal_variance_ > 0.0);
+}
+
+double
+RbfKernel::covariance(const RealVec& a, const RealVec& b) const
+{
+    const double r2 = squaredDistance(a, b);
+    return signal_variance_ *
+           std::exp(-r2 / (2.0 * length_scale_ * length_scale_));
+}
+
+std::unique_ptr<Kernel>
+RbfKernel::withLengthScale(double ls) const
+{
+    return std::make_unique<RbfKernel>(ls, signal_variance_);
+}
+
+std::unique_ptr<Kernel>
+RbfKernel::clone() const
+{
+    return std::make_unique<RbfKernel>(*this);
+}
+
+} // namespace bo
+} // namespace satori

@@ -1,0 +1,98 @@
+#include "satori/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    SATORI_ASSERT(!headers_.empty());
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    SATORI_ASSERT(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TablePrinter::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "  " << row[c]
+               << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << "\n";
+    };
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_)
+        emit_row(row);
+    return os.str();
+}
+
+void
+TablePrinter::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+TablePrinter::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TablePrinter::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> headers)
+    : out_(path), columns_(headers.size())
+{
+    for (std::size_t c = 0; c < headers.size(); ++c) {
+        if (c)
+            out_ << ",";
+        out_ << headers[c];
+    }
+    out_ << "\n";
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string>& cells)
+{
+    SATORI_ASSERT(cells.size() == columns_);
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        if (c)
+            out_ << ",";
+        out_ << cells[c];
+    }
+    out_ << "\n";
+}
+
+} // namespace satori

@@ -1,0 +1,174 @@
+#include "satori/config/configuration.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+
+Configuration::Configuration(std::vector<std::vector<int>> alloc)
+    : alloc_(std::move(alloc))
+{
+    if (!alloc_.empty()) {
+        const std::size_t jobs = alloc_.front().size();
+        for (const auto& row : alloc_)
+            SATORI_ASSERT(row.size() == jobs);
+    }
+}
+
+std::size_t
+Configuration::numJobs() const
+{
+    return alloc_.empty() ? 0 : alloc_.front().size();
+}
+
+int
+Configuration::units(ResourceIndex r, JobIndex j) const
+{
+    SATORI_ASSERT(r < alloc_.size() && j < alloc_[r].size());
+    return alloc_[r][j];
+}
+
+int&
+Configuration::units(ResourceIndex r, JobIndex j)
+{
+    SATORI_ASSERT(r < alloc_.size() && j < alloc_[r].size());
+    return alloc_[r][j];
+}
+
+const std::vector<int>&
+Configuration::resourceRow(ResourceIndex r) const
+{
+    SATORI_ASSERT(r < alloc_.size());
+    return alloc_[r];
+}
+
+int
+Configuration::totalUnits(ResourceIndex r) const
+{
+    const auto& row = resourceRow(r);
+    return std::accumulate(row.begin(), row.end(), 0);
+}
+
+bool
+Configuration::isValidFor(const PlatformSpec& platform,
+                          std::size_t num_jobs) const
+{
+    if (alloc_.size() != platform.numResources())
+        return false;
+    for (std::size_t r = 0; r < alloc_.size(); ++r) {
+        if (alloc_[r].size() != num_jobs)
+            return false;
+        int total = 0;
+        for (int u : alloc_[r]) {
+            if (u < 1)
+                return false;
+            total += u;
+        }
+        if (total != platform.units(r))
+            return false;
+    }
+    return true;
+}
+
+Configuration
+Configuration::equalPartition(const PlatformSpec& platform,
+                              std::size_t num_jobs)
+{
+    SATORI_ASSERT(num_jobs >= 1);
+    std::vector<std::vector<int>> alloc(platform.numResources());
+    for (std::size_t r = 0; r < platform.numResources(); ++r) {
+        const int units = platform.units(r);
+        if (static_cast<std::size_t>(units) < num_jobs)
+            SATORI_FATAL("resource '" +
+                         resourceKindName(platform.resource(r).kind) +
+                         "' has fewer units than co-located jobs");
+        const int base = units / static_cast<int>(num_jobs);
+        const int extra = units % static_cast<int>(num_jobs);
+        alloc[r].assign(num_jobs, base);
+        for (int j = 0; j < extra; ++j)
+            alloc[r][static_cast<std::size_t>(j)] += 1;
+    }
+    return Configuration(std::move(alloc));
+}
+
+RealVec
+Configuration::normalizedVector() const
+{
+    RealVec out;
+    out.reserve(numResources() * numJobs());
+    for (std::size_t r = 0; r < numResources(); ++r) {
+        const double total = static_cast<double>(totalUnits(r));
+        for (std::size_t j = 0; j < numJobs(); ++j)
+            out.push_back(static_cast<double>(alloc_[r][j]) / total);
+    }
+    return out;
+}
+
+double
+Configuration::distance(const Configuration& a, const Configuration& b)
+{
+    SATORI_ASSERT(a.numResources() == b.numResources());
+    SATORI_ASSERT(a.numJobs() == b.numJobs());
+    double d2 = 0.0;
+    for (std::size_t r = 0; r < a.numResources(); ++r) {
+        for (std::size_t j = 0; j < a.numJobs(); ++j) {
+            const double d =
+                static_cast<double>(a.alloc_[r][j] - b.alloc_[r][j]);
+            d2 += d * d;
+        }
+    }
+    return std::sqrt(d2);
+}
+
+int
+Configuration::l1Distance(const Configuration& a, const Configuration& b)
+{
+    SATORI_ASSERT(a.numResources() == b.numResources());
+    SATORI_ASSERT(a.numJobs() == b.numJobs());
+    int d = 0;
+    for (std::size_t r = 0; r < a.numResources(); ++r)
+        for (std::size_t j = 0; j < a.numJobs(); ++j)
+            d += std::abs(a.alloc_[r][j] - b.alloc_[r][j]);
+    return d;
+}
+
+bool
+Configuration::transferUnit(ResourceIndex r, JobIndex from, JobIndex to)
+{
+    SATORI_ASSERT(r < alloc_.size());
+    SATORI_ASSERT(from < numJobs() && to < numJobs());
+    if (from == to || alloc_[r][from] <= 1)
+        return false;
+    alloc_[r][from] -= 1;
+    alloc_[r][to] += 1;
+    return true;
+}
+
+std::string
+Configuration::toString() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t r = 0; r < alloc_.size(); ++r) {
+        if (r)
+            os << "|";
+        for (std::size_t j = 0; j < alloc_[r].size(); ++j) {
+            if (j)
+                os << ",";
+            os << alloc_[r][j];
+        }
+    }
+    os << "]";
+    return os.str();
+}
+
+bool
+Configuration::operator==(const Configuration& other) const
+{
+    return alloc_ == other.alloc_;
+}
+
+} // namespace satori

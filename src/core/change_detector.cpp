@@ -1,0 +1,69 @@
+#include "satori/core/change_detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace core {
+
+ChangeDetector::ChangeDetector(ChangeDetectorOptions options)
+    : options_(options)
+{
+    SATORI_ASSERT(options_.slack_sigmas >= 0.0);
+    SATORI_ASSERT(options_.threshold_sigmas > options_.slack_sigmas);
+    SATORI_ASSERT(options_.calibration_samples >= 2);
+}
+
+bool
+ChangeDetector::update(double value)
+{
+    if (calibrating_) {
+        ++calib_n_;
+        calib_sum_ += value;
+        calib_sq_ += value * value;
+        if (calib_n_ >= options_.calibration_samples) {
+            const double n = static_cast<double>(calib_n_);
+            mean_ = calib_sum_ / n;
+            const double var =
+                std::max(calib_sq_ / n - mean_ * mean_, 0.0);
+            // Inflate the small-sample sigma estimate to guard the
+            // false-alarm rate against calibration underestimation.
+            const double inflation = 1.0 + 1.0 / std::sqrt(2.0 * n);
+            sigma_ = std::max(std::sqrt(var) * inflation,
+                              std::abs(mean_) *
+                                  options_.min_relative_sigma);
+            if (sigma_ <= 0.0)
+                sigma_ = 1e-9;
+            cusum_hi_ = 0.0;
+            cusum_lo_ = 0.0;
+            calibrating_ = false;
+        }
+        return false;
+    }
+
+    const double z = (value - mean_) / sigma_;
+    cusum_hi_ = std::max(0.0, cusum_hi_ + z - options_.slack_sigmas);
+    cusum_lo_ = std::max(0.0, cusum_lo_ - z - options_.slack_sigmas);
+    if (cusum_hi_ > options_.threshold_sigmas ||
+        cusum_lo_ > options_.threshold_sigmas) {
+        reset();
+        return true;
+    }
+    return false;
+}
+
+void
+ChangeDetector::reset()
+{
+    calibrating_ = true;
+    calib_n_ = 0;
+    calib_sum_ = 0.0;
+    calib_sq_ = 0.0;
+    cusum_hi_ = 0.0;
+    cusum_lo_ = 0.0;
+}
+
+} // namespace core
+} // namespace satori

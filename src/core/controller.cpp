@@ -1,0 +1,364 @@
+#include "satori/core/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "satori/common/logging.hpp"
+#include "satori/metrics/metrics.hpp"
+
+namespace satori {
+namespace core {
+
+std::string
+goalModeName(GoalMode mode)
+{
+    switch (mode) {
+      case GoalMode::Balanced:
+        return "SATORI";
+      case GoalMode::StaticEqual:
+        return "SATORI-static";
+      case GoalMode::ThroughputOnly:
+        return "Throughput-SATORI";
+      case GoalMode::FairnessOnly:
+        return "Fairness-SATORI";
+    }
+    SATORI_PANIC("unknown GoalMode");
+}
+
+SatoriController::SatoriController(const PlatformSpec& platform,
+                                   std::size_t num_jobs,
+                                   SatoriOptions options)
+    : options_(std::move(options)), space_(platform, num_jobs),
+      candgen_(space_, options_.candidates), engine_(options_.engine),
+      recorder_(options_.objective.numGoals(), options_.window),
+      weight_controller_(options_.weights), rng_(options_.seed),
+      cusum_(options_.cusum)
+{
+    seeds_ = candgen_.seedConfigurations();
+    if (options_.max_seeds > 0 && seeds_.size() > options_.max_seeds) {
+        // Keep the equal partition plus an even spread of variants.
+        std::vector<Configuration> kept;
+        kept.push_back(seeds_.front());
+        const std::size_t stride =
+            (seeds_.size() - 1 + options_.max_seeds - 2) /
+            (options_.max_seeds - 1);
+        for (std::size_t i = 1; i < seeds_.size(); i += stride)
+            kept.push_back(seeds_[i]);
+        seeds_ = std::move(kept);
+    }
+    SATORI_ASSERT(!seeds_.empty());
+    // A fixed probe set for proxy-model-change diagnostics (Fig. 17b).
+    Rng probe_rng = rng_.split();
+    probes_.reserve(options_.num_probes);
+    for (std::size_t i = 0; i < options_.num_probes; ++i)
+        probes_.push_back(space_.sample(probe_rng).normalizedVector());
+}
+
+std::string
+SatoriController::name() const
+{
+    return goalModeName(options_.mode);
+}
+
+std::pair<double, double>
+SatoriController::currentWeights(double throughput, double fairness)
+{
+    switch (options_.mode) {
+      case GoalMode::Balanced: {
+        diagnostics_.weights =
+            weight_controller_.update(throughput, fairness);
+        return {diagnostics_.weights.w_t, diagnostics_.weights.w_f};
+      }
+      case GoalMode::StaticEqual:
+        diagnostics_.weights = WeightComponents{};
+        return {0.5, 0.5};
+      case GoalMode::ThroughputOnly:
+        diagnostics_.weights = WeightComponents{};
+        diagnostics_.weights.w_t = 1.0;
+        diagnostics_.weights.w_f = 0.0;
+        return {1.0, 0.0};
+      case GoalMode::FairnessOnly:
+        diagnostics_.weights = WeightComponents{};
+        diagnostics_.weights.w_t = 0.0;
+        diagnostics_.weights.w_f = 1.0;
+        return {0.0, 1.0};
+    }
+    SATORI_PANIC("unknown GoalMode");
+}
+
+Configuration
+SatoriController::decide(const sim::IntervalObservation& obs)
+{
+    // (1) Record the outcome of the configuration that just ran,
+    // keeping each goal's value separately (Sec. III-B).
+    const std::vector<double> goals = options_.objective.goalValues(obs);
+    recorder_.add(obs.config, goals);
+    diagnostics_.throughput = goals[0];
+    diagnostics_.fairness = goals[1];
+
+    // Dynamic weights are tracked in both states so the long-term
+    // 0.5-average property holds across settle/explore transitions.
+    const auto [w_t, w_f] = currentWeights(goals[0], goals[1]);
+
+    // (1b) While settled, skip all GP work (the paper's overhead
+    // optimization) and just watch for a significant drop of the
+    // balanced objective, signalling a phase or mix change.
+    if (settled_) {
+        diagnostics_.settled = true;
+        diagnostics_.num_samples = recorder_.size();
+        diagnostics_.proxy_change_pct = 0.0;
+        diagnostics_.objective_value =
+            w_t * goals[0] + w_f * goals[1];
+        const double balanced_now = 0.5 * goals[0] + 0.5 * goals[1];
+        // Temporary prioritization acts while settled too: every
+        // prioritization boundary the incumbent is re-selected under
+        // the *current* weights, so a throughput-priority period runs
+        // a throughput-leaning configuration and vice versa - the
+        // short-term trade the paper exploits (Sec. III-C, Fig. 3).
+        if (options_.mode == GoalMode::Balanced &&
+            diagnostics_.weights.prioritization_boundary &&
+            !recorder_.empty()) {
+            const std::vector<double> w_now =
+                options_.objective.weightVector(w_t, w_f);
+            const std::size_t best_i =
+                recorder_.bestSampleByAveragedObjective(
+                    w_now, options_.incumbent_kappa);
+            const Configuration& choice =
+                recorder_.sample(best_i).config;
+            if (!(choice == settled_config_)) {
+                settled_config_ = choice;
+                settled_ref_objective_ = -1.0; // re-anchor reference
+                reactivate_strikes_ = 0;
+            }
+        }
+        bool reactivate = false;
+        if (options_.use_cusum_reactivation) {
+            // Alternative detector: two-sided CUSUM on the balanced
+            // objective (calibrates on the first settled samples).
+            reactivate = cusum_.update(balanced_now);
+        } else if (settled_ref_objective_ < 0.0) {
+            // Anchor the references only after the reconfiguration
+            // transient of switching to the settled configuration has
+            // decayed; otherwise the recovery itself looks like a
+            // performance change and re-triggers exploration.
+            if (obs.config == settled_config_ && ++settled_warmup_ >= 3) {
+                settled_ref_objective_ = balanced_now;
+                settled_ref_ips_ = obs.ips;
+            }
+        } else {
+            // Trigger A: the combined objective degraded.
+            if (balanced_now <
+                settled_ref_objective_ *
+                    (1.0 - options_.reactivate_threshold)) {
+                reactivate = (++reactivate_strikes_ >= 2);
+            } else {
+                reactivate_strikes_ = 0;
+                settled_ref_objective_ =
+                    std::max(settled_ref_objective_,
+                             0.9 * settled_ref_objective_ +
+                                 0.1 * balanced_now);
+            }
+            // Trigger B (the paper's wording): a specific job's
+            // performance changed significantly - in either
+            // direction - signalling a phase change that likely
+            // moved the optimum even if our config still scores well.
+            if (!reactivate && options_.reactivate_job_threshold > 0.0) {
+                bool job_moved = false;
+                for (std::size_t j = 0; j < obs.ips.size(); ++j) {
+                    const double ref =
+                        std::max(settled_ref_ips_[j], 1.0);
+                    if (std::abs(obs.ips[j] - ref) / ref >
+                        options_.reactivate_job_threshold) {
+                        job_moved = true;
+                        break;
+                    }
+                }
+                if (job_moved)
+                    reactivate = (++job_strikes_ >= 2);
+                else
+                    job_strikes_ = 0;
+            }
+        }
+        if (!reactivate)
+            return settled_config_;
+        settled_ = false;
+        stall_counter_ = 0;
+        best_balanced_ = -1.0;
+        settled_ref_objective_ = -1.0;
+        settled_ref_ips_.clear();
+        reactivate_strikes_ = 0;
+        job_strikes_ = 0;
+        settled_warmup_ = 0;
+        burst_len_ = 0;
+        if (options_.reactivate_keep_samples > 0)
+            recorder_.trimToRecent(options_.reactivate_keep_samples);
+    }
+    diagnostics_.settled = false;
+    ++burst_len_;
+
+    // (2) Regenerate the objective function under the current dynamic
+    // weights and software-reconstruct the proxy model.
+    const std::vector<double> weights =
+        options_.objective.weightVector(w_t, w_f);
+    const std::vector<double> y = recorder_.combined(weights);
+    diagnostics_.objective_value = y.back();
+    engine_.setSamples(recorder_.inputs(), y);
+    diagnostics_.num_samples = recorder_.size();
+
+    // Convergence tracking on the weight-independent balanced
+    // objective: settling must not depend on the moving goal post.
+    const double balanced = 0.5 * goals[0] + 0.5 * goals[1];
+    if (balanced > best_balanced_ + 1e-3) {
+        best_balanced_ = balanced;
+        stall_counter_ = 0;
+    } else {
+        ++stall_counter_;
+    }
+
+    // Proxy-change diagnostic (Fig. 17b): mean absolute % change of
+    // the model's estimates at a fixed probe set.
+    const std::vector<double> probe_means = engine_.probeMeans(probes_);
+    if (!last_probe_means_.empty()) {
+        double change = 0.0;
+        for (std::size_t i = 0; i < probe_means.size(); ++i) {
+            const double prev = last_probe_means_[i];
+            const double denom = std::max(std::abs(prev), 1e-6);
+            change += std::abs(probe_means[i] - prev) / denom;
+        }
+        diagnostics_.proxy_change_pct =
+            100.0 * change / static_cast<double>(probe_means.size());
+    }
+    last_probe_means_ = probe_means;
+
+    // Dwell: hold the previously chosen configuration for a few
+    // intervals to amortize the reconfiguration transient and average
+    // its noisy measurements.
+    if (dwell_left_ > 0) {
+        --dwell_left_;
+        return last_decision_;
+    }
+
+    // (3) During warm-up, evaluate the structured S_init list first
+    // (Algorithm 1 input; Sec. V initialization-sensitivity note).
+    if (next_seed_ < seeds_.size()) {
+        last_decision_ = seeds_[next_seed_++];
+        dwell_left_ = options_.dwell_intervals > 0
+                          ? options_.dwell_intervals - 1
+                          : 0;
+        return last_decision_;
+    }
+
+    // (3b) Settle on the incumbent best once the search has stalled
+    // or the burst budget is exhausted (Sec. V: stop GP updates after
+    // optimal-configuration detection).
+    const bool stalled = options_.stall_intervals > 0 &&
+                         stall_counter_ >= options_.stall_intervals;
+    const bool burst_spent = options_.burst_max_intervals > 0 &&
+                             burst_len_ >= options_.burst_max_intervals;
+    if ((stalled || burst_spent) &&
+        recorder_.size() >= options_.min_explore_samples) {
+        // Incumbent under the *current dynamic weights*: temporary
+        // prioritization decides which configuration wins now, while
+        // the equalization mechanism guarantees both goals receive
+        // equal weight in the long run (Sec. III-C).
+        const std::size_t best_i = recorder_.bestSampleByAveragedObjective(
+            weights, options_.incumbent_kappa);
+        settled_ = true;
+        settled_config_ = recorder_.sample(best_i).config;
+        settled_ref_objective_ = -1.0;
+        settled_ref_ips_.clear();
+        reactivate_strikes_ = 0;
+        job_strikes_ = 0;
+        settled_warmup_ = 0;
+        cusum_.reset();
+        diagnostics_.settled = true;
+        return settled_config_;
+    }
+
+    // (4) Maximize the acquisition function over the candidate set,
+    // interleaving exploitation of the incumbent so co-located jobs
+    // are not held on speculative configurations for a whole burst.
+    const Configuration& incumbent =
+        recorder_
+            .sample(recorder_.bestSampleByAveragedObjective(
+                weights, options_.incumbent_kappa))
+            .config;
+    ++explore_steps_;
+    if (options_.exploit_period > 0 &&
+        explore_steps_ % options_.exploit_period == 0) {
+        last_decision_ = incumbent;
+        dwell_left_ = options_.dwell_intervals > 0
+                          ? options_.dwell_intervals - 1
+                          : 0;
+        return incumbent;
+    }
+    std::vector<Configuration> candidates =
+        candgen_.generate(incumbent, rng_);
+    // Fairness-repair candidates: moves of 1-3 units of each resource
+    // from the least- to the most-slowed job, from the incumbent.
+    // Multi-unit moves let a single decision cross working-set cliffs
+    // that one-unit explorers are blind to.
+    {
+        const std::vector<double> spd =
+            speedups(obs.ips, obs.isolation_ips);
+        JobIndex worst = 0, best_j = 0;
+        for (JobIndex j = 1; j < spd.size(); ++j) {
+            if (spd[j] < spd[worst])
+                worst = j;
+            if (spd[j] > spd[best_j])
+                best_j = j;
+        }
+        if (worst != best_j) {
+            for (std::size_t r = 0; r < space_.platform().numResources();
+                 ++r) {
+                Configuration c = incumbent;
+                for (int step = 0; step < 4; ++step) {
+                    if (!c.transferUnit(r, best_j, worst))
+                        break;
+                    candidates.push_back(c);
+                }
+            }
+        }
+    }
+    std::vector<RealVec> xs;
+    std::vector<double> penalties;
+    xs.reserve(candidates.size());
+    penalties.reserve(candidates.size());
+    for (const auto& c : candidates) {
+        xs.push_back(c.normalizedVector());
+        penalties.push_back(options_.switch_penalty *
+                            Configuration::l1Distance(obs.config, c));
+    }
+    const std::size_t pick = engine_.suggestIndex(xs, penalties);
+    last_decision_ = candidates[pick];
+    dwell_left_ = options_.dwell_intervals > 0
+                      ? options_.dwell_intervals - 1
+                      : 0;
+    return last_decision_;
+}
+
+void
+SatoriController::reset()
+{
+    recorder_.clear();
+    weight_controller_.resetPeriods();
+    next_seed_ = 0;
+    last_probe_means_.clear();
+    settled_ = false;
+    settled_ref_objective_ = -1.0;
+    settled_ref_ips_.clear();
+    reactivate_strikes_ = 0;
+    job_strikes_ = 0;
+    settled_warmup_ = 0;
+    cusum_.reset();
+    best_balanced_ = -1.0;
+    stall_counter_ = 0;
+    explore_steps_ = 0;
+    burst_len_ = 0;
+    dwell_left_ = 0;
+    diagnostics_ = SatoriDiagnostics{};
+    engine_ = bo::BoEngine(options_.engine);
+}
+
+} // namespace core
+} // namespace satori

@@ -1,0 +1,64 @@
+#include "satori/core/objective.hpp"
+
+#include "satori/common/logging.hpp"
+#include "satori/common/math.hpp"
+
+namespace satori {
+namespace core {
+
+ObjectiveSpec::ObjectiveSpec(ThroughputMetric tmetric,
+                             FairnessMetric fmetric,
+                             std::vector<ExtraGoal> extras)
+    : tmetric_(tmetric), fmetric_(fmetric), extras_(std::move(extras))
+{
+    for (const auto& g : extras_) {
+        if (g.weight_share <= 0.0 || g.weight_share >= 1.0)
+            SATORI_FATAL("extra goal weight share must be in (0, 1)");
+        if (!g.evaluator)
+            SATORI_FATAL("extra goal '" + g.name + "' needs an evaluator");
+        extra_share_ += g.weight_share;
+    }
+    if (extra_share_ >= 1.0)
+        SATORI_FATAL("extra goal weight shares must sum below 1");
+}
+
+std::vector<double>
+ObjectiveSpec::goalValues(const sim::IntervalObservation& obs) const
+{
+    std::vector<double> out;
+    out.reserve(numGoals());
+    out.push_back(
+        normalizedThroughput(tmetric_, obs.ips, obs.isolation_ips));
+    out.push_back(normalizedFairness(
+        fmetric_, speedups(obs.ips, obs.isolation_ips)));
+    for (const auto& g : extras_)
+        out.push_back(clamp(g.evaluator(obs), 0.0, 1.0));
+    return out;
+}
+
+std::vector<double>
+ObjectiveSpec::weightVector(double w_t, double w_f) const
+{
+    const double tf_budget = 1.0 - extra_share_;
+    std::vector<double> out;
+    out.reserve(numGoals());
+    out.push_back(w_t * tf_budget);
+    out.push_back(w_f * tf_budget);
+    for (const auto& g : extras_)
+        out.push_back(g.weight_share);
+    return out;
+}
+
+double
+ObjectiveSpec::combine(const std::vector<double>& weights,
+                       const std::vector<double>& goals)
+{
+    SATORI_ASSERT(weights.size() == goals.size());
+    double y = 0.0;
+    for (std::size_t k = 0; k < weights.size(); ++k)
+        y += weights[k] * goals[k];
+    return y;
+}
+
+} // namespace core
+} // namespace satori

@@ -1,0 +1,96 @@
+#include "satori/harness/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace harness {
+
+ExperimentRunner::ExperimentRunner(ExperimentOptions options)
+    : options_(std::move(options))
+{
+    SATORI_ASSERT(options_.dt > 0.0);
+    SATORI_ASSERT(options_.duration >= options_.dt);
+}
+
+ExperimentResult
+ExperimentRunner::run(sim::SimulatedServer& server,
+                      policies::PartitioningPolicy& policy,
+                      const std::string& mix_label) const
+{
+    ExperimentResult result;
+    result.policy_name = policy.name();
+    result.mix_label = mix_label;
+
+    sim::PerfMonitor monitor(server);
+    const auto steps = static_cast<std::size_t>(
+        std::llround(options_.duration / options_.dt));
+    Seconds last_reset = server.now();
+
+    std::vector<OnlineStats> per_job_speedup(server.numJobs());
+
+    for (std::size_t step = 0; step < steps; ++step) {
+        const sim::IntervalObservation obs = monitor.observe(options_.dt);
+
+        // Score against the *instantaneous* isolation performance so
+        // reported aggregates are not biased by baseline staleness;
+        // policies themselves only ever see the periodically recorded
+        // baseline in obs (the realistic signal).
+        const std::vector<Ips> iso_now = server.isolationIpsNow();
+        const double t_norm =
+            normalizedThroughput(options_.tmetric, obs.ips, iso_now);
+        const std::vector<double> spd = speedups(obs.ips, iso_now);
+        const double f_norm = normalizedFairness(options_.fmetric, spd);
+
+        if (obs.time > options_.warmup) {
+            result.throughput_stats.add(t_norm);
+            result.fairness_stats.add(f_norm);
+            for (std::size_t j = 0; j < spd.size(); ++j)
+                per_job_speedup[j].add(std::min(spd[j], 1.0));
+            if (options_.record_series) {
+                result.throughput_series.add(obs.time, t_norm);
+                result.fairness_series.add(obs.time, f_norm);
+            }
+        }
+
+        server.setConfiguration(policy.decide(obs));
+
+        if (options_.on_interval)
+            options_.on_interval(obs, t_norm, f_norm);
+
+        if (options_.trace) {
+            TraceRecord rec;
+            rec.time = obs.time;
+            rec.policy = policy.name();
+            rec.config = obs.config;
+            rec.ips = obs.ips;
+            rec.speedups = spd;
+            rec.throughput = t_norm;
+            rec.fairness = f_norm;
+            options_.trace->write(rec);
+        }
+
+        if (obs.time - last_reset >= options_.baseline_reset_period) {
+            monitor.resetBaseline();
+            last_reset = obs.time;
+        }
+    }
+
+    result.mean_throughput = result.throughput_stats.mean();
+    result.mean_fairness = result.fairness_stats.mean();
+    result.mean_objective =
+        0.5 * result.mean_throughput + 0.5 * result.mean_fairness;
+    result.job_mean_speedups.reserve(server.numJobs());
+    double worst = 1.0;
+    for (const auto& s : per_job_speedup) {
+        result.job_mean_speedups.push_back(s.mean());
+        worst = std::min(worst, s.mean());
+    }
+    result.worst_job_speedup = worst;
+    return result;
+}
+
+} // namespace harness
+} // namespace satori

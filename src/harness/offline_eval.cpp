@@ -1,0 +1,186 @@
+#include "satori/harness/offline_eval.hpp"
+
+#include <cmath>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace harness {
+
+struct OfflineEvaluator::IpsTables
+{
+    /** ips[j][flat unit index] with flat = sum_r (u_r - 1) * stride_r. */
+    std::vector<std::vector<double>> ips;
+    std::vector<std::size_t> strides; ///< Per-resource flat strides.
+    std::vector<Ips> isolation;       ///< Isolation IPS at this signature.
+    double isolation_sum = 0.0;
+};
+
+OfflineEvaluator::OfflineEvaluator(const sim::SimulatedServer& server,
+                                   Options options)
+    : server_(server), options_(options),
+      space_(server.platform(), server.numJobs())
+{
+}
+
+OfflineEvaluator::IpsTables
+OfflineEvaluator::buildTables(
+    const std::vector<std::size_t>& phase_signature) const
+{
+    const PlatformSpec& platform = server_.platform();
+    const std::size_t num_jobs = server_.numJobs();
+    const std::size_t num_res = platform.numResources();
+
+    IpsTables t;
+    // A job can hold at most U_r - (M - 1) units of resource r (every
+    // other job keeps at least one).
+    std::vector<int> dims(num_res);
+    t.strides.assign(num_res, 0);
+    std::size_t table_size = 1;
+    for (std::size_t r = 0; r < num_res; ++r) {
+        dims[r] = platform.units(r) - static_cast<int>(num_jobs) + 1;
+        SATORI_ASSERT(dims[r] >= 1);
+        t.strides[r] = table_size;
+        table_size *= static_cast<std::size_t>(dims[r]);
+    }
+
+    t.ips.assign(num_jobs, std::vector<double>(table_size, 0.0));
+    std::vector<std::vector<int>> alloc(
+        num_res, std::vector<int>(num_jobs, 1));
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+        // Enumerate this job's possible unit vectors with an odometer
+        // over resources; other jobs' units are irrelevant to job j's
+        // model, so a dummy-but-valid configuration is unnecessary -
+        // we call the model through the server's allocation view on a
+        // scratch configuration carrying only job j's true units.
+        std::vector<int> units(num_res, 1);
+        for (std::size_t flat = 0; flat < table_size; ++flat) {
+            for (std::size_t r = 0; r < num_res; ++r)
+                alloc[r][j] = units[r];
+            const Configuration scratch(alloc);
+            const auto view = server_.allocationView(scratch, j);
+            const auto& phase =
+                server_.job(j).profile().phases.at(phase_signature[j]);
+            t.ips[j][flat] =
+                perfmodel::evaluatePhase(phase, server_.machine(), view)
+                    .ips;
+            // Advance the odometer.
+            for (std::size_t r = 0; r < num_res; ++r) {
+                if (units[r] < dims[r]) {
+                    ++units[r];
+                    break;
+                }
+                units[r] = 1;
+            }
+        }
+        for (std::size_t r = 0; r < num_res; ++r)
+            alloc[r][j] = 1;
+    }
+
+    t.isolation.resize(num_jobs);
+    for (std::size_t j = 0; j < num_jobs; ++j) {
+        t.isolation[j] =
+            server_.isolationIpsAt(j, phase_signature[j]);
+        t.isolation_sum += t.isolation[j];
+    }
+    return t;
+}
+
+std::pair<double, double>
+OfflineEvaluator::metricsFor(
+    const Configuration& config,
+    const std::vector<std::size_t>& phase_signature) const
+{
+    const std::vector<Ips> ips =
+        server_.evaluateIps(config, phase_signature);
+    std::vector<Ips> iso(server_.numJobs());
+    for (std::size_t j = 0; j < server_.numJobs(); ++j)
+        iso[j] = server_.isolationIpsAt(j, phase_signature[j]);
+    const double t = normalizedThroughput(options_.tmetric, ips, iso);
+    const double f =
+        normalizedFairness(options_.fmetric, speedups(ips, iso));
+    return {t, f};
+}
+
+const OracleResult&
+OfflineEvaluator::bestFor(const std::vector<std::size_t>& phase_signature,
+                          double w_t, double w_f)
+{
+    const MemoKey key{phase_signature,
+                      {static_cast<std::int64_t>(std::llround(w_t * 1e6)),
+                       static_cast<std::int64_t>(std::llround(w_f * 1e6))}};
+    const auto hit = memo_.find(key);
+    if (hit != memo_.end())
+        return hit->second;
+
+    ++searches_;
+    const IpsTables tables = buildTables(phase_signature);
+    const std::size_t num_jobs = server_.numJobs();
+    const std::size_t num_res = server_.platform().numResources();
+
+    const std::uint64_t total = space_.size();
+    const std::uint64_t stride =
+        total <= options_.max_evals
+            ? 1
+            : (total + options_.max_evals - 1) / options_.max_evals;
+
+    OracleResult best;
+    best.objective = -1.0;
+    best.exhaustive = (stride == 1);
+
+    const bool fast_metrics =
+        options_.tmetric == ThroughputMetric::SumIps &&
+        options_.fmetric == FairnessMetric::JainIndex;
+
+    std::vector<double> spd(num_jobs);
+    std::vector<Ips> ips_vec(num_jobs);
+    for (std::uint64_t idx = 0; idx < total; idx += stride) {
+        const Configuration config = space_.at(idx);
+        double sum_ips = 0.0;
+        for (std::size_t j = 0; j < num_jobs; ++j) {
+            std::size_t flat = 0;
+            for (std::size_t r = 0; r < num_res; ++r) {
+                flat += static_cast<std::size_t>(config.units(r, j) - 1) *
+                        tables.strides[r];
+            }
+            const double ips = tables.ips[j][flat];
+            ips_vec[j] = ips;
+            sum_ips += ips;
+            spd[j] = ips / tables.isolation[j];
+        }
+        double thr, fair;
+        if (fast_metrics) {
+            // Inlined sum-IPS throughput + Jain index for speed.
+            double m = 0.0;
+            for (double s : spd)
+                m += s;
+            m /= static_cast<double>(num_jobs);
+            double ss = 0.0;
+            for (double s : spd)
+                ss += (s - m) * (s - m);
+            const double var = ss / static_cast<double>(num_jobs);
+            const double cov2 = m > 0.0 ? var / (m * m) : 0.0;
+            fair = 1.0 / (1.0 + cov2);
+            thr = std::min(sum_ips / tables.isolation_sum /
+                               colocationThroughputScale(num_jobs),
+                           1.0);
+        } else {
+            thr = normalizedThroughput(options_.tmetric, ips_vec,
+                                       tables.isolation);
+            fair = normalizedFairness(options_.fmetric, spd);
+        }
+
+        const double objective = w_t * thr + w_f * fair;
+        if (objective > best.objective) {
+            best.objective = objective;
+            best.throughput = thr;
+            best.fairness = fair;
+            best.config = config;
+        }
+    }
+    SATORI_ASSERT(best.objective >= 0.0);
+    return memo_.emplace(key, std::move(best)).first->second;
+}
+
+} // namespace harness
+} // namespace satori

@@ -1,0 +1,72 @@
+#include "satori/harness/repeat.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "satori/common/logging.hpp"
+#include "satori/common/stats.hpp"
+#include "satori/harness/scenarios.hpp"
+
+namespace satori {
+namespace harness {
+namespace {
+
+Estimate
+estimateOf(const OnlineStats& stats)
+{
+    Estimate e;
+    e.mean = stats.mean();
+    if (stats.count() >= 2) {
+        e.ci95 = 1.96 * stats.stddev() /
+                 std::sqrt(static_cast<double>(stats.count()));
+    }
+    return e;
+}
+
+} // namespace
+
+std::string
+Estimate::toString(int precision) const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f +/- %.*f", precision, mean,
+                  precision, ci95);
+    return buf;
+}
+
+bool
+RepeatedResult::clearlyBeats(const RepeatedResult& other) const
+{
+    return objective.mean - other.objective.mean >
+           objective.ci95 + other.objective.ci95;
+}
+
+RepeatedResult
+repeatPolicy(const PlatformSpec& platform, const workloads::JobMix& mix,
+             const std::string& policy_name,
+             const ExperimentOptions& options, std::size_t runs,
+             std::uint64_t seed0, core::SatoriOptions satori_options)
+{
+    SATORI_ASSERT(runs >= 1);
+    const ExperimentRunner runner(options);
+    OnlineStats t_stats, f_stats, o_stats;
+    RepeatedResult out;
+    out.policy = policy_name;
+    out.runs = runs;
+    for (std::size_t r = 0; r < runs; ++r) {
+        sim::SimulatedServer server =
+            makeServer(platform, mix, seed0 + r);
+        auto policy = makePolicy(policy_name, server, satori_options);
+        const auto result = runner.run(server, *policy, mix.label);
+        t_stats.add(result.mean_throughput);
+        f_stats.add(result.mean_fairness);
+        o_stats.add(result.mean_objective);
+    }
+    out.throughput = estimateOf(t_stats);
+    out.fairness = estimateOf(f_stats);
+    out.objective = estimateOf(o_stats);
+    return out;
+}
+
+} // namespace harness
+} // namespace satori

@@ -1,0 +1,86 @@
+#include "satori/harness/trace.hpp"
+
+#include <iomanip>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace harness {
+
+TraceWriter::TraceWriter(const std::string& path, TraceFormat format)
+    : out_(path), format_(format)
+{
+    if (!out_.good())
+        SATORI_FATAL("cannot open trace file: " + path);
+    out_ << std::setprecision(10);
+}
+
+void
+TraceWriter::write(const TraceRecord& record)
+{
+    switch (format_) {
+      case TraceFormat::Csv:
+        if (!header_written_) {
+            writeCsvHeader(record);
+            header_written_ = true;
+        }
+        writeCsv(record);
+        break;
+      case TraceFormat::JsonLines:
+        writeJson(record);
+        break;
+    }
+    ++count_;
+}
+
+void
+TraceWriter::writeCsvHeader(const TraceRecord& record)
+{
+    out_ << "time,policy,config,throughput,fairness,w_t,w_f,settled";
+    for (std::size_t j = 0; j < record.ips.size(); ++j)
+        out_ << ",ips_" << j;
+    for (std::size_t j = 0; j < record.speedups.size(); ++j)
+        out_ << ",speedup_" << j;
+    out_ << "\n";
+}
+
+void
+TraceWriter::writeCsv(const TraceRecord& record)
+{
+    out_ << record.time << "," << record.policy << ",\""
+         << record.config.toString() << "\"," << record.throughput
+         << "," << record.fairness << "," << record.w_t << ","
+         << record.w_f << "," << (record.settled ? 1 : 0);
+    for (double v : record.ips)
+        out_ << "," << v;
+    for (double v : record.speedups)
+        out_ << "," << v;
+    out_ << "\n";
+}
+
+void
+TraceWriter::writeJson(const TraceRecord& record)
+{
+    out_ << "{\"time\":" << record.time << ",\"policy\":\""
+         << record.policy << "\",\"config\":\""
+         << record.config.toString() << "\",\"throughput\":"
+         << record.throughput << ",\"fairness\":" << record.fairness
+         << ",\"w_t\":" << record.w_t << ",\"w_f\":" << record.w_f
+         << ",\"settled\":" << (record.settled ? "true" : "false");
+    out_ << ",\"ips\":[";
+    for (std::size_t j = 0; j < record.ips.size(); ++j)
+        out_ << (j ? "," : "") << record.ips[j];
+    out_ << "],\"speedups\":[";
+    for (std::size_t j = 0; j < record.speedups.size(); ++j)
+        out_ << (j ? "," : "") << record.speedups[j];
+    out_ << "]}\n";
+}
+
+void
+TraceWriter::flush()
+{
+    out_.flush();
+}
+
+} // namespace harness
+} // namespace satori

@@ -1,0 +1,98 @@
+#include "satori/linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace linalg {
+
+Cholesky::Cholesky(Matrix a, double initial_jitter)
+{
+    SATORI_ASSERT(a.rows() == a.cols());
+    if (tryFactorize(a, 0.0)) {
+        jitter_ = 0.0;
+        return;
+    }
+    double jitter = initial_jitter;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+        if (tryFactorize(a, jitter)) {
+            jitter_ = jitter;
+            return;
+        }
+        jitter *= 10.0;
+    }
+    SATORI_PANIC("Cholesky factorization failed even with large jitter; "
+                 "matrix is not symmetric positive semi-definite");
+}
+
+bool
+Cholesky::tryFactorize(const Matrix& a, double jitter)
+{
+    const std::size_t n = a.rows();
+    l_ = Matrix(n, n, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j) + jitter;
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= l_(j, k) * l_(j, k);
+        if (diag <= 0.0 || !std::isfinite(diag))
+            return false;
+        const double ljj = std::sqrt(diag);
+        l_(j, j) = ljj;
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double sum = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                sum -= l_(i, k) * l_(j, k);
+            l_(i, j) = sum / ljj;
+        }
+    }
+    return true;
+}
+
+std::vector<double>
+Cholesky::solveLower(const std::vector<double>& b) const
+{
+    const std::size_t n = l_.rows();
+    SATORI_ASSERT(b.size() == n);
+    std::vector<double> y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double sum = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            sum -= l_(i, k) * y[k];
+        y[i] = sum / l_(i, i);
+    }
+    return y;
+}
+
+std::vector<double>
+Cholesky::solveUpper(const std::vector<double>& b) const
+{
+    const std::size_t n = l_.rows();
+    SATORI_ASSERT(b.size() == n);
+    std::vector<double> x(n);
+    for (std::size_t ii = n; ii-- > 0;) {
+        double sum = b[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            sum -= l_(k, ii) * x[k];
+        x[ii] = sum / l_(ii, ii);
+    }
+    return x;
+}
+
+std::vector<double>
+Cholesky::solve(const std::vector<double>& b) const
+{
+    return solveUpper(solveLower(b));
+}
+
+double
+Cholesky::logDet() const
+{
+    double sum = 0.0;
+    for (std::size_t i = 0; i < l_.rows(); ++i)
+        sum += std::log(l_(i, i));
+    return 2.0 * sum;
+}
+
+} // namespace linalg
+} // namespace satori

@@ -1,0 +1,70 @@
+#include "satori/perfmodel/perf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace perfmodel {
+
+double
+amdahlSpeedup(double p, int cores)
+{
+    SATORI_ASSERT(p >= 0.0 && p <= 1.0 && cores >= 1);
+    return 1.0 / ((1.0 - p) + p / static_cast<double>(cores));
+}
+
+PerfResult
+evaluatePhase(const PhaseParams& phase, const MachineParams& machine,
+              const AllocationView& alloc)
+{
+    SATORI_ASSERT(alloc.cores >= 1);
+    SATORI_ASSERT(alloc.llc_ways >= 1);
+    SATORI_ASSERT(alloc.bw_fraction > 0.0 && alloc.bw_fraction <= 1.0);
+    SATORI_ASSERT(alloc.power_fraction > 0.0);
+
+    PerfResult out;
+    // Correlated utility: more active cores -> more threads competing
+    // for the same ways -> fewer effective ways per thread.
+    const double eff_ways = std::max(
+        1.0, static_cast<double>(alloc.llc_ways) /
+                 (1.0 + phase.cache_pressure *
+                            (static_cast<double>(alloc.cores) - 1.0)));
+    out.mpki = phase.mrc.mpkiAt(eff_ways);
+    const double miss_per_instr = out.mpki / 1000.0;
+
+    // CPI stack: base pipeline CPI plus exposed memory stalls.
+    const double cpi =
+        1.0 / phase.base_ipc + miss_per_instr * phase.miss_penalty_cycles;
+    out.ipc_per_core = 1.0 / cpi;
+
+    // Power capping scales sustained frequency sub-linearly (DVFS-like);
+    // a job at (or above) its fair power share runs at full clock.
+    const double power_scale =
+        std::pow(std::min(alloc.power_fraction, 1.0),
+                 machine.power_exponent);
+
+    const double freq_hz = machine.freq_ghz * 1e9 * power_scale;
+    const double core_speedup =
+        amdahlSpeedup(phase.parallel_fraction, alloc.cores);
+    const double ips_core = freq_hz * out.ipc_per_core * core_speedup;
+
+    // Bandwidth roofline: the MBA cap throttles IPS proportionally when
+    // the phase's traffic exceeds its allocated share of peak bandwidth.
+    out.bw_demand_gbps =
+        ips_core * miss_per_instr * phase.bytes_per_miss / 1e9;
+    const double bw_cap_gbps = machine.peak_bw_gbps * alloc.bw_fraction;
+    if (out.bw_demand_gbps > bw_cap_gbps && out.bw_demand_gbps > 0.0) {
+        out.bw_limited = true;
+        out.ips = ips_core * bw_cap_gbps / out.bw_demand_gbps;
+        out.bw_used_gbps = bw_cap_gbps;
+    } else {
+        out.ips = ips_core;
+        out.bw_used_gbps = out.bw_demand_gbps;
+    }
+    return out;
+}
+
+} // namespace perfmodel
+} // namespace satori

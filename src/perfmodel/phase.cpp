@@ -1,0 +1,50 @@
+#include "satori/perfmodel/phase.hpp"
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace perfmodel {
+
+PhaseSequence::PhaseSequence(std::vector<PhaseParams> phases)
+    : phases_(std::move(phases))
+{
+    if (phases_.empty())
+        SATORI_FATAL("a workload needs at least one phase");
+    for (const auto& p : phases_)
+        if (p.length <= 0)
+            SATORI_FATAL("phase length must be positive");
+}
+
+const PhaseParams&
+PhaseSequence::current() const
+{
+    return phases_[index_];
+}
+
+void
+PhaseSequence::advance(Instructions instructions)
+{
+    SATORI_ASSERT(instructions >= 0);
+    progress_ += instructions;
+    while (progress_ >= phases_[index_].length) {
+        progress_ -= phases_[index_].length;
+        index_ = (index_ + 1) % phases_.size();
+    }
+}
+
+const PhaseParams&
+PhaseSequence::phase(std::size_t i) const
+{
+    SATORI_ASSERT(i < phases_.size());
+    return phases_[i];
+}
+
+void
+PhaseSequence::reset()
+{
+    index_ = 0;
+    progress_ = 0;
+}
+
+} // namespace perfmodel
+} // namespace satori

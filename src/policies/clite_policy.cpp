@@ -1,0 +1,130 @@
+#include "satori/policies/clite_policy.hpp"
+
+#include <algorithm>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace policies {
+
+ClitePolicy::ClitePolicy(const PlatformSpec& platform,
+                         std::size_t num_jobs, CliteOptions options)
+    : options_(options), space_(platform, num_jobs),
+      candgen_(space_,
+               [] {
+                   bo::CandidateOptions c;
+                   // CLITE explores with uniform candidates only -
+                   // no structured seeds or concentration sets.
+                   c.include_seeds = false;
+                   c.include_concentrated = false;
+                   return c;
+               }()),
+      rng_(options.seed), init_left_(options.init_samples)
+{
+}
+
+double
+ClitePolicy::objective(const sim::IntervalObservation& obs) const
+{
+    const double t = normalizedThroughput(options_.tmetric, obs.ips,
+                                          obs.isolation_ips);
+    const double f = normalizedFairness(
+        options_.fmetric, speedups(obs.ips, obs.isolation_ips));
+    return options_.w_t * t + options_.w_f * f;
+}
+
+Configuration
+ClitePolicy::decide(const sim::IntervalObservation& obs)
+{
+    const double y = objective(obs);
+
+    // Traditional BO bookkeeping: one scalar per evaluated config.
+    configs_.push_back(obs.config);
+    xs_.push_back(obs.config.normalizedVector());
+    ys_.push_back(y);
+    if (xs_.size() > options_.window) {
+        configs_.erase(configs_.begin());
+        xs_.erase(xs_.begin());
+        ys_.erase(ys_.begin());
+    }
+
+    if (holding_) {
+        // Resume sampling only if performance degrades noticeably.
+        if (hold_reference_ < 0.0) {
+            if (obs.config == hold_config_)
+                hold_reference_ = y;
+        } else if (y < hold_reference_ *
+                           (1.0 - options_.reactivate_threshold)) {
+            if (++strikes_ >= 2) {
+                holding_ = false;
+                strikes_ = 0;
+                best_seen_ = -1.0;
+                stall_ = 0;
+                hold_reference_ = -1.0;
+            }
+        } else {
+            strikes_ = 0;
+        }
+        if (holding_)
+            return hold_config_;
+    }
+
+    // Convergence tracking.
+    if (y > best_seen_ + 1e-3) {
+        best_seen_ = y;
+        stall_ = 0;
+    } else {
+        ++stall_;
+    }
+
+    // Random initialization phase (CLITE seeds its GP randomly).
+    if (init_left_ > 0) {
+        --init_left_;
+        return space_.sample(rng_);
+    }
+
+    engine_.setSamples(xs_, ys_);
+
+    if (stall_ >= options_.stall_intervals) {
+        // Hold the best *observed* configuration (CLITE's decision
+        // once sampling stops).
+        std::size_t best_i = 0;
+        for (std::size_t i = 1; i < ys_.size(); ++i)
+            if (ys_[i] > ys_[best_i])
+                best_i = i;
+        holding_ = true;
+        hold_config_ = configs_[best_i];
+        hold_reference_ = -1.0;
+        return hold_config_;
+    }
+
+    const Configuration& incumbent =
+        configs_[static_cast<std::size_t>(
+            std::max_element(ys_.begin(), ys_.end()) - ys_.begin())];
+    std::vector<Configuration> candidates =
+        candgen_.generate(incumbent, rng_);
+    std::vector<RealVec> cx;
+    cx.reserve(candidates.size());
+    for (const auto& c : candidates)
+        cx.push_back(c.normalizedVector());
+    return candidates[engine_.suggestIndex(cx)];
+}
+
+void
+ClitePolicy::reset()
+{
+    configs_.clear();
+    xs_.clear();
+    ys_.clear();
+    init_left_ = options_.init_samples;
+    best_seen_ = -1.0;
+    stall_ = 0;
+    holding_ = false;
+    hold_reference_ = -1.0;
+    strikes_ = 0;
+    engine_ = bo::BoEngine();
+    rng_ = Rng(options_.seed);
+}
+
+} // namespace policies
+} // namespace satori

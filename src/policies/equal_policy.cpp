@@ -1,0 +1,19 @@
+#include "satori/policies/equal_policy.hpp"
+
+namespace satori {
+namespace policies {
+
+EqualPartitionPolicy::EqualPartitionPolicy(const PlatformSpec& platform,
+                                           std::size_t num_jobs)
+    : config_(Configuration::equalPartition(platform, num_jobs))
+{
+}
+
+Configuration
+EqualPartitionPolicy::decide(const sim::IntervalObservation&)
+{
+    return config_;
+}
+
+} // namespace policies
+} // namespace satori

@@ -1,0 +1,9 @@
+#include "satori/policies/policy.hpp"
+
+namespace satori {
+namespace policies {
+
+PartitioningPolicy::~PartitioningPolicy() = default;
+
+} // namespace policies
+} // namespace satori

@@ -1,0 +1,25 @@
+#include "satori/policies/random_policy.hpp"
+
+namespace satori {
+namespace policies {
+
+RandomPolicy::RandomPolicy(const PlatformSpec& platform,
+                           std::size_t num_jobs, std::uint64_t seed)
+    : space_(platform, num_jobs), seed_(seed), rng_(seed)
+{
+}
+
+Configuration
+RandomPolicy::decide(const sim::IntervalObservation&)
+{
+    return space_.sample(rng_);
+}
+
+void
+RandomPolicy::reset()
+{
+    rng_ = Rng(seed_);
+}
+
+} // namespace policies
+} // namespace satori

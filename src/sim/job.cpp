@@ -1,0 +1,55 @@
+#include "satori/sim/job.hpp"
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace sim {
+
+Job::Job(workloads::WorkloadProfile profile)
+    : profile_(std::move(profile)), phases_(profile_.phases)
+{
+    SATORI_ASSERT(profile_.fixed_work > 0);
+}
+
+const perfmodel::PhaseParams&
+Job::currentPhase() const
+{
+    return phases_.current();
+}
+
+std::size_t
+Job::currentPhaseIndex() const
+{
+    return phases_.currentIndex();
+}
+
+void
+Job::retire(Instructions n)
+{
+    SATORI_ASSERT(n >= 0);
+    phases_.advance(n);
+    total_retired_ += n;
+    run_retired_ += n;
+    while (run_retired_ >= profile_.fixed_work) {
+        run_retired_ -= profile_.fixed_work;
+        ++completed_runs_;
+    }
+}
+
+double
+Job::runProgress() const
+{
+    return run_retired_ / profile_.fixed_work;
+}
+
+void
+Job::reset()
+{
+    phases_.reset();
+    total_retired_ = 0;
+    run_retired_ = 0;
+    completed_runs_ = 0;
+}
+
+} // namespace sim
+} // namespace satori

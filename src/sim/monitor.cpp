@@ -1,0 +1,30 @@
+#include "satori/sim/monitor.hpp"
+
+namespace satori {
+namespace sim {
+
+PerfMonitor::PerfMonitor(SimulatedServer& server) : server_(server)
+{
+    resetBaseline();
+}
+
+IntervalObservation
+PerfMonitor::observe(Seconds dt)
+{
+    IntervalObservation obs;
+    obs.dt = dt;
+    obs.config = server_.configuration();
+    obs.ips = server_.step(dt);
+    obs.time = server_.now();
+    obs.isolation_ips = baseline_;
+    return obs;
+}
+
+void
+PerfMonitor::resetBaseline()
+{
+    baseline_ = server_.isolationIpsNow();
+}
+
+} // namespace sim
+} // namespace satori

@@ -1,0 +1,204 @@
+#include "satori/sim/server.hpp"
+
+#include <algorithm>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace sim {
+
+SimulatedServer::SimulatedServer(PlatformSpec platform,
+                                 perfmodel::MachineParams machine,
+                                 std::vector<workloads::WorkloadProfile> mix,
+                                 ServerOptions options)
+    : platform_(std::move(platform)), machine_(machine),
+      options_(options), rng_(options.seed)
+{
+    if (mix.empty())
+        SATORI_FATAL("a server needs at least one job");
+    if (platform_.numResources() == 0)
+        SATORI_FATAL("a server needs at least one partitionable resource");
+    for (auto& profile : mix)
+        jobs_.emplace_back(std::move(profile));
+    config_ = Configuration::equalPartition(platform_, jobs_.size());
+    reconfig_penalty_.assign(jobs_.size(), 0.0);
+}
+
+void
+SimulatedServer::setConfiguration(const Configuration& config)
+{
+    if (!config.isValidFor(platform_, jobs_.size()))
+        SATORI_FATAL("invalid configuration for this platform/job count: " +
+                     config.toString());
+    // Accrue the reconfiguration transient for every job whose
+    // allocation changed (cache re-warming, thread migration).
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        double cost = 0.0;
+        for (std::size_t r = 0; r < platform_.numResources(); ++r) {
+            const int delta =
+                std::abs(config.units(r, j) - config_.units(r, j));
+            if (delta == 0)
+                continue;
+            switch (platform_.resource(r).kind) {
+              case ResourceKind::Cores:
+                cost += options_.reconfig_cost_cores * delta;
+                break;
+              case ResourceKind::LlcWays:
+                cost += options_.reconfig_cost_ways * delta;
+                break;
+              case ResourceKind::MemBandwidth:
+              case ResourceKind::PowerCap:
+                cost += options_.reconfig_cost_bw * delta;
+                break;
+            }
+        }
+        reconfig_penalty_[j] = std::min(reconfig_penalty_[j] + cost,
+                                        options_.reconfig_cost_cap);
+    }
+    config_ = config;
+}
+
+perfmodel::AllocationView
+SimulatedServer::allocationView(const Configuration& config,
+                                JobIndex j) const
+{
+    perfmodel::AllocationView view;
+    view.cores = 1;
+    view.llc_ways = 1;
+    view.bw_fraction = 1.0;
+    view.power_fraction = 1.0;
+    for (std::size_t r = 0; r < platform_.numResources(); ++r) {
+        const int units = config.units(r, j);
+        const double total = static_cast<double>(platform_.units(r));
+        switch (platform_.resource(r).kind) {
+          case ResourceKind::Cores:
+            view.cores = units;
+            break;
+          case ResourceKind::LlcWays:
+            view.llc_ways = units;
+            break;
+          case ResourceKind::MemBandwidth:
+            view.bw_fraction = static_cast<double>(units) / total;
+            break;
+          case ResourceKind::PowerCap:
+            // Normalize to the fair share: units/total * numJobs == 1
+            // at the equal partition.
+            view.power_fraction = static_cast<double>(units) / total *
+                                  static_cast<double>(jobs_.size());
+            break;
+        }
+    }
+    return view;
+}
+
+std::vector<Ips>
+SimulatedServer::step(Seconds dt)
+{
+    SATORI_ASSERT(dt > 0.0);
+    std::vector<Ips> measured(jobs_.size());
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        const auto view = allocationView(config_, j);
+        const auto perf = perfmodel::evaluatePhase(
+            jobs_[j].currentPhase(), machine_, view);
+        // Multiplicative measurement/interference noise, floored so a
+        // job never appears stopped.
+        const double noise =
+            std::max(0.5, rng_.gaussian(1.0, options_.noise_sigma));
+        // Outstanding reconfiguration transient, decaying per interval.
+        const double transient = 1.0 - reconfig_penalty_[j];
+        reconfig_penalty_[j] *= options_.reconfig_decay;
+        const Ips ips = perf.ips * noise * transient;
+        jobs_[j].retire(ips * dt);
+        measured[j] = ips;
+    }
+    now_ += dt;
+    return measured;
+}
+
+std::vector<Ips>
+SimulatedServer::isolationIpsNow() const
+{
+    std::vector<Ips> out(jobs_.size());
+    for (std::size_t j = 0; j < jobs_.size(); ++j)
+        out[j] = isolationIpsAt(j, jobs_[j].currentPhaseIndex());
+    return out;
+}
+
+std::vector<std::size_t>
+SimulatedServer::phaseSignature() const
+{
+    std::vector<std::size_t> sig(jobs_.size());
+    for (std::size_t j = 0; j < jobs_.size(); ++j)
+        sig[j] = jobs_[j].currentPhaseIndex();
+    return sig;
+}
+
+const Job&
+SimulatedServer::job(std::size_t j) const
+{
+    SATORI_ASSERT(j < jobs_.size());
+    return jobs_[j];
+}
+
+Job&
+SimulatedServer::job(std::size_t j)
+{
+    SATORI_ASSERT(j < jobs_.size());
+    return jobs_[j];
+}
+
+void
+SimulatedServer::replaceJob(std::size_t j,
+                            workloads::WorkloadProfile profile)
+{
+    SATORI_ASSERT(j < jobs_.size());
+    jobs_[j] = Job(std::move(profile));
+    reconfig_penalty_[j] = 0.0;
+}
+
+std::vector<Ips>
+SimulatedServer::evaluateIps(
+    const Configuration& config,
+    const std::vector<std::size_t>& phase_signature) const
+{
+    SATORI_ASSERT(phase_signature.size() == jobs_.size());
+    SATORI_ASSERT(config.isValidFor(platform_, jobs_.size()));
+    std::vector<Ips> out(jobs_.size());
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+        const auto& phase =
+            jobs_[j].profile().phases.at(phase_signature[j]);
+        const auto view = allocationView(config, j);
+        out[j] = perfmodel::evaluatePhase(phase, machine_, view).ips;
+    }
+    return out;
+}
+
+Ips
+SimulatedServer::isolationIpsAt(std::size_t j,
+                                std::size_t phase_index) const
+{
+    SATORI_ASSERT(j < jobs_.size());
+    const auto& phase = jobs_[j].profile().phases.at(phase_index);
+    perfmodel::AllocationView view;
+    view.bw_fraction = 1.0;
+    view.power_fraction = 1.0;
+    view.cores = 1;
+    view.llc_ways = 1;
+    for (std::size_t r = 0; r < platform_.numResources(); ++r) {
+        switch (platform_.resource(r).kind) {
+          case ResourceKind::Cores:
+            view.cores = platform_.units(r);
+            break;
+          case ResourceKind::LlcWays:
+            view.llc_ways = platform_.units(r);
+            break;
+          case ResourceKind::MemBandwidth:
+          case ResourceKind::PowerCap:
+            break; // full fractions already set
+        }
+    }
+    return perfmodel::evaluatePhase(phase, machine_, view).ips;
+}
+
+} // namespace sim
+} // namespace satori

@@ -1,0 +1,255 @@
+#include "satori/workloads/loader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace workloads {
+namespace {
+
+/** Mutable parse state for one phase under construction. */
+struct PhaseBuilder
+{
+    perfmodel::PhaseParams params;
+    // The MRC needs three values that may arrive in any order, so the
+    // curve is materialized when the phase closes.
+    double mpki_one = 10.0;
+    double mpki_floor = 2.0;
+    enum class MrcKind { Exponential, Cliff } mrc_kind =
+        MrcKind::Exponential;
+    double mrc_a = 3.0; ///< decay (exponential) or knee (cliff).
+    double mrc_b = 1.0; ///< unused (exponential) or width (cliff).
+
+    perfmodel::PhaseParams
+    finish(int line) const
+    {
+        perfmodel::PhaseParams p = params;
+        if (mpki_one < mpki_floor)
+            SATORI_FATAL("line " + std::to_string(line) +
+                         ": mpki_one must be >= mpki_floor");
+        switch (mrc_kind) {
+          case MrcKind::Exponential:
+            p.mrc = perfmodel::MissRatioCurve::exponential(
+                mpki_one, mpki_floor, mrc_a);
+            break;
+          case MrcKind::Cliff:
+            p.mrc = perfmodel::MissRatioCurve::sCurve(
+                mpki_one, mpki_floor, mrc_a, mrc_b);
+            break;
+        }
+        return p;
+    }
+};
+
+[[noreturn]] void
+fail(int line, const std::string& msg)
+{
+    SATORI_FATAL("workload definition line " + std::to_string(line) +
+                 ": " + msg);
+}
+
+double
+parseNumber(const std::string& token, int line)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(token, &used);
+        if (used != token.size())
+            fail(line, "trailing characters in number '" + token + "'");
+        return v;
+    } catch (const std::exception&) {
+        fail(line, "expected a number, got '" + token + "'");
+    }
+}
+
+} // namespace
+
+std::vector<WorkloadProfile>
+parseWorkloadText(const std::string& text)
+{
+    std::vector<WorkloadProfile> out;
+    WorkloadProfile* current = nullptr;
+    bool phase_open = false;
+    PhaseBuilder phase;
+    int phase_line = 0;
+
+    auto close_phase = [&](int line) {
+        if (phase_open) {
+            SATORI_ASSERT(current != nullptr);
+            current->phases.push_back(phase.finish(phase_line));
+            phase_open = false;
+        }
+        (void)line;
+    };
+
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        // Strip comments and whitespace.
+        const std::size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        std::istringstream ls(raw);
+        std::string key;
+        if (!(ls >> key))
+            continue; // blank line
+
+        auto rest_of_line = [&]() {
+            std::string rest;
+            std::getline(ls, rest);
+            const std::size_t start = rest.find_first_not_of(" \t");
+            return start == std::string::npos ? std::string()
+                                              : rest.substr(start);
+        };
+        auto next_token = [&](const char* what) {
+            std::string tok;
+            if (!(ls >> tok))
+                fail(line_no, std::string("missing value for ") + what);
+            return tok;
+        };
+
+        if (key == "workload") {
+            close_phase(line_no);
+            WorkloadProfile w;
+            w.name = next_token("workload");
+            w.suite = "custom";
+            out.push_back(std::move(w));
+            current = &out.back();
+        } else if (current == nullptr) {
+            fail(line_no, "'" + key + "' before any 'workload'");
+        } else if (key == "suite") {
+            current->suite = next_token("suite");
+        } else if (key == "description") {
+            current->description = rest_of_line();
+        } else if (key == "fixed_work") {
+            current->fixed_work =
+                parseNumber(next_token("fixed_work"), line_no);
+            if (current->fixed_work <= 0)
+                fail(line_no, "fixed_work must be positive");
+        } else if (key == "phase") {
+            close_phase(line_no);
+            phase = PhaseBuilder{};
+            phase.params.label = next_token("phase");
+            phase_open = true;
+            phase_line = line_no;
+        } else if (!phase_open) {
+            fail(line_no, "'" + key + "' outside a phase");
+        } else if (key == "base_ipc") {
+            phase.params.base_ipc =
+                parseNumber(next_token(key.c_str()), line_no);
+        } else if (key == "parallel_fraction") {
+            phase.params.parallel_fraction =
+                parseNumber(next_token(key.c_str()), line_no);
+            if (phase.params.parallel_fraction < 0.0 ||
+                phase.params.parallel_fraction > 1.0)
+                fail(line_no, "parallel_fraction must be in [0, 1]");
+        } else if (key == "mpki_one") {
+            phase.mpki_one =
+                parseNumber(next_token(key.c_str()), line_no);
+        } else if (key == "mpki_floor") {
+            phase.mpki_floor =
+                parseNumber(next_token(key.c_str()), line_no);
+        } else if (key == "mrc") {
+            const std::string kind = next_token("mrc kind");
+            if (kind == "exponential") {
+                phase.mrc_kind = PhaseBuilder::MrcKind::Exponential;
+                phase.mrc_a =
+                    parseNumber(next_token("decay_ways"), line_no);
+            } else if (kind == "cliff") {
+                phase.mrc_kind = PhaseBuilder::MrcKind::Cliff;
+                phase.mrc_a = parseNumber(next_token("knee"), line_no);
+                phase.mrc_b = parseNumber(next_token("width"), line_no);
+            } else {
+                fail(line_no, "unknown mrc kind '" + kind +
+                                  "' (exponential | cliff)");
+            }
+        } else if (key == "miss_penalty") {
+            phase.params.miss_penalty_cycles =
+                parseNumber(next_token(key.c_str()), line_no);
+        } else if (key == "bytes_per_miss") {
+            phase.params.bytes_per_miss =
+                parseNumber(next_token(key.c_str()), line_no);
+        } else if (key == "cache_pressure") {
+            phase.params.cache_pressure =
+                parseNumber(next_token(key.c_str()), line_no);
+        } else if (key == "length") {
+            phase.params.length =
+                parseNumber(next_token(key.c_str()), line_no);
+            if (phase.params.length <= 0)
+                fail(line_no, "length must be positive");
+        } else {
+            fail(line_no, "unknown directive '" + key + "'");
+        }
+    }
+    close_phase(line_no);
+
+    for (const auto& w : out)
+        if (w.phases.empty())
+            SATORI_FATAL("workload '" + w.name + "' has no phases");
+    if (out.empty())
+        SATORI_FATAL("no workload definitions found");
+    return out;
+}
+
+std::vector<WorkloadProfile>
+loadWorkloadFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        SATORI_FATAL("cannot open workload file: " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parseWorkloadText(buffer.str());
+}
+
+std::string
+formatWorkloads(const std::vector<WorkloadProfile>& profiles)
+{
+    std::ostringstream os;
+    os.precision(10);
+    for (const auto& w : profiles) {
+        os << "workload " << w.name << "\n";
+        os << "  suite " << w.suite << "\n";
+        if (!w.description.empty())
+            os << "  description " << w.description << "\n";
+        os << "  fixed_work " << w.fixed_work << "\n";
+        for (const auto& p : w.phases) {
+            os << "  phase " << p.label << "\n";
+            os << "    base_ipc " << p.base_ipc << "\n";
+            os << "    parallel_fraction " << p.parallel_fraction
+               << "\n";
+            os << "    mpki_one " << p.mrc.mpki(1) << "\n";
+            os << "    mpki_floor " << p.mrc.floorMpki() << "\n";
+            // Exponential export approximates arbitrary curves by
+            // their 1-way/floor endpoints and the half-way decay.
+            double decay = 3.0;
+            const double one = p.mrc.mpki(1);
+            const double floor_v = p.mrc.floorMpki();
+            if (one > floor_v + 1e-12) {
+                // Find ways where half the excess is gone.
+                for (int w_i = 1; w_i <= 32; ++w_i) {
+                    if (p.mrc.mpki(w_i) <=
+                        floor_v + 0.5 * (one - floor_v)) {
+                        decay = std::max(
+                            0.5, (static_cast<double>(w_i) - 1.0) /
+                                     0.6931);
+                        break;
+                    }
+                }
+            }
+            os << "    mrc exponential " << decay << "\n";
+            os << "    miss_penalty " << p.miss_penalty_cycles << "\n";
+            os << "    bytes_per_miss " << p.bytes_per_miss << "\n";
+            os << "    cache_pressure " << p.cache_pressure << "\n";
+            os << "    length " << p.length << "\n";
+        }
+    }
+    return os.str();
+}
+
+} // namespace workloads
+} // namespace satori

@@ -1,0 +1,66 @@
+#include "satori/workloads/mixes.hpp"
+
+#include "satori/common/logging.hpp"
+#include "satori/workloads/suites.hpp"
+
+namespace satori {
+namespace workloads {
+
+std::vector<std::vector<std::size_t>>
+combinations(std::size_t n, std::size_t k)
+{
+    SATORI_ASSERT(k >= 1 && k <= n);
+    std::vector<std::vector<std::size_t>> out;
+    std::vector<std::size_t> current(k);
+    for (std::size_t i = 0; i < k; ++i)
+        current[i] = i;
+    while (true) {
+        out.push_back(current);
+        // Find the rightmost element that can still be advanced.
+        std::size_t i = k;
+        while (i-- > 0) {
+            if (current[i] < n - k + i)
+                break;
+            if (i == 0)
+                return out;
+        }
+        if (current[i] >= n - k + i)
+            return out;
+        ++current[i];
+        for (std::size_t j = i + 1; j < k; ++j)
+            current[j] = current[j - 1] + 1;
+    }
+}
+
+std::vector<JobMix>
+allMixes(const std::vector<WorkloadProfile>& suite, std::size_t k)
+{
+    std::vector<JobMix> out;
+    for (const auto& combo : combinations(suite.size(), k)) {
+        JobMix mix;
+        for (std::size_t idx : combo) {
+            if (!mix.label.empty())
+                mix.label += "+";
+            mix.label += suite[idx].name;
+            mix.jobs.push_back(suite[idx]);
+        }
+        out.push_back(std::move(mix));
+    }
+    return out;
+}
+
+JobMix
+mixOf(const std::vector<std::string>& names)
+{
+    JobMix mix;
+    for (const auto& name : names) {
+        if (!mix.label.empty())
+            mix.label += "+";
+        mix.label += name;
+        mix.jobs.push_back(workloadByName(name));
+    }
+    return mix;
+}
+
+} // namespace workloads
+} // namespace satori

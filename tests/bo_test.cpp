@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the Bayesian-optimization stack: kernels, the Gaussian
+ * process, acquisition functions, candidate generation, and the
+ * engine's suggestion behaviour.
+ */
+
+#include <cmath>
+
+#include <set>
+#include <gtest/gtest.h>
+
+#include "satori/bo/acquisition.hpp"
+#include "satori/bo/candidates.hpp"
+#include "satori/bo/engine.hpp"
+#include "satori/bo/gp.hpp"
+#include "satori/bo/kernel.hpp"
+#include "satori/common/rng.hpp"
+#include "satori/config/enumeration.hpp"
+
+namespace satori {
+namespace bo {
+namespace {
+
+TEST(KernelTest, SelfCovarianceIsSignalVariance)
+{
+    const Matern52Kernel m(0.5, 2.0);
+    const RbfKernel r(0.5, 3.0);
+    const RealVec x{0.1, 0.2};
+    EXPECT_NEAR(m.covariance(x, x), 2.0, 1e-12);
+    EXPECT_NEAR(r.covariance(x, x), 3.0, 1e-12);
+}
+
+TEST(KernelTest, SymmetricAndDecayingWithDistance)
+{
+    const Matern52Kernel k(0.4);
+    const RealVec a{0.0, 0.0}, b{0.2, 0.1}, c{0.9, 0.9};
+    EXPECT_DOUBLE_EQ(k.covariance(a, b), k.covariance(b, a));
+    EXPECT_GT(k.covariance(a, b), k.covariance(a, c));
+    EXPECT_GT(k.covariance(a, b), 0.0);
+}
+
+TEST(KernelTest, LengthScaleControlsReach)
+{
+    const RealVec a{0.0}, b{0.5};
+    const Matern52Kernel narrow(0.1), wide(1.0);
+    EXPECT_LT(narrow.covariance(a, b), wide.covariance(a, b));
+}
+
+TEST(KernelTest, WithLengthScaleProducesSameFamily)
+{
+    const Matern52Kernel k(0.3, 1.5);
+    auto k2 = k.withLengthScale(0.6);
+    EXPECT_DOUBLE_EQ(k2->lengthScale(), 0.6);
+    EXPECT_DOUBLE_EQ(k2->variance(), 1.5);
+}
+
+TEST(GpTest, InterpolatesTrainingPointsWithLowNoise)
+{
+    GaussianProcess gp(std::make_unique<Matern52Kernel>(0.3), 1e-8);
+    const std::vector<RealVec> xs{{0.0}, {0.5}, {1.0}};
+    const std::vector<double> ys{1.0, 3.0, 2.0};
+    gp.fit(xs, ys);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const auto p = gp.predict(xs[i]);
+        EXPECT_NEAR(p.mean, ys[i], 1e-3);
+        EXPECT_LT(p.stddev(), 0.05);
+    }
+}
+
+TEST(GpTest, UncertaintyGrowsAwayFromData)
+{
+    GaussianProcess gp(std::make_unique<Matern52Kernel>(0.2), 1e-6);
+    gp.fit({{0.0}, {0.1}}, {1.0, 1.1});
+    const auto near = gp.predict({0.05});
+    const auto far = gp.predict({0.9});
+    EXPECT_LT(near.variance, far.variance);
+}
+
+TEST(GpTest, StandardizationHandlesLargeTargets)
+{
+    GaussianProcess gp(std::make_unique<Matern52Kernel>(0.3), 1e-6);
+    gp.fit({{0.0}, {1.0}}, {1e9, 2e9});
+    const auto p = gp.predict({0.0});
+    EXPECT_NEAR(p.mean, 1e9, 1e7);
+}
+
+TEST(GpTest, ConstantTargetsAreSafe)
+{
+    GaussianProcess gp(std::make_unique<Matern52Kernel>(0.3), 1e-6);
+    gp.fit({{0.0}, {0.5}, {1.0}}, {4.0, 4.0, 4.0});
+    EXPECT_NEAR(gp.predict({0.3}).mean, 4.0, 1e-6);
+}
+
+TEST(GpTest, DuplicateInputsDoNotBreakFactorization)
+{
+    GaussianProcess gp(std::make_unique<Matern52Kernel>(0.3), 1e-6);
+    // Same x with different noisy ys: jitter path must engage.
+    gp.fit({{0.5}, {0.5}, {0.5}}, {1.0, 1.2, 0.8});
+    const auto p = gp.predict({0.5});
+    EXPECT_NEAR(p.mean, 1.0, 0.1);
+}
+
+TEST(GpTest, CopySemanticsPreserveFit)
+{
+    GaussianProcess gp(std::make_unique<Matern52Kernel>(0.3), 1e-6);
+    gp.fit({{0.0}, {1.0}}, {1.0, 2.0});
+    GaussianProcess copy(gp);
+    EXPECT_NEAR(copy.predict({0.0}).mean, gp.predict({0.0}).mean, 1e-9);
+    GaussianProcess assigned(std::make_unique<RbfKernel>(0.3));
+    assigned = gp;
+    EXPECT_NEAR(assigned.predict({1.0}).mean, 2.0, 1e-3);
+}
+
+TEST(GpTest, LengthScaleGridImprovesMarginalLikelihood)
+{
+    // Data drawn from a smooth function: a too-short length scale
+    // should lose to a well-matched one under the LML criterion.
+    std::vector<RealVec> xs;
+    std::vector<double> ys;
+    for (int i = 0; i <= 10; ++i) {
+        const double x = i / 10.0;
+        xs.push_back({x});
+        ys.push_back(std::sin(3.0 * x));
+    }
+    GaussianProcess gp(std::make_unique<Matern52Kernel>(0.01), 1e-4);
+    gp.fit(xs, ys);
+    const double lml_short = gp.logMarginalLikelihood();
+    gp.fitWithLengthScaleGrid(xs, ys, {0.01, 0.1, 0.3, 1.0});
+    EXPECT_GE(gp.logMarginalLikelihood(), lml_short);
+    EXPECT_GT(gp.kernel().lengthScale(), 0.01);
+}
+
+TEST(AcquisitionTest, EiZeroWhenNoImprovementPossible)
+{
+    GpPrediction p;
+    p.mean = 0.0;
+    p.variance = 0.0;
+    EXPECT_DOUBLE_EQ(expectedImprovement(p, 1.0), 0.0);
+}
+
+TEST(AcquisitionTest, EiPositiveWithUncertainty)
+{
+    GpPrediction p;
+    p.mean = 0.0;
+    p.variance = 1.0;
+    EXPECT_GT(expectedImprovement(p, 0.5), 0.0);
+}
+
+TEST(AcquisitionTest, EiPrefersHigherMeanAtEqualUncertainty)
+{
+    GpPrediction lo, hi;
+    lo.mean = 0.2;
+    hi.mean = 0.8;
+    lo.variance = hi.variance = 0.04;
+    EXPECT_GT(expectedImprovement(hi, 0.5),
+              expectedImprovement(lo, 0.5));
+}
+
+TEST(AcquisitionTest, ProbabilityOfImprovementBounds)
+{
+    GpPrediction p;
+    p.mean = 1.0;
+    p.variance = 0.04;
+    // Far above the incumbent: PI near 1; far below: near 0.
+    EXPECT_GT(probabilityOfImprovement(p, 0.0), 0.99);
+    EXPECT_LT(probabilityOfImprovement(p, 2.0), 0.01);
+    // Deterministic prediction collapses to an indicator.
+    p.variance = 0.0;
+    EXPECT_DOUBLE_EQ(probabilityOfImprovement(p, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(probabilityOfImprovement(p, 1.5), 0.0);
+    p.variance = 1.0;
+    EXPECT_DOUBLE_EQ(
+        acquisition(AcquisitionKind::ProbabilityOfImprovement, p, 1.0,
+                    0.0, 2.0),
+        0.5);
+}
+
+TEST(AcquisitionTest, UcbCombinesMeanAndSpread)
+{
+    GpPrediction p;
+    p.mean = 1.0;
+    p.variance = 4.0;
+    EXPECT_DOUBLE_EQ(upperConfidenceBound(p, 2.0), 5.0);
+    EXPECT_DOUBLE_EQ(
+        acquisition(AcquisitionKind::Ucb, p, 0.0, 0.01, 2.0), 5.0);
+}
+
+TEST(EngineTest, SuggestsNearMaximumOfSimpleFunction)
+{
+    // f(x) = -(x - 0.7)^2: after a handful of samples the engine
+    // should point near 0.7 rather than the far corner.
+    BoEngine engine;
+    Rng rng(11);
+    for (int i = 0; i < 20; ++i) {
+        const double x = rng.uniform();
+        engine.addSample({x}, -(x - 0.7) * (x - 0.7));
+    }
+    std::vector<RealVec> candidates;
+    for (int i = 0; i <= 50; ++i)
+        candidates.push_back({i / 50.0});
+    const std::size_t pick = engine.suggestIndex(candidates);
+    EXPECT_NEAR(candidates[pick][0], 0.7, 0.25);
+}
+
+TEST(EngineTest, BestObservedTracksMaximum)
+{
+    BoEngine engine;
+    engine.setSamples({{0.0}, {0.5}, {1.0}}, {1.0, 5.0, 3.0});
+    EXPECT_DOUBLE_EQ(engine.bestObserved(), 5.0);
+    EXPECT_EQ(engine.bestIndex(), 1u);
+    EXPECT_EQ(engine.numSamples(), 3u);
+}
+
+TEST(EngineTest, PenaltiesShiftSelection)
+{
+    BoEngine engine;
+    engine.setSamples({{0.0}, {1.0}}, {0.0, 0.0});
+    const std::vector<RealVec> candidates{{0.4}, {0.6}};
+    // Symmetric situation; a huge penalty on one candidate must force
+    // the other to win regardless of acquisition values.
+    const std::size_t pick =
+        engine.suggestIndex(candidates, {1e9, 0.0});
+    EXPECT_EQ(pick, 1u);
+}
+
+TEST(EngineTest, SetSamplesReplacesHistory)
+{
+    BoEngine engine;
+    engine.setSamples({{0.0}}, {1.0});
+    engine.setSamples({{0.2}, {0.4}}, {2.0, 3.0});
+    EXPECT_EQ(engine.numSamples(), 2u);
+    EXPECT_DOUBLE_EQ(engine.bestObserved(), 3.0);
+}
+
+TEST(CandidatesTest, SeedsIncludeEqualPartitionAndAreValid)
+{
+    const PlatformSpec p = PlatformSpec::paperTestbed();
+    ConfigurationSpace space(p, 5);
+    CandidateGenerator gen(space);
+    const auto seeds = gen.seedConfigurations();
+    ASSERT_FALSE(seeds.empty());
+    EXPECT_TRUE(seeds.front() ==
+                Configuration::equalPartition(p, 5));
+    for (const auto& s : seeds)
+        EXPECT_TRUE(s.isValidFor(p, 5));
+}
+
+TEST(CandidatesTest, GenerateIsDeduplicatedAndValid)
+{
+    const PlatformSpec p = PlatformSpec::paperTestbed();
+    ConfigurationSpace space(p, 5);
+    CandidateOptions opt;
+    opt.num_random = 64;
+    CandidateGenerator gen(space, opt);
+    Rng rng(3);
+    const Configuration incumbent = Configuration::equalPartition(p, 5);
+    const auto cands = gen.generate(incumbent, rng);
+    ASSERT_FALSE(cands.empty());
+    std::set<std::uint64_t> ranks;
+    for (const auto& c : cands) {
+        EXPECT_TRUE(c.isValidFor(p, 5));
+        EXPECT_TRUE(ranks.insert(space.rank(c)).second)
+            << "duplicate candidate";
+    }
+}
+
+TEST(CandidatesTest, ConcentratedConfigurationsCoverEveryJob)
+{
+    const PlatformSpec p = PlatformSpec::paperTestbed();
+    ConfigurationSpace space(p, 5);
+    CandidateGenerator gen(space);
+    const auto conc = gen.concentratedConfigurations();
+    ASSERT_FALSE(conc.empty());
+    for (const auto& c : conc)
+        EXPECT_TRUE(c.isValidFor(p, 5));
+    // Some configuration hands one job a large share of the LLC.
+    bool found_heavy = false;
+    for (const auto& c : conc)
+        for (std::size_t j = 0; j < 5; ++j)
+            found_heavy |= (c.units(1, j) >= 7);
+    EXPECT_TRUE(found_heavy);
+}
+
+} // namespace
+} // namespace bo
+} // namespace satori

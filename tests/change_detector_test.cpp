@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests for the CUSUM change detector and its use as SATORI's
+ * reactivation mechanism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "satori/common/logging.hpp"
+#include "satori/common/rng.hpp"
+#include "satori/core/change_detector.hpp"
+#include "satori/core/controller.hpp"
+#include "satori/harness/scenarios.hpp"
+#include "satori/sim/monitor.hpp"
+#include "satori/workloads/mixes.hpp"
+
+namespace satori {
+namespace core {
+namespace {
+
+TEST(ChangeDetectorTest, CalibratesBeforeDetecting)
+{
+    ChangeDetector d;
+    for (int i = 0; i < 14; ++i) {
+        EXPECT_TRUE(d.calibrating());
+        EXPECT_FALSE(d.update(1.0));
+    }
+    d.update(1.0); // final calibration sample
+    EXPECT_FALSE(d.calibrating());
+    EXPECT_NEAR(d.referenceMean(), 1.0, 1e-9);
+}
+
+TEST(ChangeDetectorTest, NoAlarmOnSteadyNoise)
+{
+    ChangeDetector d;
+    Rng rng(3);
+    int alarms = 0;
+    for (int i = 0; i < 1000; ++i)
+        alarms += d.update(rng.gaussian(10.0, 0.3));
+    EXPECT_EQ(alarms, 0);
+}
+
+TEST(ChangeDetectorTest, DetectsDownwardShiftQuickly)
+{
+    ChangeDetector d;
+    Rng rng(5);
+    for (int i = 0; i < 30; ++i)
+        ASSERT_FALSE(d.update(rng.gaussian(10.0, 0.2)));
+    // A 10% drop (5 sigma) must trip within a handful of samples.
+    int steps = 0;
+    bool alarmed = false;
+    for (; steps < 20 && !alarmed; ++steps)
+        alarmed = d.update(rng.gaussian(9.0, 0.2));
+    EXPECT_TRUE(alarmed);
+    EXPECT_LE(steps, 10);
+}
+
+TEST(ChangeDetectorTest, DetectsUpwardShiftToo)
+{
+    ChangeDetector d;
+    Rng rng(7);
+    for (int i = 0; i < 30; ++i)
+        ASSERT_FALSE(d.update(rng.gaussian(10.0, 0.2)));
+    bool alarmed = false;
+    for (int i = 0; i < 20 && !alarmed; ++i)
+        alarmed = d.update(rng.gaussian(11.0, 0.2));
+    EXPECT_TRUE(alarmed);
+}
+
+TEST(ChangeDetectorTest, RecalibratesAfterAlarm)
+{
+    ChangeDetector d;
+    Rng rng(9);
+    for (int i = 0; i < 30; ++i)
+        d.update(rng.gaussian(10.0, 0.2));
+    bool alarmed = false;
+    for (int i = 0; i < 30 && !alarmed; ++i)
+        alarmed = d.update(rng.gaussian(8.0, 0.2));
+    ASSERT_TRUE(alarmed);
+    EXPECT_TRUE(d.calibrating());
+    // After re-calibration at the new level, the new level is normal.
+    int alarms = 0;
+    for (int i = 0; i < 200; ++i)
+        alarms += d.update(rng.gaussian(8.0, 0.2));
+    EXPECT_EQ(alarms, 0);
+}
+
+TEST(ChangeDetectorTest, ConstantSignalUsesSigmaFloor)
+{
+    ChangeDetector d;
+    for (int i = 0; i < 50; ++i)
+        EXPECT_FALSE(d.update(5.0)); // zero variance: floor applies
+    // A clear jump still alarms.
+    bool alarmed = false;
+    for (int i = 0; i < 10 && !alarmed; ++i)
+        alarmed = d.update(4.0);
+    EXPECT_TRUE(alarmed);
+}
+
+TEST(ChangeDetectorTest, InvalidOptionsRejected)
+{
+    ChangeDetectorOptions bad;
+    bad.threshold_sigmas = 0.5; // below slack
+    EXPECT_THROW(ChangeDetector{bad}, PanicError);
+}
+
+TEST(ChangeDetectorTest, CusumReactivationDrivesTheController)
+{
+    // SATORI with CUSUM reactivation must still work end to end and
+    // keep producing valid configurations across phase changes.
+    PlatformSpec p;
+    p.addResource(ResourceKind::Cores, 6);
+    p.addResource(ResourceKind::LlcWays, 6);
+    p.addResource(ResourceKind::MemBandwidth, 6);
+    auto server = harness::makeServer(
+        p, workloads::mixOf({"canneal", "streamcluster", "swaptions"}),
+        11);
+    SatoriOptions opt;
+    opt.use_cusum_reactivation = true;
+    SatoriController satori(p, server.numJobs(), opt);
+    sim::PerfMonitor monitor(server);
+    bool ever_settled = false;
+    for (int i = 0; i < 400; ++i) {
+        const auto next = satori.decide(monitor.observe(0.1));
+        ASSERT_TRUE(next.isValidFor(p, 3));
+        server.setConfiguration(next);
+        ever_settled |= satori.diagnostics().settled;
+        if (i % 100 == 99)
+            monitor.resetBaseline();
+    }
+    EXPECT_TRUE(ever_settled);
+}
+
+} // namespace
+} // namespace core
+} // namespace satori

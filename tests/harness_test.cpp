@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the experiment harness: the runner loop, policy factory,
+ * and %-of-oracle comparison reporting.
+ */
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "satori/common/logging.hpp"
+#include "satori/harness/experiment.hpp"
+#include "satori/harness/repeat.hpp"
+#include "satori/harness/report.hpp"
+#include "satori/harness/scenarios.hpp"
+#include "satori/policies/equal_policy.hpp"
+#include "satori/workloads/mixes.hpp"
+
+namespace satori {
+namespace harness {
+namespace {
+
+PlatformSpec
+smallPlatform()
+{
+    PlatformSpec p;
+    p.addResource(ResourceKind::Cores, 6);
+    p.addResource(ResourceKind::LlcWays, 6);
+    p.addResource(ResourceKind::MemBandwidth, 6);
+    return p;
+}
+
+workloads::JobMix
+smallMix()
+{
+    return workloads::mixOf({"canneal", "streamcluster", "swaptions"});
+}
+
+TEST(ExperimentRunnerTest, AggregatesOverConfiguredDuration)
+{
+    auto server = makeServer(smallPlatform(), smallMix());
+    policies::EqualPartitionPolicy policy(server.platform(), 3);
+    ExperimentOptions opt;
+    opt.duration = 5.0;
+    opt.warmup = 1.0;
+    const ExperimentRunner runner(opt);
+    const auto result = runner.run(server, policy, "small");
+    EXPECT_EQ(result.policy_name, "Equal");
+    EXPECT_EQ(result.mix_label, "small");
+    // 50 intervals total, 10 in warm-up.
+    EXPECT_EQ(result.throughput_stats.count(), 40u);
+    EXPECT_GT(result.mean_throughput, 0.0);
+    EXPECT_GT(result.mean_fairness, 0.0);
+    EXPECT_LE(result.mean_fairness, 1.0);
+    EXPECT_NEAR(result.mean_objective,
+                0.5 * result.mean_throughput +
+                    0.5 * result.mean_fairness,
+                1e-12);
+    EXPECT_NEAR(server.now(), 5.0, 1e-9);
+}
+
+TEST(ExperimentRunnerTest, WorstJobIsMinimumOfJobMeans)
+{
+    auto server = makeServer(smallPlatform(), smallMix());
+    policies::EqualPartitionPolicy policy(server.platform(), 3);
+    ExperimentOptions opt;
+    opt.duration = 5.0;
+    const ExperimentRunner runner(opt);
+    const auto result = runner.run(server, policy, "");
+    ASSERT_EQ(result.job_mean_speedups.size(), 3u);
+    double min = 1.0;
+    for (double s : result.job_mean_speedups)
+        min = std::min(min, s);
+    EXPECT_DOUBLE_EQ(result.worst_job_speedup, min);
+}
+
+TEST(ExperimentRunnerTest, SeriesRecordedOnRequest)
+{
+    auto server = makeServer(smallPlatform(), smallMix());
+    policies::EqualPartitionPolicy policy(server.platform(), 3);
+    ExperimentOptions opt;
+    opt.duration = 3.0;
+    opt.warmup = 0.0;
+    opt.record_series = true;
+    const ExperimentRunner runner(opt);
+    const auto result = runner.run(server, policy, "");
+    EXPECT_EQ(result.throughput_series.size(), 30u);
+    EXPECT_EQ(result.fairness_series.size(), 30u);
+}
+
+TEST(ExperimentRunnerTest, OnIntervalHookSeesEveryInterval)
+{
+    auto server = makeServer(smallPlatform(), smallMix());
+    policies::EqualPartitionPolicy policy(server.platform(), 3);
+    ExperimentOptions opt;
+    opt.duration = 2.0;
+    int calls = 0;
+    opt.on_interval = [&](const sim::IntervalObservation& obs, double t,
+                          double f) {
+        ++calls;
+        EXPECT_GT(obs.time, 0.0);
+        EXPECT_GE(t, 0.0);
+        EXPECT_GE(f, 0.0);
+    };
+    ExperimentRunner(opt).run(server, policy, "");
+    EXPECT_EQ(calls, 20);
+}
+
+TEST(PolicyFactoryTest, AllNamesConstruct)
+{
+    auto server = makeServer(smallPlatform(), smallMix());
+    for (const auto& name :
+         {"Equal", "Random", "dCAT", "CoPart", "PARTIES", "SATORI",
+          "SATORI-static", "Throughput-SATORI", "Fairness-SATORI",
+          "Balanced-Oracle", "Throughput-Oracle", "Fairness-Oracle"}) {
+        auto policy = makePolicy(name, server);
+        ASSERT_NE(policy, nullptr) << name;
+        EXPECT_EQ(policy->name(), name);
+    }
+    EXPECT_THROW(makePolicy("Quantum", server), FatalError);
+}
+
+TEST(PolicyFactoryTest, ComparisonSetMatchesPaperFigure)
+{
+    const auto names = comparisonPolicyNames();
+    EXPECT_EQ(names, (std::vector<std::string>{"Random", "dCAT",
+                                               "CoPart", "PARTIES",
+                                               "SATORI"}));
+    EXPECT_EQ(satoriVariantNames().size(), 4u);
+}
+
+TEST(ComparePoliciesTest, NormalizesAgainstBalancedOracle)
+{
+    ExperimentOptions opt;
+    opt.duration = 8.0;
+    const MixComparison comp = comparePolicies(
+        smallPlatform(), smallMix(), {"Equal", "Random"}, opt, 42);
+    EXPECT_EQ(comp.scores.size(), 2u);
+    EXPECT_GT(comp.oracle.mean_throughput, 0.0);
+    for (const auto& s : comp.scores) {
+        EXPECT_GT(s.throughput_pct, 0.0);
+        EXPECT_GT(s.fairness_pct, 0.0);
+        EXPECT_NEAR(s.throughput_pct,
+                    s.result.mean_throughput /
+                        comp.oracle.mean_throughput,
+                    1e-12);
+    }
+    EXPECT_NO_THROW(comp.score("Equal"));
+    EXPECT_THROW(comp.score("SATORI"), FatalError);
+}
+
+TEST(ComparePoliciesTest, AggregateHelpers)
+{
+    ExperimentOptions opt;
+    opt.duration = 6.0;
+    std::vector<MixComparison> comps;
+    comps.push_back(comparePolicies(smallPlatform(), smallMix(),
+                                    {"Equal"}, opt, 1));
+    comps.push_back(comparePolicies(smallPlatform(), smallMix(),
+                                    {"Equal"}, opt, 2));
+    const double t = meanThroughputPct(comps, "Equal");
+    const double f = meanFairnessPct(comps, "Equal");
+    const double w = meanWorstJobPct(comps, "Equal");
+    EXPECT_GT(t, 0.0);
+    EXPECT_GT(f, 0.0);
+    EXPECT_GT(w, 0.0);
+    EXPECT_NEAR(t,
+                (comps[0].score("Equal").throughput_pct +
+                 comps[1].score("Equal").throughput_pct) /
+                    2.0,
+                1e-12);
+}
+
+TEST(RepeatPolicyTest, AggregatesAcrossSeeds)
+{
+    ExperimentOptions opt;
+    opt.duration = 5.0;
+    const auto rep = repeatPolicy(smallPlatform(), smallMix(), "Equal",
+                                  opt, 4, 100);
+    EXPECT_EQ(rep.policy, "Equal");
+    EXPECT_EQ(rep.runs, 4u);
+    EXPECT_GT(rep.throughput.mean, 0.0);
+    EXPECT_GT(rep.objective.mean, 0.0);
+    // Several noisy seeds give a non-degenerate confidence interval.
+    EXPECT_GT(rep.throughput.ci95, 0.0);
+    EXPECT_NE(rep.objective.toString().find("+/-"), std::string::npos);
+}
+
+TEST(RepeatPolicyTest, ClearlyBeatsIsConservative)
+{
+    RepeatedResult a, b;
+    a.objective.mean = 0.8;
+    a.objective.ci95 = 0.02;
+    b.objective.mean = 0.7;
+    b.objective.ci95 = 0.02;
+    EXPECT_TRUE(a.clearlyBeats(b));
+    EXPECT_FALSE(b.clearlyBeats(a));
+    // Overlapping intervals: no clear winner either way.
+    b.objective.mean = 0.79;
+    EXPECT_FALSE(a.clearlyBeats(b));
+    EXPECT_FALSE(b.clearlyBeats(a));
+}
+
+TEST(RepeatPolicyTest, SingleRunHasNoInterval)
+{
+    ExperimentOptions opt;
+    opt.duration = 3.0;
+    const auto rep = repeatPolicy(smallPlatform(), smallMix(), "Equal",
+                                  opt, 1, 7);
+    EXPECT_DOUBLE_EQ(rep.throughput.ci95, 0.0);
+}
+
+} // namespace
+} // namespace harness
+} // namespace satori

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the dense linear algebra used by the GP: matrix
+ * operations and Cholesky factorization/solves.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "satori/common/rng.hpp"
+#include "satori/linalg/cholesky.hpp"
+#include "satori/linalg/matrix.hpp"
+
+namespace satori {
+namespace linalg {
+namespace {
+
+TEST(MatrixTest, IdentityAndElementAccess)
+{
+    Matrix m = Matrix::identity(3);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+    m(0, 1) = 5.0;
+    EXPECT_DOUBLE_EQ(m(0, 1), 5.0);
+}
+
+TEST(MatrixTest, MatrixVectorProduct)
+{
+    Matrix m(2, 3);
+    // [1 2 3; 4 5 6] * [1 1 1]^T = [6 15]^T
+    int v = 1;
+    for (std::size_t r = 0; r < 2; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            m(r, c) = v++;
+    const auto out = m.multiply(std::vector<double>{1.0, 1.0, 1.0});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_DOUBLE_EQ(out[0], 6.0);
+    EXPECT_DOUBLE_EQ(out[1], 15.0);
+}
+
+TEST(MatrixTest, MatrixMatrixProduct)
+{
+    Matrix a(2, 2), b(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 3;
+    a(1, 1) = 4;
+    b(0, 0) = 5;
+    b(0, 1) = 6;
+    b(1, 0) = 7;
+    b(1, 1) = 8;
+    const Matrix c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, Transpose)
+{
+    Matrix m(2, 3);
+    m(0, 2) = 7.0;
+    const Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_DOUBLE_EQ(t(2, 0), 7.0);
+}
+
+TEST(MatrixTest, AddDiagonal)
+{
+    Matrix m(2, 2);
+    m.addDiagonal(3.0);
+    EXPECT_DOUBLE_EQ(m(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(m(1, 1), 3.0);
+    EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(DotTest, KnownValue)
+{
+    EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, 4.0}), 11.0);
+}
+
+TEST(CholeskyTest, FactorOfKnownSpdMatrix)
+{
+    // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]]
+    Matrix a(2, 2);
+    a(0, 0) = 4;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 3;
+    Cholesky chol(a);
+    EXPECT_DOUBLE_EQ(chol.jitter(), 0.0);
+    const Matrix& l = chol.factor();
+    EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+    EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+    EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+    EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+}
+
+TEST(CholeskyTest, SolveRecoversKnownSolution)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 4;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 3;
+    // x = [1, 2] -> b = A x = [8, 8]
+    const auto x = Cholesky(a).solve({8.0, 8.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-10);
+    EXPECT_NEAR(x[1], 2.0, 1e-10);
+}
+
+TEST(CholeskyTest, LogDetMatchesKnownValue)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 4;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 3;
+    // det(A) = 8
+    EXPECT_NEAR(Cholesky(a).logDet(), std::log(8.0), 1e-10);
+}
+
+TEST(CholeskyTest, SingularMatrixGetsJitter)
+{
+    // Rank-1 matrix: [1 1; 1 1] is PSD but singular.
+    Matrix a(2, 2, 1.0);
+    Cholesky chol(a);
+    EXPECT_GT(chol.jitter(), 0.0);
+    // Still produces a usable solve (approximate).
+    const auto x = chol.solve({2.0, 2.0});
+    EXPECT_NEAR(x[0] + x[1], 2.0, 1e-3);
+}
+
+TEST(CholeskyTest, TriangularSolvesAreConsistent)
+{
+    Matrix a(3, 3);
+    a(0, 0) = 6;
+    a(1, 1) = 5;
+    a(2, 2) = 7;
+    a(0, 1) = a(1, 0) = 1;
+    a(0, 2) = a(2, 0) = 2;
+    a(1, 2) = a(2, 1) = 1;
+    Cholesky chol(a);
+    const std::vector<double> b{1.0, 2.0, 3.0};
+    const auto y = chol.solveLower(b);
+    const auto x = chol.solveUpper(y);
+    // Verify A x = b.
+    const auto back = a.multiply(x);
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(back[i], b[i], 1e-10);
+}
+
+/** Property sweep: random SPD systems of growing size solve exactly. */
+class CholeskyProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CholeskyProperty, RandomSpdSystemsSolve)
+{
+    const int n = GetParam();
+    Rng rng(1000 + static_cast<std::uint64_t>(n));
+    // A = B B^T + n*I is SPD.
+    Matrix b(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    for (std::size_t r = 0; r < b.rows(); ++r)
+        for (std::size_t c = 0; c < b.cols(); ++c)
+            b(r, c) = rng.uniform(-1.0, 1.0);
+    Matrix a = b.multiply(b.transposed());
+    a.addDiagonal(static_cast<double>(n));
+
+    std::vector<double> x_true(static_cast<std::size_t>(n));
+    for (auto& v : x_true)
+        v = rng.uniform(-5.0, 5.0);
+    const auto rhs = a.multiply(x_true);
+
+    const auto x = Cholesky(a).solve(rhs);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_NEAR(x[i], x_true[i], 1e-7) << "n=" << n << " i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyProperty,
+                         ::testing::Values(1, 2, 5, 10, 25, 60));
+
+} // namespace
+} // namespace linalg
+} // namespace satori

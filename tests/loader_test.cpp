@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the workload-definition loader: parsing, validation
+ * errors with line numbers, file I/O, and round-tripping.
+ */
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "satori/common/logging.hpp"
+#include "satori/workloads/loader.hpp"
+#include "satori/workloads/suites.hpp"
+
+namespace satori {
+namespace workloads {
+namespace {
+
+const char* kValid = R"(
+# a custom workload
+workload mykernel
+  suite custom
+  description My streaming kernel
+  fixed_work 3e11
+  phase compute
+    base_ipc 1.5
+    parallel_fraction 0.9
+    mpki_one 20
+    mpki_floor 4
+    mrc exponential 3.0
+    miss_penalty 140
+    bytes_per_miss 85
+    cache_pressure 0.3
+    length 1.2e10
+  phase stream
+    base_ipc 1.8
+    parallel_fraction 0.95
+    mpki_one 15
+    mpki_floor 10
+    mrc cliff 5.0 1.0
+    length 8e9
+
+workload second
+  phase only
+    base_ipc 1.0
+    length 1e9
+)";
+
+TEST(LoaderTest, ParsesValidDefinitions)
+{
+    const auto profiles = parseWorkloadText(kValid);
+    ASSERT_EQ(profiles.size(), 2u);
+
+    const auto& w = profiles[0];
+    EXPECT_EQ(w.name, "mykernel");
+    EXPECT_EQ(w.suite, "custom");
+    EXPECT_EQ(w.description, "My streaming kernel");
+    EXPECT_DOUBLE_EQ(w.fixed_work, 3e11);
+    ASSERT_EQ(w.phases.size(), 2u);
+
+    const auto& compute = w.phases[0];
+    EXPECT_EQ(compute.label, "compute");
+    EXPECT_DOUBLE_EQ(compute.base_ipc, 1.5);
+    EXPECT_DOUBLE_EQ(compute.parallel_fraction, 0.9);
+    EXPECT_NEAR(compute.mrc.mpki(1), 20.0, 1e-9);
+    EXPECT_NEAR(compute.mrc.floorMpki(), 4.0, 1e-9);
+    EXPECT_DOUBLE_EQ(compute.miss_penalty_cycles, 140.0);
+    EXPECT_DOUBLE_EQ(compute.bytes_per_miss, 85.0);
+    EXPECT_DOUBLE_EQ(compute.cache_pressure, 0.3);
+    EXPECT_DOUBLE_EQ(compute.length, 1.2e10);
+
+    // The cliff MRC really has a knee.
+    const auto& stream = w.phases[1];
+    EXPECT_GT(stream.mrc.mpki(3) - stream.mrc.mpki(7), 1.0);
+
+    EXPECT_EQ(profiles[1].phases.size(), 1u);
+}
+
+TEST(LoaderTest, DefaultsApplyForOmittedDirectives)
+{
+    const auto profiles = parseWorkloadText(
+        "workload w\n phase p\n  base_ipc 2.0\n  length 1e9\n");
+    const auto& p = profiles[0].phases[0];
+    EXPECT_DOUBLE_EQ(p.base_ipc, 2.0);
+    EXPECT_GT(p.miss_penalty_cycles, 0.0);
+    EXPECT_GT(p.bytes_per_miss, 0.0);
+}
+
+TEST(LoaderTest, ErrorsCarryLineNumbers)
+{
+    try {
+        parseWorkloadText("workload w\n phase p\n  bogus_key 1\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(LoaderTest, RejectsMalformedInput)
+{
+    // Directive before any workload.
+    EXPECT_THROW(parseWorkloadText("phase p\n"), FatalError);
+    // Phase directive outside a phase.
+    EXPECT_THROW(parseWorkloadText("workload w\nbase_ipc 1\n"),
+                 FatalError);
+    // Workload without phases.
+    EXPECT_THROW(parseWorkloadText("workload w\n"), FatalError);
+    // Bad number.
+    EXPECT_THROW(
+        parseWorkloadText("workload w\nphase p\nbase_ipc abc\n"),
+        FatalError);
+    // Invalid parallel fraction.
+    EXPECT_THROW(parseWorkloadText("workload w\nphase p\n"
+                                   "parallel_fraction 1.5\nlength 1\n"),
+                 FatalError);
+    // mpki_one below floor.
+    EXPECT_THROW(parseWorkloadText("workload w\nphase p\nmpki_one 1\n"
+                                   "mpki_floor 5\nlength 1\n"),
+                 FatalError);
+    // Unknown MRC kind.
+    EXPECT_THROW(
+        parseWorkloadText("workload w\nphase p\nmrc weird 1\n"),
+        FatalError);
+    // Empty input.
+    EXPECT_THROW(parseWorkloadText("# only a comment\n"), FatalError);
+}
+
+TEST(LoaderTest, LoadsFromFile)
+{
+    const std::string path = "/tmp/satori_loader_test.wl";
+    {
+        std::ofstream out(path);
+        out << kValid;
+    }
+    const auto profiles = loadWorkloadFile(path);
+    EXPECT_EQ(profiles.size(), 2u);
+    std::remove(path.c_str());
+    EXPECT_THROW(loadWorkloadFile("/nonexistent/nope.wl"), FatalError);
+}
+
+TEST(LoaderTest, FormatRoundTripsStructure)
+{
+    const auto original = parseWorkloadText(kValid);
+    const std::string text = formatWorkloads(original);
+    const auto reparsed = parseWorkloadText(text);
+    ASSERT_EQ(reparsed.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(reparsed[i].name, original[i].name);
+        ASSERT_EQ(reparsed[i].phases.size(), original[i].phases.size());
+        for (std::size_t p = 0; p < original[i].phases.size(); ++p) {
+            EXPECT_DOUBLE_EQ(reparsed[i].phases[p].base_ipc,
+                             original[i].phases[p].base_ipc);
+            EXPECT_DOUBLE_EQ(reparsed[i].phases[p].length,
+                             original[i].phases[p].length);
+        }
+    }
+}
+
+TEST(LoaderTest, BuiltInSuitesExportAndReload)
+{
+    // The exporter must emit a loadable template for every built-in.
+    const auto exported = formatWorkloads(parsecSuite());
+    const auto reloaded = parseWorkloadText(exported);
+    EXPECT_EQ(reloaded.size(), parsecSuite().size());
+}
+
+} // namespace
+} // namespace workloads
+} // namespace satori

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the throughput and fairness metrics of Sec. II.
+ */
+
+#include <gtest/gtest.h>
+
+#include "satori/metrics/metrics.hpp"
+
+namespace satori {
+namespace {
+
+TEST(SpeedupsTest, RatioOfIpsToIsolation)
+{
+    const auto s = speedups({5.0, 2.0}, {10.0, 4.0});
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s[0], 0.5);
+    EXPECT_DOUBLE_EQ(s[1], 0.5);
+}
+
+TEST(JainIndexTest, PerfectFairnessIsOne)
+{
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({0.5, 0.5, 0.5}), 1.0);
+}
+
+TEST(JainIndexTest, KnownUnfairValue)
+{
+    // Speedups {1, 0}: mean 0.5, stddev 0.5 -> CoV 1 -> Jain 0.5.
+    EXPECT_NEAR(jainFairnessIndex({1.0, 0.0}), 0.5, 1e-12);
+}
+
+TEST(JainIndexTest, SingleJobTriviallyFair)
+{
+    EXPECT_DOUBLE_EQ(jainFairnessIndex({0.37}), 1.0);
+}
+
+TEST(JainIndexTest, BoundedInUnitInterval)
+{
+    const std::vector<std::vector<double>> cases{
+        {0.9, 0.1, 0.5}, {1.0, 1.0}, {0.01, 0.99, 0.5, 0.5}};
+    for (const auto& c : cases) {
+        const double f = jainFairnessIndex(c);
+        EXPECT_GT(f, 0.0);
+        EXPECT_LE(f, 1.0);
+    }
+}
+
+TEST(OneMinusCovTest, CanGoNegative)
+{
+    // Very skewed speedups: CoV > 1 -> fairness < 0 (Sec. II).
+    const double f = oneMinusCovFairness({1.0, 0.01, 0.01});
+    EXPECT_LT(f, 0.0);
+    EXPECT_DOUBLE_EQ(oneMinusCovFairness({0.4, 0.4}), 1.0);
+}
+
+TEST(FairnessDispatch, MetricSelector)
+{
+    const std::vector<double> s{0.6, 0.4};
+    EXPECT_DOUBLE_EQ(fairness(FairnessMetric::JainIndex, s),
+                     jainFairnessIndex(s));
+    EXPECT_DOUBLE_EQ(fairness(FairnessMetric::OneMinusCov, s),
+                     oneMinusCovFairness(s));
+}
+
+TEST(ThroughputTest, SumIps)
+{
+    EXPECT_DOUBLE_EQ(
+        throughput(ThroughputMetric::SumIps, {1e9, 2e9}, {2e9, 4e9}),
+        3e9);
+}
+
+TEST(ThroughputTest, SpeedupStatistics)
+{
+    const std::vector<Ips> ips{1.0, 4.0};
+    const std::vector<Ips> iso{4.0, 4.0}; // speedups 0.25, 1.0
+    EXPECT_NEAR(throughput(ThroughputMetric::GeomeanSpeedup, ips, iso),
+                0.5, 1e-12);
+    EXPECT_NEAR(throughput(ThroughputMetric::HarmonicSpeedup, ips, iso),
+                0.4, 1e-12);
+}
+
+TEST(NormalizedThroughputTest, ScaleStretchesRange)
+{
+    // 2 jobs -> scale = min(1, 2/2 + 0.2) = 1.0.
+    EXPECT_NEAR(colocationThroughputScale(2), 1.0, 1e-12);
+    // 5 jobs -> 0.6.
+    EXPECT_NEAR(colocationThroughputScale(5), 0.6, 1e-12);
+    // 10 jobs -> 0.4.
+    EXPECT_NEAR(colocationThroughputScale(10), 0.4, 1e-12);
+}
+
+TEST(NormalizedThroughputTest, ClampedToUnitInterval)
+{
+    // Sum IPS equal to isolation sum: raw ratio 1 / 0.6 scale -> clamp 1.
+    const std::vector<Ips> ips{1.0, 1.0, 1.0, 1.0, 1.0};
+    const std::vector<Ips> iso{1.0, 1.0, 1.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(
+        normalizedThroughput(ThroughputMetric::SumIps, ips, iso), 1.0);
+}
+
+TEST(NormalizedThroughputTest, SumIpsRatioScaled)
+{
+    // 5 jobs, measured sum = 30% of isolation sum -> 0.3/0.6 = 0.5.
+    const std::vector<Ips> ips{0.3, 0.3, 0.3, 0.3, 0.3};
+    const std::vector<Ips> iso{1.0, 1.0, 1.0, 1.0, 1.0};
+    EXPECT_NEAR(normalizedThroughput(ThroughputMetric::SumIps, ips, iso),
+                0.5, 1e-12);
+}
+
+TEST(NormalizedFairnessTest, OneMinusCovClampedAtZero)
+{
+    EXPECT_DOUBLE_EQ(normalizedFairness(FairnessMetric::OneMinusCov,
+                                        {1.0, 0.01, 0.01}),
+                     0.0);
+}
+
+/** Property: Jain's index is scale-invariant in the speedups. */
+class JainScaleInvariance : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(JainScaleInvariance, ScalingAllSpeedupsPreservesIndex)
+{
+    const double scale = GetParam();
+    const std::vector<double> base{0.2, 0.5, 0.9, 0.4};
+    std::vector<double> scaled;
+    for (double v : base)
+        scaled.push_back(v * scale);
+    EXPECT_NEAR(jainFairnessIndex(base), jainFairnessIndex(scaled),
+                1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, JainScaleInvariance,
+                         ::testing::Values(0.1, 0.5, 2.0, 10.0));
+
+/** Property: Jain decreases as one job's speedup diverges. */
+class JainMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(JainMonotonicity, DivergingSpeedupReducesFairness)
+{
+    const double delta = GetParam();
+    const double base = jainFairnessIndex({0.5, 0.5, 0.5});
+    const double skew = jainFairnessIndex({0.5 + delta, 0.5, 0.5});
+    EXPECT_LT(skew, base);
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, JainMonotonicity,
+                         ::testing::Values(0.1, 0.2, 0.4));
+
+} // namespace
+} // namespace satori

@@ -1,0 +1,318 @@
+/**
+ * @file
+ * satori_sim: the command-line driver for the SATORI co-location
+ * simulator. Compose a workload mix, pick a partitioning policy,
+ * run it on the (paper-shaped or custom) simulated server, and get
+ * aggregate metrics - optionally with a per-interval trace for
+ * offline analysis.
+ *
+ * Examples:
+ *   satori_sim --mix canneal,streamcluster,vips --policy SATORI
+ *   satori_sim --mix minife,swfft --policy PARTIES --duration 60
+ *   satori_sim --suite parsec --jobs 5 --mix-index 20 \
+ *              --policy SATORI --trace run.jsonl --trace-format jsonl
+ *   satori_sim --list-workloads
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "satori/satori.hpp"
+
+using namespace satori;
+
+namespace {
+
+struct CliArgs
+{
+    std::vector<std::string> mix_names;
+    std::string suite;
+    std::size_t jobs = 0;
+    int mix_index = -1;
+    std::string policy = "SATORI";
+    double duration = 30.0;
+    std::uint64_t seed = 42;
+    double noise = 0.04;
+    int cores = 10;
+    int ways = 11;
+    int bw = 10;
+    int power = 0; ///< 0 = no power-cap resource.
+    std::string workload_file;
+    std::string trace_path;
+    std::string trace_format = "csv";
+    bool compare_oracle = false;
+    bool list_workloads = false;
+    bool help = false;
+};
+
+void
+printUsage()
+{
+    std::printf(
+        "satori_sim - SATORI co-location simulator\n\n"
+        "workload selection (choose one):\n"
+        "  --mix a,b,c           comma-separated workload names\n"
+        "  --suite S --jobs K [--mix-index I]\n"
+        "                        the I-th K-job mix of suite S\n"
+        "                        (parsec | cloudsuite | ecp; default I=0)\n"
+        "  --workload-file FILE  also load custom workload definitions\n"
+        "  --list-workloads      print every available workload and exit\n\n"
+        "policy and run control:\n"
+        "  --policy P            Equal | Random | dCAT | CoPart | PARTIES |\n"
+        "                        CLITE | SATORI | SATORI-static |\n"
+        "                        Throughput-SATORI | Fairness-SATORI |\n"
+        "                        Balanced-Oracle | Throughput-Oracle |\n"
+        "                        Fairness-Oracle   (default SATORI)\n"
+        "  --duration SECONDS    simulated time (default 30)\n"
+        "  --seed N              RNG seed (default 42)\n"
+        "  --noise SIGMA         measurement-noise sigma (default 0.04)\n"
+        "  --compare-oracle      also run the Balanced Oracle and report %%\n\n"
+        "platform (default: the paper's 10 cores / 11 ways / 10 MBA):\n"
+        "  --cores N --ways N --bw N [--power N]\n\n"
+        "output:\n"
+        "  --trace FILE          write a per-interval trace\n"
+        "  --trace-format F      csv | jsonl (default csv)\n");
+}
+
+std::optional<CliArgs>
+parse(int argc, char** argv)
+{
+    CliArgs args;
+    auto need_value = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", argv[i]);
+            return nullptr;
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        const char* v = nullptr;
+        if (flag == "--help" || flag == "-h") {
+            args.help = true;
+        } else if (flag == "--list-workloads") {
+            args.list_workloads = true;
+        } else if (flag == "--compare-oracle") {
+            args.compare_oracle = true;
+        } else if (flag == "--mix") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            std::stringstream ss(v);
+            std::string name;
+            while (std::getline(ss, name, ','))
+                if (!name.empty())
+                    args.mix_names.push_back(name);
+        } else if (flag == "--suite") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.suite = v;
+        } else if (flag == "--jobs") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.jobs = static_cast<std::size_t>(std::atoi(v));
+        } else if (flag == "--mix-index") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.mix_index = std::atoi(v);
+        } else if (flag == "--policy") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.policy = v;
+        } else if (flag == "--duration") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.duration = std::atof(v);
+        } else if (flag == "--seed") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (flag == "--noise") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.noise = std::atof(v);
+        } else if (flag == "--cores") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.cores = std::atoi(v);
+        } else if (flag == "--ways") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.ways = std::atoi(v);
+        } else if (flag == "--bw") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.bw = std::atoi(v);
+        } else if (flag == "--power") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.power = std::atoi(v);
+        } else if (flag == "--workload-file") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.workload_file = v;
+        } else if (flag == "--trace") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.trace_path = v;
+        } else if (flag == "--trace-format") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.trace_format = v;
+        } else {
+            std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+            return std::nullopt;
+        }
+    }
+    return args;
+}
+
+void
+listWorkloads()
+{
+    TablePrinter table({"name", "suite", "description"});
+    for (const auto* suite : {"parsec", "cloudsuite", "ecp"})
+        for (const auto& w : workloads::suiteByName(suite))
+            table.addRow({w.name, w.suite, w.description});
+    table.print();
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto parsed = parse(argc, argv);
+    if (!parsed) {
+        printUsage();
+        return 2;
+    }
+    const CliArgs& args = *parsed;
+    if (args.help) {
+        printUsage();
+        return 0;
+    }
+    if (args.list_workloads) {
+        listWorkloads();
+        return 0;
+    }
+
+    try {
+        // --- Resolve the mix ---------------------------------------
+        std::vector<workloads::WorkloadProfile> custom;
+        if (!args.workload_file.empty())
+            custom = workloads::loadWorkloadFile(args.workload_file);
+        workloads::JobMix mix;
+        if (!args.mix_names.empty()) {
+            // Custom workloads shadow built-ins of the same name.
+            for (const auto& name : args.mix_names) {
+                bool found = false;
+                for (const auto& w : custom) {
+                    if (w.name == name) {
+                        if (!mix.label.empty())
+                            mix.label += "+";
+                        mix.label += name;
+                        mix.jobs.push_back(w);
+                        found = true;
+                        break;
+                    }
+                }
+                if (!found) {
+                    const auto w = workloads::workloadByName(name);
+                    if (!mix.label.empty())
+                        mix.label += "+";
+                    mix.label += name;
+                    mix.jobs.push_back(w);
+                }
+            }
+        } else if (!args.suite.empty() && args.jobs > 0) {
+            const auto mixes = workloads::allMixes(
+                workloads::suiteByName(args.suite), args.jobs);
+            const auto idx = static_cast<std::size_t>(
+                args.mix_index < 0 ? 0 : args.mix_index);
+            if (idx >= mixes.size()) {
+                std::fprintf(stderr,
+                             "mix index %zu out of range (%zu mixes)\n",
+                             idx, mixes.size());
+                return 2;
+            }
+            mix = mixes[idx];
+        } else {
+            std::fprintf(stderr, "no workloads selected\n\n");
+            printUsage();
+            return 2;
+        }
+
+        // --- Build the platform -------------------------------------
+        PlatformSpec platform;
+        platform.addResource(ResourceKind::Cores, args.cores);
+        platform.addResource(ResourceKind::LlcWays, args.ways);
+        platform.addResource(ResourceKind::MemBandwidth, args.bw);
+        if (args.power > 0)
+            platform.addResource(ResourceKind::PowerCap, args.power);
+
+        sim::SimulatedServer server = harness::makeServer(
+            platform, mix, args.seed, args.noise);
+        auto policy = harness::makePolicy(args.policy, server);
+
+        harness::ExperimentOptions opt;
+        opt.duration = args.duration;
+
+        std::optional<harness::TraceWriter> trace;
+        if (!args.trace_path.empty()) {
+            trace.emplace(args.trace_path,
+                          args.trace_format == "jsonl"
+                              ? harness::TraceFormat::JsonLines
+                              : harness::TraceFormat::Csv);
+            opt.trace = &*trace;
+        }
+
+        const harness::ExperimentRunner runner(opt);
+        const auto result = runner.run(server, *policy, mix.label);
+
+        std::printf("mix:       %s\n", mix.label.c_str());
+        std::printf("policy:    %s\n", result.policy_name.c_str());
+        std::printf("simulated: %.1f s (%.0f ms intervals)\n",
+                    args.duration, opt.dt * 1e3);
+        std::printf("\nthroughput (normalized): %.4f\n",
+                    result.mean_throughput);
+        std::printf("fairness (Jain):         %.4f\n",
+                    result.mean_fairness);
+        std::printf("worst-job speedup:       %.4f\n",
+                    result.worst_job_speedup);
+        std::printf("per-job mean speedups:  ");
+        for (std::size_t j = 0; j < result.job_mean_speedups.size(); ++j)
+            std::printf(" %s=%.3f", mix.jobs[j].name.c_str(),
+                        result.job_mean_speedups[j]);
+        std::printf("\n");
+
+        if (args.compare_oracle) {
+            sim::SimulatedServer oracle_server = harness::makeServer(
+                platform, mix, args.seed, args.noise);
+            auto oracle =
+                harness::makePolicy("Balanced-Oracle", oracle_server);
+            const auto oracle_result =
+                runner.run(oracle_server, *oracle, mix.label);
+            std::printf("\n%% of Balanced Oracle: throughput %s, "
+                        "fairness %s\n",
+                        TablePrinter::pct(result.mean_throughput /
+                                          oracle_result.mean_throughput)
+                            .c_str(),
+                        TablePrinter::pct(result.mean_fairness /
+                                          oracle_result.mean_fairness)
+                            .c_str());
+        }
+        if (trace) {
+            trace->flush();
+            std::printf("\ntrace: %zu records -> %s\n", trace->count(),
+                        args.trace_path.c_str());
+        }
+        return 0;
+    } catch (const FatalError& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+}
