@@ -70,4 +70,22 @@ throwPanic(const char* file, int line, const std::string& msg)
         } \
     } while (0)
 
+/**
+ * Runtime invariant-audit hook (analysis/invariants.hpp): the
+ * statement runs only when the library is configured with the
+ * SATORI_AUDIT CMake option; otherwise the tokens vanish and the hook
+ * costs nothing. Call sites pass a single full statement, e.g.
+ * SATORI_AUDIT_HOOK(analysis::globalAuditor().checkMeasuredIps(...)).
+ */
+#if defined(SATORI_AUDIT_ENABLED) && SATORI_AUDIT_ENABLED
+#define SATORI_AUDIT_HOOK(stmt) \
+    do { \
+        stmt; \
+    } while (0)
+#else
+#define SATORI_AUDIT_HOOK(stmt) \
+    do { \
+    } while (0)
+#endif
+
 #endif // SATORI_COMMON_LOGGING_HPP

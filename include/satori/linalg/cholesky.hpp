@@ -39,6 +39,13 @@ class Cholesky
     /** The jitter that was finally added to the diagonal (0 if none). */
     double jitter() const { return jitter_; }
 
+    /**
+     * Cheap condition-number estimate from the factor's diagonal:
+     * (max L_ii / min L_ii)^2. A lower bound on the true 2-norm
+     * condition number, good enough to flag near-singular kernels.
+     */
+    double conditionEstimate() const;
+
     /** Solve L y = b (forward substitution). */
     std::vector<double> solveLower(const std::vector<double>& b) const;
 

@@ -17,6 +17,8 @@
 #ifndef SATORI_SATORI_HPP
 #define SATORI_SATORI_HPP
 
+#include "satori/analysis/invariants.hpp"
+
 #include "satori/common/logging.hpp"
 #include "satori/common/math.hpp"
 #include "satori/common/rng.hpp"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "satori/analysis/invariants.hpp"
 #include "satori/common/logging.hpp"
 
 namespace satori {
@@ -21,6 +22,8 @@ BoEngine::setSamples(const std::vector<RealVec>& inputs,
 {
     SATORI_ASSERT(inputs.size() == targets.size());
     SATORI_ASSERT(!inputs.empty());
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkTrainingSet(
+        inputs, targets, __FILE__, __LINE__));
     inputs_ = inputs;
     targets_ = targets;
     refit();

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "satori/analysis/invariants.hpp"
 #include "satori/common/logging.hpp"
 #include "satori/common/math.hpp"
 #include "satori/linalg/matrix.hpp"
@@ -77,7 +78,12 @@ GaussianProcess::fitStandardized()
         }
         k(i, i) += noise_variance_;
     }
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkKernelMatrix(
+        k, __FILE__, __LINE__));
     chol_ = std::make_unique<linalg::Cholesky>(std::move(k));
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkCholesky(
+        chol_->jitter(), chol_->conditionEstimate(), n, __FILE__,
+        __LINE__));
     alpha_ = chol_->solve(y_std_);
 
     // log p(y|X) = -0.5 y^T alpha - 0.5 log|K| - n/2 log(2 pi)
@@ -102,6 +108,8 @@ GaussianProcess::predict(const RealVec& x) const
     const std::vector<double> v = chol_->solveLower(kstar);
     const double var_std =
         kernel_->variance() - linalg::dot(v, v);
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkPosteriorVariance(
+        var_std, kernel_->variance(), __FILE__, __LINE__));
     pred.variance = std::max(var_std, 0.0) * y_scale_ * y_scale_;
     return pred;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "satori/analysis/invariants.hpp"
 #include "satori/common/logging.hpp"
 #include "satori/metrics/metrics.hpp"
 
@@ -99,6 +100,17 @@ SatoriController::decide(const sim::IntervalObservation& obs)
     // Dynamic weights are tracked in both states so the long-term
     // 0.5-average property holds across settle/explore transitions.
     const auto [w_t, w_f] = currentWeights(goals[0], goals[1]);
+
+    // Audit the interval the controller is acting on: the incoming
+    // configuration must be feasible and the regenerated per-goal
+    // values and weight vector sane (Jain in (0, 1], weights ~1).
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkAllocation(
+        space_.platform(), space_.numJobs(), obs.config, __FILE__,
+        __LINE__));
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkObjective(
+        goals, options_.objective.weightVector(w_t, w_f),
+        options_.objective.fairnessMetric() == FairnessMetric::JainIndex,
+        __FILE__, __LINE__));
 
     // (1b) While settled, skip all GP work (the paper's overhead
     // optimization) and just watch for a significant drop of the

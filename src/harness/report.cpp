@@ -28,7 +28,7 @@ comparePolicies(const PlatformSpec& platform, const workloads::JobMix& mix,
     // The oracle reference run.
     {
         sim::SimulatedServer server = makeServer(platform, mix, seed);
-        auto oracle = makePolicy("Balanced-Oracle", server);
+        auto oracle = makePolicy("Balanced-Oracle", server, satori_options);
         comp.oracle = runner.run(server, *oracle, mix.label);
     }
 

@@ -1,6 +1,8 @@
 #include "satori/linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "satori/common/logging.hpp"
 
@@ -83,6 +85,22 @@ std::vector<double>
 Cholesky::solve(const std::vector<double>& b) const
 {
     return solveUpper(solveLower(b));
+}
+
+double
+Cholesky::conditionEstimate() const
+{
+    if (l_.rows() == 0)
+        return 1.0;
+    double lo = l_(0, 0);
+    double hi = l_(0, 0);
+    for (std::size_t i = 1; i < l_.rows(); ++i) {
+        lo = std::min(lo, l_(i, i));
+        hi = std::max(hi, l_(i, i));
+    }
+    if (lo <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return (hi / lo) * (hi / lo);
 }
 
 double

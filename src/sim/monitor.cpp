@@ -1,5 +1,8 @@
 #include "satori/sim/monitor.hpp"
 
+#include "satori/analysis/invariants.hpp"
+#include "satori/common/logging.hpp"
+
 namespace satori {
 namespace sim {
 
@@ -11,12 +14,17 @@ PerfMonitor::PerfMonitor(SimulatedServer& server) : server_(server)
 IntervalObservation
 PerfMonitor::observe(Seconds dt)
 {
+    const Seconds prev_time = server_.now();
+    (void)prev_time; // consumed only by the audit hook
     IntervalObservation obs;
     obs.dt = dt;
     obs.config = server_.configuration();
     obs.ips = server_.step(dt);
     obs.time = server_.now();
     obs.isolation_ips = baseline_;
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkObservation(
+        obs.ips, obs.isolation_ips, server_.numJobs(), obs.time, prev_time,
+        __FILE__, __LINE__));
     return obs;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "satori/analysis/invariants.hpp"
 #include "satori/common/logging.hpp"
 
 namespace satori {
@@ -27,6 +28,10 @@ SimulatedServer::SimulatedServer(PlatformSpec platform,
 void
 SimulatedServer::setConfiguration(const Configuration& config)
 {
+    // Audits every policy decision applied to the server: per-resource
+    // sums must equal capacity, every job >= 1 unit of everything.
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkAllocation(
+        platform_, jobs_.size(), config, __FILE__, __LINE__));
     if (!config.isValidFor(platform_, jobs_.size()))
         SATORI_FATAL("invalid configuration for this platform/job count: " +
                      config.toString());
@@ -112,6 +117,8 @@ SimulatedServer::step(Seconds dt)
         measured[j] = ips;
     }
     now_ += dt;
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkMeasuredIps(
+        measured, __FILE__, __LINE__));
     return measured;
 }
 

@@ -1,0 +1,15 @@
+// Known-bad fixture: the guard name does not match the file path
+// (satori_lint must report guard-mismatch).
+
+#ifndef SATORI_WRONG_NAME_HPP
+#define SATORI_WRONG_NAME_HPP
+
+namespace satori {
+inline int
+badGuardFixture()
+{
+    return 1;
+}
+} // namespace satori
+
+#endif // SATORI_WRONG_NAME_HPP

@@ -1,0 +1,15 @@
+// Known-bad fixture: the #define does not repeat the #ifndef
+// (satori_lint must report guard-define-mismatch).
+
+#ifndef SATORI_DEFINE_MISMATCH_HPP
+#define SATORI_DEFINE_MISMATCH_TYPO_HPP
+
+namespace satori {
+inline int
+defineMismatchFixture()
+{
+    return 2;
+}
+} // namespace satori
+
+#endif // SATORI_DEFINE_MISMATCH_HPP

@@ -1,0 +1,20 @@
+// Clean fixture: correct guard, no using directives outside comments
+// (satori_lint must accept this file with zero diagnostics, even
+// though this comment mentions using namespace satori).
+
+#ifndef SATORI_GOOD_HPP
+#define SATORI_GOOD_HPP
+
+namespace satori {
+
+/* Block comments may also say using namespace std; without
+ * tripping the lint. */
+inline const char*
+goodFixture()
+{
+    return "using namespace inside a string literal is fine too";
+}
+
+} // namespace satori
+
+#endif // SATORI_GOOD_HPP

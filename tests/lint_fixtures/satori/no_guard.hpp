@@ -1,0 +1,10 @@
+// Known-bad fixture: no include guard at all (satori_lint must
+// report missing-guard).
+
+namespace satori {
+inline int
+noGuardFixture()
+{
+    return 3;
+}
+} // namespace satori

@@ -1,0 +1,20 @@
+// Known-bad fixture: a `using namespace` directive at header scope
+// (satori_lint must report using-namespace). The directive in this
+// comment line must NOT be reported: using namespace std;
+
+#ifndef SATORI_USING_NS_HPP
+#define SATORI_USING_NS_HPP
+
+#include <vector>
+
+using namespace std;
+
+namespace satori {
+inline std::size_t
+usingNsFixture()
+{
+    return vector<int>{4}.size();
+}
+} // namespace satori
+
+#endif // SATORI_USING_NS_HPP
