@@ -18,6 +18,7 @@
 #include "satori/core/change_detector.hpp"
 #include "satori/core/goal_record.hpp"
 #include "satori/core/objective.hpp"
+#include "satori/core/telemetry_guard.hpp"
 #include "satori/core/weights.hpp"
 #include "satori/policies/policy.hpp"
 
@@ -35,6 +36,47 @@ enum class GoalMode
 
 /** Printable name of a goal mode variant. */
 std::string goalModeName(GoalMode mode);
+
+/**
+ * Hardening against unreliable telemetry and actuation (none of this
+ * exists in the paper; it is what an online deployment needs when its
+ * pqos/CAT/MBA substrate misbehaves).
+ */
+struct ResilienceOptions
+{
+    /** Telemetry validation/repair in front of every decide(). */
+    TelemetryGuardOptions guard;
+
+    /**
+     * Actuation verification: when the configuration observed in
+     * force (IntervalObservation::config) is not the one last
+     * requested, re-issue the request up to this many consecutive
+     * times before adopting the observed configuration as the
+     * operating point. 0 disables verification.
+     */
+    std::size_t actuation_retry = 3;
+
+    /**
+     * Degraded mode: after this many consecutive unusable telemetry
+     * intervals, fall back to the equal partition and freeze all GP /
+     * weight / goal-record updates until samples turn healthy again.
+     * 0 disables the fallback.
+     */
+    std::size_t degraded_after = 10;
+
+    /** Consecutive healthy intervals that end degraded mode. */
+    std::size_t recover_after = 3;
+
+    /** Everything off: the paper's original (vanilla) controller. */
+    static ResilienceOptions vanilla()
+    {
+        ResilienceOptions r;
+        r.guard.enabled = false;
+        r.actuation_retry = 0;
+        r.degraded_after = 0;
+        return r;
+    }
+};
 
 /** Everything tunable about a SATORI instance. */
 struct SatoriOptions
@@ -141,6 +183,9 @@ struct SatoriOptions
      * jobs spend under speculative configurations.
      */
     std::size_t burst_max_intervals = 20;
+
+    /** Telemetry/actuation hardening (on by default). */
+    ResilienceOptions resilience;
 };
 
 /** Per-iteration internals exposed for the paper's analysis figures. */
@@ -153,6 +198,13 @@ struct SatoriDiagnostics
     double proxy_change_pct = 0.0;   ///< Fig. 17(b): mean |d mean| %.
     std::size_t num_samples = 0;     ///< Proxy-model training size.
     bool settled = false;            ///< True while exploration is off.
+
+    // Resilience state (cumulative counters since reset()).
+    bool degraded = false;                  ///< In fallback this interval.
+    std::size_t degraded_entries = 0;       ///< Times fallback engaged.
+    std::size_t actuation_mismatches = 0;   ///< Observed != requested.
+    std::size_t actuation_retries = 0;      ///< Re-issued requests.
+    std::size_t unusable_intervals = 0;     ///< Telemetry intervals skipped.
 };
 
 /**
@@ -190,10 +242,25 @@ class SatoriController final : public policies::PartitioningPolicy
     /** The options in force. */
     const SatoriOptions& options() const { return options_; }
 
+    /** The telemetry guard (activity counters for tests/benches). */
+    const TelemetryGuard& telemetryGuard() const { return guard_; }
+
+    /** True while the degraded equal-partition fallback is active. */
+    bool degraded() const { return degraded_; }
+
   private:
     /** Current (w_t, w_f) per the goal mode and weight controller. */
     std::pair<double, double> currentWeights(double throughput,
                                              double fairness);
+
+    /** Algorithm 1 proper, fed only guard-approved observations. */
+    Configuration decideCore(const sim::IntervalObservation& obs);
+
+    /** Record a sample and advance the weight clock (retry paths). */
+    void recordOnly(const sim::IntervalObservation& obs);
+
+    /** The configuration returned when learning is impossible. */
+    const Configuration& holdCourse() const;
 
     SatoriOptions options_;
     ConfigurationSpace space_;
@@ -224,6 +291,17 @@ class SatoriController final : public policies::PartitioningPolicy
     std::size_t burst_len_ = 0;
     Configuration last_decision_;
     std::size_t dwell_left_ = 0;
+
+    // Resilience state (telemetry guard + actuation verification +
+    // degraded fallback).
+    TelemetryGuard guard_;
+    Configuration equal_config_;
+    bool degraded_ = false;
+    std::size_t unusable_streak_ = 0;
+    std::size_t healthy_streak_ = 0;
+    Configuration expected_config_;
+    bool has_expected_ = false;
+    std::size_t actuation_retries_ = 0;
 
     SatoriDiagnostics diagnostics_;
 };

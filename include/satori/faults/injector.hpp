@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The fault injector: executes a FaultPlan against the
+ * SimulatedServer/PerfMonitor seam, perturbing exactly what a real
+ * deployment's noisy substrate would perturb - the telemetry a policy
+ * sees, the actuations it issues, and the platform itself - while the
+ * harness keeps scoring the *true* server behavior.
+ *
+ * Wiring (done by harness::ExperimentRunner when an injector is set):
+ *
+ *   1. beginInterval(server)   - platform faults (crash, offline)
+ *   2. obs = monitor.observe() - the truth, used for scoring
+ *   3. perturbObservation(obs) - what the policy is shown
+ *   4. actuate(server, decide) - what the substrate actually applies
+ *
+ * All randomness flows through one seeded Rng, so a given (plan,
+ * seed) pair reproduces every fault byte-for-byte.
+ */
+
+#ifndef SATORI_FAULTS_INJECTOR_HPP
+#define SATORI_FAULTS_INJECTOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "satori/common/rng.hpp"
+#include "satori/config/configuration.hpp"
+#include "satori/faults/plan.hpp"
+#include "satori/sim/monitor.hpp"
+#include "satori/sim/server.hpp"
+
+namespace satori {
+namespace faults {
+
+/** Counts of every fault actually injected (after Bernoulli trials). */
+struct FaultStats
+{
+    std::size_t samples_dropped = 0;
+    std::size_t samples_nan = 0;
+    std::size_t samples_frozen = 0;
+    std::size_t samples_spiked = 0;
+    std::size_t actuations_dropped = 0;
+    std::size_t actuations_delayed = 0;
+    std::size_t actuations_partial = 0;
+    std::size_t offline_intervals = 0;
+    std::size_t crashes = 0;
+
+    /** Total injected faults across all categories. */
+    std::size_t total() const;
+
+    /** One-line summary ("drop=12 nan=0 ... crash=1"). */
+    std::string toString() const;
+};
+
+/** Executes a FaultPlan against one experiment run. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param plan The scripted faults.
+     * @param seed Seeds the injector's private RNG (Bernoulli trials,
+     *        job/resource picks); independent of the server's seed.
+     */
+    explicit FaultInjector(FaultPlan plan, std::uint64_t seed = 0xFA17);
+
+    /**
+     * Apply platform faults for the interval about to run: job
+     * crash/restart churn (replaceJob) and transient core offlining
+     * (external rate throttles).
+     *
+     * @return true if job churn occurred; the caller must then
+     *         re-record the monitor baseline (Algorithm 1 line 12 -
+     *         the cluster manager announces restarts).
+     */
+    bool beginInterval(sim::SimulatedServer& server);
+
+    /**
+     * The telemetry the policy is shown for the interval that just
+     * ran: @p truth with drops, NaNs, freezes, and spikes applied.
+     * The truth is never mutated.
+     */
+    sim::IntervalObservation perturbObservation(
+        const sim::IntervalObservation& truth);
+
+    /**
+     * Intercept one actuation request. Depending on the plan the
+     * request is applied, silently dropped, queued for k intervals,
+     * or applied for only a random subset of resources. Previously
+     * delayed requests that come due are applied first.
+     *
+     * @return The configuration actually in force afterwards.
+     */
+    const Configuration& actuate(sim::SimulatedServer& server,
+                                 const Configuration& requested);
+
+    /** Faults injected so far. */
+    const FaultStats& stats() const { return stats_; }
+
+    /** Index of the interval currently being processed (0-based). */
+    std::size_t interval() const { return interval_; }
+
+    /**
+     * Compact annotation of the faults injected during the current
+     * interval (e.g. "spike(j0)|noact"), empty when the interval was
+     * clean. Reset by beginInterval().
+     */
+    const std::string& lastFlags() const { return flags_; }
+
+    /** The plan being executed. */
+    const FaultPlan& plan() const { return plan_; }
+
+  private:
+    void flag(const std::string& token);
+
+    FaultPlan plan_;
+    Rng rng_;
+    std::size_t interval_ = 0;
+
+    /** Last IPS vector delivered to the policy (freeze replay). */
+    std::vector<Ips> last_delivered_;
+
+    /** Actuations queued by DelayActuation. */
+    struct DelayedActuation
+    {
+        Configuration config;
+        std::size_t due_interval;
+    };
+    std::vector<DelayedActuation> delayed_;
+
+    FaultStats stats_;
+    std::string flags_;
+};
+
+} // namespace faults
+} // namespace satori
+
+#endif // SATORI_FAULTS_INJECTOR_HPP

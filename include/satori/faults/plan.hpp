@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Scriptable fault plans: a deterministic description of *when* and
+ * *how* the telemetry/actuation substrate misbehaves during a run.
+ *
+ * A FaultPlan is a list of FaultEvents, each active over a window of
+ * controller intervals. Events model exactly the failure modes a real
+ * SATORI deployment sees on its pqos/CAT/MBA/taskset substrate:
+ *
+ *   - telemetry faults: dropped (zero) IPS samples, NaN samples,
+ *     frozen (stale) counter reads, multiplicative spikes;
+ *   - actuation faults: a setConfiguration() that is silently
+ *     dropped, delayed by k intervals, or applied only for a random
+ *     subset of resources;
+ *   - platform faults: transient core offlining (modeled as a
+ *     multiplicative rate loss for the affected job) and job
+ *     crash/restart churn via replaceJob().
+ *
+ * Plans can be built programmatically, parsed from a compact text
+ * script (one event per line, '#' comments), or taken from the
+ * escalating default preset used by bench_fault_resilience. All
+ * randomness (per-interval Bernoulli trials, resource subsets, job
+ * picks) is derived from the injector's seed, so a (seed, plan) pair
+ * reproduces a run byte-for-byte.
+ */
+
+#ifndef SATORI_FAULTS_PLAN_HPP
+#define SATORI_FAULTS_PLAN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace satori {
+namespace faults {
+
+/** Every fault the injector knows how to introduce. */
+enum class FaultKind
+{
+    // Telemetry faults (perturb what the policy sees; the server's
+    // true performance is untouched).
+    DropSample,   ///< Affected jobs report IPS = 0 (lost pqos read).
+    NanSample,    ///< Affected jobs report IPS = NaN (failed read).
+    FreezeSample, ///< Affected jobs repeat their last delivered IPS.
+    SpikeSample,  ///< Affected jobs report IPS * magnitude.
+
+    // Actuation faults (perturb what setConfiguration() does).
+    DropActuation,    ///< The requested configuration is ignored.
+    DelayActuation,   ///< Applied delay_intervals intervals late.
+    PartialActuation, ///< Only a random subset of resources applied.
+
+    // Platform faults (change true behavior; telemetry reads true).
+    CoreOffline, ///< Affected job runs at magnitude x its rate.
+    JobCrash,    ///< Affected job is restarted from scratch.
+};
+
+/** Stable lower-case name of a fault kind (scripts and reports). */
+const char* faultKindName(FaultKind kind);
+
+/** One scripted fault: a kind active over an interval window. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::DropSample;
+
+    /** First controller interval (0-based) the event is active in. */
+    std::size_t start_interval = 0;
+
+    /** One past the last active interval (start + 1 = one shot). */
+    std::size_t end_interval = 1;
+
+    /** Affected job, or -1 for every job. */
+    int job = -1;
+
+    /**
+     * Per-interval activation probability in (0, 1]; trials are drawn
+     * from the injector's seeded RNG, so they are reproducible.
+     */
+    double probability = 1.0;
+
+    /**
+     * Kind-specific strength: IPS multiplier for SpikeSample (e.g. 8
+     * or 0.1), rate factor for CoreOffline (e.g. 0.5 = half speed).
+     */
+    double magnitude = 1.0;
+
+    /** DelayActuation: intervals the configuration is held back. */
+    std::size_t delay_intervals = 3;
+
+    /** Compact one-line script rendering of this event. */
+    std::string toString() const;
+};
+
+/**
+ * An ordered list of fault events plus bookkeeping helpers. The plan
+ * itself is immutable state; all randomness lives in the injector.
+ */
+class FaultPlan
+{
+  public:
+    /** An empty (fault-free) plan. */
+    FaultPlan() = default;
+
+    /** Construct from explicit events. */
+    explicit FaultPlan(std::vector<FaultEvent> events);
+
+    /** Append one event (returns *this for chaining). */
+    FaultPlan& add(const FaultEvent& event);
+
+    /** All scripted events. */
+    const std::vector<FaultEvent>& events() const { return events_; }
+
+    /** True if no events are scripted. */
+    bool empty() const { return events_.empty(); }
+
+    /** Events active at @p interval (optionally for @p job only). */
+    std::vector<const FaultEvent*> activeAt(std::size_t interval) const;
+
+    /** One past the last scripted interval (0 for an empty plan). */
+    std::size_t horizon() const;
+
+    /** Round-trippable script rendering (one event per line). */
+    std::string toString() const;
+
+    /**
+     * Parse a fault script. Format: one event per line,
+     *
+     *   <kind> <start>..<end> [job=J] [p=P] [x=M] [k=D]
+     *
+     * where <kind> is drop | nan | freeze | spike | noact | delay |
+     * partial | offline | crash, the interval window is half-open,
+     * `job=*` (default) targets all jobs, `p=` the per-interval
+     * probability, `x=` the magnitude, and `k=` the actuation delay.
+     * '#' starts a comment; blank lines are skipped.
+     *
+     * @param source Name used in error messages (file name or
+     *        "<string>").
+     * @throws FatalError naming @p source and the line on malformed
+     *         input.
+     */
+    static FaultPlan parse(const std::string& text,
+                           const std::string& source = "<string>");
+
+    /** Parse a fault script file. @throws FatalError on I/O errors. */
+    static FaultPlan loadFile(const std::string& path);
+
+    /**
+     * The default escalating plan used by bench_fault_resilience:
+     * four phases of increasing severity over @p horizon intervals -
+     * (1) telemetry spikes, (2) dropped + frozen samples, (3) dropped
+     * / delayed / partial actuations, (4) job crash plus a transient
+     * core offline - then a clean tail so recovery is observable.
+     * Deterministic for a given (num_jobs, horizon).
+     */
+    static FaultPlan escalating(std::size_t num_jobs,
+                                std::size_t horizon = 300);
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace faults
+} // namespace satori
+
+#endif // SATORI_FAULTS_PLAN_HPP

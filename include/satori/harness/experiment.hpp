@@ -15,6 +15,7 @@
 
 #include "satori/common/stats.hpp"
 #include "satori/common/types.hpp"
+#include "satori/faults/injector.hpp"
 #include "satori/metrics/metrics.hpp"
 #include "satori/policies/policy.hpp"
 #include "satori/harness/trace.hpp"
@@ -58,6 +59,16 @@ struct ExperimentOptions
      * writer must outlive the run.
      */
     TraceWriter* trace = nullptr;
+
+    /**
+     * Optional fault injector: when set, platform faults are applied
+     * before each interval, the policy sees the injector's perturbed
+     * telemetry, and decisions go through the injector's (possibly
+     * failing) actuation path. Scoring always uses the true
+     * observation. The injector must outlive the run. Announced job
+     * churn re-records the isolation baseline (Algorithm 1 line 12).
+     */
+    faults::FaultInjector* faults = nullptr;
 };
 
 /** Aggregated outcome of one experiment. */

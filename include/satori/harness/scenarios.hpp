@@ -30,7 +30,8 @@ sim::SimulatedServer makeServer(const PlatformSpec& platform,
 /**
  * Construct a policy by name. Recognized names:
  * "Equal", "Random", "dCAT", "CoPart", "PARTIES", "CLITE",
- * "SATORI", "SATORI-static", "Throughput-SATORI", "Fairness-SATORI",
+ * "SATORI", "SATORI-vanilla" (resilience layer off),
+ * "SATORI-static", "Throughput-SATORI", "Fairness-SATORI",
  * "Balanced-Oracle", "Throughput-Oracle", "Fairness-Oracle".
  *
  * @param server Needed by oracle policies (privileged model access);

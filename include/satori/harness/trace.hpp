@@ -31,6 +31,13 @@ struct TraceRecord
     double w_t = 0.5; ///< Weights, when the policy exposes them.
     double w_f = 0.5;
     bool settled = false;
+
+    /**
+     * Faults injected during the interval, as the injector's compact
+     * flags (e.g. "spike(j0)|noact"); empty for a clean interval or
+     * an un-instrumented run.
+     */
+    std::string faults;
 };
 
 /** Output encoding for a trace file. */

@@ -58,7 +58,11 @@
 #include "satori/core/controller.hpp"
 #include "satori/core/goal_record.hpp"
 #include "satori/core/objective.hpp"
+#include "satori/core/telemetry_guard.hpp"
 #include "satori/core/weights.hpp"
+
+#include "satori/faults/injector.hpp"
+#include "satori/faults/plan.hpp"
 
 #include "satori/policies/clite_policy.hpp"
 #include "satori/policies/copart_policy.hpp"

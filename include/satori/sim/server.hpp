@@ -79,7 +79,13 @@ class SimulatedServer
     /** Machine performance constants. */
     const perfmodel::MachineParams& machine() const { return machine_; }
 
-    /** Apply a new partitioning configuration (validated). */
+    /**
+     * Apply a new partitioning configuration (validated).
+     *
+     * @throws FatalError naming the offending resource when a
+     *         per-resource total exceeds (or undershoots) the
+     *         platform's capacity, or when the shape is wrong.
+     */
     void setConfiguration(const Configuration& config);
 
     /** The configuration currently in force. */
@@ -114,9 +120,32 @@ class SimulatedServer
 
     /**
      * Replace job @p j with a new workload mid-run (job churn); the
-     * new job starts from scratch. The configuration is kept.
+     * new job starts from scratch. The configuration is kept and the
+     * job's outstanding reconfiguration transient is cleared (a fresh
+     * process has no warmed state to lose).
+     *
+     * @throws FatalError if @p j is out of range or @p profile has no
+     *         phases.
      */
     void replaceJob(std::size_t j, workloads::WorkloadProfile profile);
+
+    /**
+     * External per-job rate factors in (0, 1], modeling effects
+     * outside the partitioned resources - transient core offlining,
+     * thermal throttling, a noisy co-runner on unmanaged structures.
+     * Applied multiplicatively to true IPS in step(), so telemetry
+     * and scoring both see the slowdown. Resets to all-ones via an
+     * empty vector.
+     *
+     * @throws FatalError on a size mismatch or out-of-range factor.
+     */
+    void setExternalThrottle(std::vector<double> factors);
+
+    /** The external throttle in force (empty = all-ones). */
+    const std::vector<double>& externalThrottle() const
+    {
+        return external_throttle_;
+    }
 
     /**
      * Evaluate the noiseless model: per-job IPS under @p config with
@@ -148,6 +177,9 @@ class SimulatedServer
 
     /** Per-job outstanding reconfiguration transient (IPS fraction). */
     std::vector<double> reconfig_penalty_;
+
+    /** External per-job rate factors (empty = no throttling). */
+    std::vector<double> external_throttle_;
 };
 
 } // namespace sim

@@ -38,9 +38,15 @@ namespace workloads {
 
 /**
  * Parse workload definitions from text.
- * @throws FatalError with a line-numbered message on malformed input.
+ * @param source Label used in error messages (a file name when the
+ *        text came from disk, "<string>" for in-memory input).
+ * @throws FatalError with a source- and line-numbered message on
+ *         malformed input: truncated directives, non-numeric fields,
+ *         and out-of-range or non-finite values are all rejected.
  */
-std::vector<WorkloadProfile> parseWorkloadText(const std::string& text);
+std::vector<WorkloadProfile>
+parseWorkloadText(const std::string& text,
+                  const std::string& source = "<string>");
 
 /**
  * Parse workload definitions from a file.

@@ -33,7 +33,9 @@ SatoriController::SatoriController(const PlatformSpec& platform,
       candgen_(space_, options_.candidates), engine_(options_.engine),
       recorder_(options_.objective.numGoals(), options_.window),
       weight_controller_(options_.weights), rng_(options_.seed),
-      cusum_(options_.cusum)
+      cusum_(options_.cusum),
+      guard_(num_jobs, options_.resilience.guard),
+      equal_config_(Configuration::equalPartition(platform, num_jobs))
 {
     seeds_ = candgen_.seedConfigurations();
     if (options_.max_seeds > 0 && seeds_.size() > options_.max_seeds) {
@@ -87,8 +89,128 @@ SatoriController::currentWeights(double throughput, double fairness)
     SATORI_PANIC("unknown GoalMode");
 }
 
+const Configuration&
+SatoriController::holdCourse() const
+{
+    if (settled_)
+        return settled_config_;
+    if (last_decision_.numJobs() > 0)
+        return last_decision_;
+    return equal_config_;
+}
+
+void
+SatoriController::recordOnly(const sim::IntervalObservation& obs)
+{
+    const std::vector<double> goals = options_.objective.goalValues(obs);
+    recorder_.add(obs.config, goals);
+    diagnostics_.throughput = goals[0];
+    diagnostics_.fairness = goals[1];
+    const auto [w_t, w_f] = currentWeights(goals[0], goals[1]);
+    diagnostics_.objective_value = w_t * goals[0] + w_f * goals[1];
+    diagnostics_.num_samples = recorder_.size();
+}
+
 Configuration
-SatoriController::decide(const sim::IntervalObservation& obs)
+SatoriController::decide(const sim::IntervalObservation& raw_obs)
+{
+    // Telemetry validation: repair or reject the observation before
+    // any of its values can reach the recorder, the weight clock, or
+    // the GP. With resilience disabled this is a no-op and the method
+    // reduces to Algorithm 1 exactly.
+    sim::IntervalObservation obs = raw_obs;
+    const SampleHealth health = guard_.filter(obs);
+    if (health == SampleHealth::Unusable) {
+        ++unusable_streak_;
+        healthy_streak_ = 0;
+        ++diagnostics_.unusable_intervals;
+    } else if (health == SampleHealth::Healthy) {
+        unusable_streak_ = 0;
+        ++healthy_streak_;
+    } else { // Repaired: counts as neither unusable nor fully healthy.
+        unusable_streak_ = 0;
+        healthy_streak_ = 0;
+    }
+
+    // Degraded fallback: repeated unusable telemetry means every
+    // decision would be built on lies. Run the equal partition (the
+    // fair static choice) and freeze all learning until the stream
+    // recovers; then re-explore from trimmed records, exactly like a
+    // reactivation.
+    if (degraded_) {
+        if (healthy_streak_ >= options_.resilience.recover_after) {
+            degraded_ = false;
+            settled_ = false;
+            stall_counter_ = 0;
+            best_balanced_ = -1.0;
+            settled_ref_objective_ = -1.0;
+            settled_ref_ips_.clear();
+            reactivate_strikes_ = 0;
+            job_strikes_ = 0;
+            settled_warmup_ = 0;
+            burst_len_ = 0;
+            cusum_.reset();
+            if (options_.reactivate_keep_samples > 0 &&
+                !recorder_.empty())
+                recorder_.trimToRecent(options_.reactivate_keep_samples);
+        } else {
+            diagnostics_.degraded = true;
+            diagnostics_.settled = false;
+            expected_config_ = equal_config_;
+            has_expected_ = true;
+            return equal_config_;
+        }
+    } else if (options_.resilience.degraded_after > 0 &&
+               unusable_streak_ >= options_.resilience.degraded_after) {
+        degraded_ = true;
+        ++diagnostics_.degraded_entries;
+        diagnostics_.degraded = true;
+        diagnostics_.settled = false;
+        expected_config_ = equal_config_;
+        has_expected_ = true;
+        return equal_config_;
+    }
+    diagnostics_.degraded = false;
+
+    // An isolated unusable interval (budget-exhausted NaN stream,
+    // size mismatch): learn nothing, hold the current course.
+    if (health == SampleHealth::Unusable) {
+        const Configuration& hold = holdCourse();
+        expected_config_ = hold;
+        has_expected_ = true;
+        return hold;
+    }
+
+    // Actuation verification: obs.config is what actually ran. If it
+    // is not what was requested, the actuation was dropped, delayed,
+    // or partially applied - re-issue the request a bounded number of
+    // times before accepting reality. The interval is still recorded
+    // (it is a true sample of obs.config) and the weight clock still
+    // advances.
+    if (options_.resilience.actuation_retry > 0 && has_expected_) {
+        if (obs.config == expected_config_) {
+            actuation_retries_ = 0;
+        } else {
+            ++diagnostics_.actuation_mismatches;
+            if (actuation_retries_ <
+                options_.resilience.actuation_retry) {
+                ++actuation_retries_;
+                ++diagnostics_.actuation_retries;
+                recordOnly(obs);
+                return expected_config_;
+            }
+            actuation_retries_ = 0; // give up; adopt the observed state
+        }
+    }
+
+    const Configuration decision = decideCore(obs);
+    expected_config_ = decision;
+    has_expected_ = true;
+    return decision;
+}
+
+Configuration
+SatoriController::decideCore(const sim::IntervalObservation& obs)
 {
     // (1) Record the outcome of the configuration that just ran,
     // keeping each goal's value separately (Sec. III-B).
@@ -368,6 +490,12 @@ SatoriController::reset()
     explore_steps_ = 0;
     burst_len_ = 0;
     dwell_left_ = 0;
+    guard_.reset();
+    degraded_ = false;
+    unusable_streak_ = 0;
+    healthy_streak_ = 0;
+    has_expected_ = false;
+    actuation_retries_ = 0;
     diagnostics_ = SatoriDiagnostics{};
     engine_ = bo::BoEngine(options_.engine);
 }

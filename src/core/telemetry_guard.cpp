@@ -1,0 +1,199 @@
+#include "satori/core/telemetry_guard.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "satori/common/logging.hpp"
+#include "satori/common/stats.hpp"
+
+namespace satori {
+namespace core {
+namespace {
+
+/** Consistent gaussian sigma estimate from a MAD (the 1.4826 factor). */
+constexpr double kMadToSigma = 1.4826;
+
+double
+medianOf(std::vector<double> v)
+{
+    SATORI_ASSERT(!v.empty());
+    const std::size_t mid = v.size() / 2;
+    std::nth_element(v.begin(), v.begin() + mid, v.end());
+    double m = v[mid];
+    if (v.size() % 2 == 0) {
+        const double lo =
+            *std::max_element(v.begin(), v.begin() + mid);
+        m = 0.5 * (m + lo);
+    }
+    return m;
+}
+
+} // namespace
+
+TelemetryGuard::TelemetryGuard(std::size_t num_jobs,
+                               TelemetryGuardOptions options)
+    : num_jobs_(num_jobs), options_(options), jobs_(num_jobs)
+{
+    SATORI_ASSERT(num_jobs_ >= 1);
+}
+
+void
+TelemetryGuard::accept(JobHistory& h, double value)
+{
+    if (h.window.size() < options_.hampel_window) {
+        h.window.push_back(value);
+    } else {
+        h.window[h.next] = value;
+        h.next = (h.next + 1) % options_.hampel_window;
+    }
+    h.last_good = value;
+    h.has_last_good = true;
+    h.bad_streak = 0;
+}
+
+SampleHealth
+TelemetryGuard::filter(sim::IntervalObservation& obs)
+{
+    if (!options_.enabled)
+        return SampleHealth::Healthy;
+    ++stats_.intervals;
+
+    // A wrong-shape observation cannot be attributed to jobs at all:
+    // reject it wholesale and, when possible, stand in the last good
+    // vectors so downstream size invariants hold.
+    if (obs.ips.size() != num_jobs_ ||
+        obs.isolation_ips.size() != num_jobs_) {
+        ++stats_.size_mismatches;
+        ++stats_.unusable_intervals;
+        obs.ips.assign(num_jobs_, 0.0);
+        for (std::size_t j = 0; j < num_jobs_; ++j)
+            obs.ips[j] = jobs_[j].has_last_good ? jobs_[j].last_good : 1.0;
+        if (last_good_iso_.size() == num_jobs_)
+            obs.isolation_ips = last_good_iso_;
+        else
+            obs.isolation_ips.assign(num_jobs_, 1.0);
+        return SampleHealth::Unusable;
+    }
+
+    // The isolation baseline is refreshed rarely; any positive finite
+    // snapshot is kept as the fallback for mismatched intervals.
+    bool iso_ok = true;
+    for (const double v : obs.isolation_ips)
+        if (!std::isfinite(v) || v <= 0.0)
+            iso_ok = false;
+    if (iso_ok)
+        last_good_iso_ = obs.isolation_ips;
+    else if (last_good_iso_.size() == num_jobs_)
+        obs.isolation_ips = last_good_iso_;
+
+    bool any_repair = false;
+    bool any_unusable = !iso_ok && last_good_iso_.size() != num_jobs_;
+
+    // A reconfiguration legitimately moves every job's IPS level; the
+    // Hampel gate only judges samples taken under the same allocation
+    // as the previous interval. (Finite/freeze checks always apply.)
+    const bool config_stable =
+        has_last_config_ && obs.config == last_config_;
+    last_config_ = obs.config;
+    has_last_config_ = true;
+
+    for (std::size_t j = 0; j < num_jobs_; ++j) {
+        JobHistory& h = jobs_[j];
+        const double raw = obs.ips[j];
+
+        // Stale-counter detection: noisy hardware counters never
+        // repeat bit-identically; a run of equal reads means the
+        // source froze and the value carries no new information.
+        bool frozen = false;
+        if (h.has_last_raw && raw == h.last_raw) {
+            if (++h.freeze_count + 1 >= options_.freeze_run &&
+                options_.freeze_run > 0) {
+                frozen = true;
+                ++stats_.frozen_detected;
+            }
+        } else {
+            h.freeze_count = 0;
+        }
+        h.last_raw = raw;
+        h.has_last_raw = true;
+
+        const bool finite_ok = std::isfinite(raw) && raw > 0.0;
+        if (!finite_ok)
+            ++stats_.non_finite;
+
+        // Hampel gate against the rolling window of accepted values.
+        bool outlier = false;
+        if (finite_ok && !frozen && config_stable &&
+            h.window.size() >= std::max<std::size_t>(
+                                   5, options_.hampel_window / 2)) {
+            const double med = medianOf(h.window);
+            std::vector<double> dev;
+            dev.reserve(h.window.size());
+            for (const double v : h.window)
+                dev.push_back(std::abs(v - med));
+            const double mad = medianOf(std::move(dev));
+            // Floor the scale so a quiet window cannot turn ordinary
+            // noise into outliers.
+            const double sigma =
+                std::max(kMadToSigma * mad, 1e-3 * std::abs(med));
+            if (std::abs(raw - med) >
+                options_.hampel_threshold * sigma) {
+                outlier = true;
+                ++stats_.outliers_gated;
+            }
+        }
+
+        if (finite_ok && !frozen && !outlier) {
+            accept(h, raw);
+            continue;
+        }
+
+        // Bad sample: substitute the last good value while the
+        // staleness budget lasts.
+        ++h.bad_streak;
+        if (h.bad_streak <= options_.staleness_budget &&
+            h.has_last_good) {
+            obs.ips[j] = h.last_good;
+            ++stats_.repaired_values;
+            any_repair = true;
+            continue;
+        }
+
+        // Budget exhausted. A finite value that kept deviating is a
+        // regime shift - accept it and reseed the window so the gate
+        // tracks the new level. A frozen stream is not a shift (real
+        // counters never repeat exactly), and a non-finite one has no
+        // information at all: both leave the interval unusable.
+        if (finite_ok && !frozen) {
+            h.window.clear();
+            h.next = 0;
+            accept(h, raw);
+            ++stats_.regime_accepts;
+            any_repair = true;
+        } else {
+            if (h.has_last_good)
+                obs.ips[j] = h.last_good; // keep the vector finite
+            else
+                obs.ips[j] = 1.0;
+            any_unusable = true;
+        }
+    }
+
+    if (any_unusable) {
+        ++stats_.unusable_intervals;
+        return SampleHealth::Unusable;
+    }
+    return any_repair ? SampleHealth::Repaired : SampleHealth::Healthy;
+}
+
+void
+TelemetryGuard::reset()
+{
+    jobs_.assign(num_jobs_, JobHistory{});
+    last_good_iso_.clear();
+    has_last_config_ = false;
+    stats_ = TelemetryGuardStats{};
+}
+
+} // namespace core
+} // namespace satori

@@ -1,0 +1,205 @@
+#include "satori/faults/injector.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace faults {
+
+std::size_t
+FaultStats::total() const
+{
+    return samples_dropped + samples_nan + samples_frozen +
+           samples_spiked + actuations_dropped + actuations_delayed +
+           actuations_partial + offline_intervals + crashes;
+}
+
+std::string
+FaultStats::toString() const
+{
+    std::ostringstream os;
+    os << "drop=" << samples_dropped << " nan=" << samples_nan
+       << " freeze=" << samples_frozen << " spike=" << samples_spiked
+       << " noact=" << actuations_dropped
+       << " delayed=" << actuations_delayed
+       << " partial=" << actuations_partial
+       << " offline=" << offline_intervals << " crash=" << crashes;
+    return os.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed)
+{
+}
+
+void
+FaultInjector::flag(const std::string& token)
+{
+    if (!flags_.empty())
+        flags_ += "|";
+    flags_ += token;
+}
+
+bool
+FaultInjector::beginInterval(sim::SimulatedServer& server)
+{
+    flags_.clear();
+    bool churn = false;
+
+    // Core offlining is recomputed from scratch every interval so a
+    // window's end restores full speed without extra bookkeeping.
+    std::vector<double> throttle(server.numJobs(), 1.0);
+
+    for (const FaultEvent* e : plan_.activeAt(interval_)) {
+        switch (e->kind) {
+          case FaultKind::JobCrash: {
+            if (rng_.uniform() >= e->probability)
+                break;
+            const std::size_t j =
+                e->job >= 0
+                    ? static_cast<std::size_t>(e->job) % server.numJobs()
+                    : static_cast<std::size_t>(
+                          rng_.uniformInt(server.numJobs()));
+            server.replaceJob(j, server.job(j).profile());
+            ++stats_.crashes;
+            flag("crash(j" + std::to_string(j) + ")");
+            churn = true;
+            break;
+          }
+          case FaultKind::CoreOffline: {
+            const std::size_t j =
+                e->job >= 0
+                    ? static_cast<std::size_t>(e->job) % server.numJobs()
+                    : 0;
+            throttle[j] = std::min(throttle[j], e->magnitude);
+            ++stats_.offline_intervals;
+            flag("offline(j" + std::to_string(j) + ")");
+            break;
+          }
+          default:
+            break; // telemetry/actuation faults handled elsewhere
+        }
+    }
+    server.setExternalThrottle(throttle);
+    return churn;
+}
+
+sim::IntervalObservation
+FaultInjector::perturbObservation(const sim::IntervalObservation& truth)
+{
+    sim::IntervalObservation obs = truth;
+    for (const FaultEvent* e : plan_.activeAt(interval_)) {
+        const bool telemetry = e->kind == FaultKind::DropSample ||
+                               e->kind == FaultKind::NanSample ||
+                               e->kind == FaultKind::FreezeSample ||
+                               e->kind == FaultKind::SpikeSample;
+        if (!telemetry)
+            continue;
+        for (std::size_t j = 0; j < obs.ips.size(); ++j) {
+            if (e->job >= 0 && static_cast<std::size_t>(e->job) != j)
+                continue;
+            if (rng_.uniform() >= e->probability)
+                continue;
+            switch (e->kind) {
+              case FaultKind::DropSample:
+                obs.ips[j] = 0.0;
+                ++stats_.samples_dropped;
+                flag("drop(j" + std::to_string(j) + ")");
+                break;
+              case FaultKind::NanSample:
+                obs.ips[j] = std::numeric_limits<double>::quiet_NaN();
+                ++stats_.samples_nan;
+                flag("nan(j" + std::to_string(j) + ")");
+                break;
+              case FaultKind::FreezeSample:
+                if (j < last_delivered_.size()) {
+                    obs.ips[j] = last_delivered_[j];
+                    ++stats_.samples_frozen;
+                    flag("freeze(j" + std::to_string(j) + ")");
+                }
+                break;
+              case FaultKind::SpikeSample:
+                obs.ips[j] *= e->magnitude;
+                ++stats_.samples_spiked;
+                flag("spike(j" + std::to_string(j) + ")");
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    last_delivered_ = obs.ips;
+    return obs;
+}
+
+const Configuration&
+FaultInjector::actuate(sim::SimulatedServer& server,
+                       const Configuration& requested)
+{
+    // Delayed actuations that have come due land first (oldest
+    // first), exactly like a lagging management daemon draining its
+    // queue.
+    for (auto it = delayed_.begin(); it != delayed_.end();) {
+        if (it->due_interval <= interval_) {
+            server.setConfiguration(it->config);
+            it = delayed_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+
+    // Precedence: a dropped actuation beats a delayed one beats a
+    // partial application; at most one fate per request.
+    const FaultEvent* drop = nullptr;
+    const FaultEvent* delay = nullptr;
+    const FaultEvent* partial = nullptr;
+    for (const FaultEvent* e : plan_.activeAt(interval_)) {
+        if (e->kind == FaultKind::DropActuation && !drop &&
+            rng_.uniform() < e->probability)
+            drop = e;
+        else if (e->kind == FaultKind::DelayActuation && !delay &&
+                 rng_.uniform() < e->probability)
+            delay = e;
+        else if (e->kind == FaultKind::PartialActuation && !partial &&
+                 rng_.uniform() < e->probability)
+            partial = e;
+    }
+
+    if (drop != nullptr) {
+        ++stats_.actuations_dropped;
+        flag("noact");
+    } else if (delay != nullptr) {
+        delayed_.push_back(
+            {requested, interval_ + delay->delay_intervals});
+        ++stats_.actuations_delayed;
+        flag("delayed(k" + std::to_string(delay->delay_intervals) + ")");
+    } else if (partial != nullptr) {
+        // Apply the requested row for a random subset of resources;
+        // the rest keep their current allocation. Each resource row
+        // individually sums to capacity, so the mix stays feasible.
+        Configuration mixed = server.configuration();
+        bool any = false;
+        for (std::size_t r = 0; r < mixed.numResources(); ++r) {
+            if (rng_.uniform() < 0.5) {
+                for (std::size_t j = 0; j < mixed.numJobs(); ++j)
+                    mixed.units(r, j) = requested.units(r, j);
+                any = true;
+            }
+        }
+        if (any)
+            server.setConfiguration(mixed);
+        ++stats_.actuations_partial;
+        flag("partial");
+    } else {
+        server.setConfiguration(requested);
+    }
+
+    ++interval_;
+    return server.configuration();
+}
+
+} // namespace faults
+} // namespace satori

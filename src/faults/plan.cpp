@@ -1,0 +1,324 @@
+#include "satori/faults/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace faults {
+namespace {
+
+struct KindName
+{
+    FaultKind kind;
+    const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {FaultKind::DropSample, "drop"},
+    {FaultKind::NanSample, "nan"},
+    {FaultKind::FreezeSample, "freeze"},
+    {FaultKind::SpikeSample, "spike"},
+    {FaultKind::DropActuation, "noact"},
+    {FaultKind::DelayActuation, "delay"},
+    {FaultKind::PartialActuation, "partial"},
+    {FaultKind::CoreOffline, "offline"},
+    {FaultKind::JobCrash, "crash"},
+};
+
+[[noreturn]] void
+fail(const std::string& source, int line, const std::string& msg)
+{
+    SATORI_FATAL("fault script " + source + " line " +
+                 std::to_string(line) + ": " + msg);
+}
+
+double
+parseNumber(const std::string& token, const std::string& source, int line)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(token, &used);
+        if (used != token.size() || !std::isfinite(v))
+            fail(source, line, "bad number '" + token + "'");
+        return v;
+    } catch (const FatalError&) {
+        throw;
+    } catch (const std::exception&) {
+        fail(source, line, "expected a number, got '" + token + "'");
+    }
+}
+
+} // namespace
+
+const char*
+faultKindName(FaultKind kind)
+{
+    for (const auto& kn : kKindNames)
+        if (kn.kind == kind)
+            return kn.name;
+    SATORI_PANIC("unknown FaultKind");
+}
+
+std::string
+FaultEvent::toString() const
+{
+    std::ostringstream os;
+    os << faultKindName(kind) << " " << start_interval << ".."
+       << end_interval;
+    if (job >= 0)
+        os << " job=" << job;
+    if (probability < 1.0)
+        os << " p=" << probability;
+    if (kind == FaultKind::SpikeSample || kind == FaultKind::CoreOffline)
+        os << " x=" << magnitude;
+    if (kind == FaultKind::DelayActuation)
+        os << " k=" << delay_intervals;
+    return os.str();
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events))
+{
+}
+
+FaultPlan&
+FaultPlan::add(const FaultEvent& event)
+{
+    events_.push_back(event);
+    return *this;
+}
+
+std::vector<const FaultEvent*>
+FaultPlan::activeAt(std::size_t interval) const
+{
+    std::vector<const FaultEvent*> out;
+    for (const auto& e : events_)
+        if (interval >= e.start_interval && interval < e.end_interval)
+            out.push_back(&e);
+    return out;
+}
+
+std::size_t
+FaultPlan::horizon() const
+{
+    std::size_t h = 0;
+    for (const auto& e : events_)
+        h = std::max(h, e.end_interval);
+    return h;
+}
+
+std::string
+FaultPlan::toString() const
+{
+    std::string out;
+    for (const auto& e : events_) {
+        out += e.toString();
+        out += "\n";
+    }
+    return out;
+}
+
+FaultPlan
+FaultPlan::parse(const std::string& text, const std::string& source)
+{
+    std::vector<FaultEvent> events;
+    std::istringstream in(text);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const std::size_t hash = raw.find('#');
+        if (hash != std::string::npos)
+            raw.resize(hash);
+        std::istringstream ls(raw);
+        std::string kind_tok;
+        if (!(ls >> kind_tok))
+            continue; // blank line
+
+        FaultEvent e;
+        bool known = false;
+        for (const auto& kn : kKindNames) {
+            if (kind_tok == kn.name) {
+                e.kind = kn.kind;
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            fail(source, line_no,
+                 "unknown fault kind '" + kind_tok +
+                     "' (drop | nan | freeze | spike | noact | delay "
+                     "| partial | offline | crash)");
+
+        std::string window;
+        if (!(ls >> window))
+            fail(source, line_no, "missing interval window");
+        const std::size_t dots = window.find("..");
+        if (dots == std::string::npos) {
+            // Single interval: "crash 120" means [120, 121).
+            const double v = parseNumber(window, source, line_no);
+            if (v < 0)
+                fail(source, line_no, "interval must be >= 0");
+            e.start_interval = static_cast<std::size_t>(v);
+            e.end_interval = e.start_interval + 1;
+        } else {
+            const double lo =
+                parseNumber(window.substr(0, dots), source, line_no);
+            const double hi =
+                parseNumber(window.substr(dots + 2), source, line_no);
+            if (lo < 0 || hi < 0)
+                fail(source, line_no, "intervals must be >= 0");
+            e.start_interval = static_cast<std::size_t>(lo);
+            e.end_interval = static_cast<std::size_t>(hi);
+            if (e.end_interval <= e.start_interval)
+                fail(source, line_no,
+                     "empty window " + window +
+                         " (end must exceed start; it is exclusive)");
+        }
+
+        // Defaults that make sense per kind.
+        if (e.kind == FaultKind::SpikeSample)
+            e.magnitude = 8.0;
+        else if (e.kind == FaultKind::CoreOffline)
+            e.magnitude = 0.5;
+
+        std::string opt;
+        while (ls >> opt) {
+            const std::size_t eq = opt.find('=');
+            if (eq == std::string::npos)
+                fail(source, line_no,
+                     "expected key=value, got '" + opt + "'");
+            const std::string key = opt.substr(0, eq);
+            const std::string val = opt.substr(eq + 1);
+            if (key == "job") {
+                if (val == "*") {
+                    e.job = -1;
+                } else {
+                    const double j = parseNumber(val, source, line_no);
+                    if (j < 0 || j != std::floor(j))
+                        fail(source, line_no,
+                             "job must be a non-negative integer or *");
+                    e.job = static_cast<int>(j);
+                }
+            } else if (key == "p") {
+                e.probability = parseNumber(val, source, line_no);
+                if (e.probability <= 0.0 || e.probability > 1.0)
+                    fail(source, line_no, "p must be in (0, 1]");
+            } else if (key == "x") {
+                e.magnitude = parseNumber(val, source, line_no);
+                if (e.magnitude < 0.0)
+                    fail(source, line_no, "x must be >= 0");
+            } else if (key == "k") {
+                const double k = parseNumber(val, source, line_no);
+                if (k < 1 || k != std::floor(k))
+                    fail(source, line_no, "k must be a positive integer");
+                e.delay_intervals = static_cast<std::size_t>(k);
+            } else {
+                fail(source, line_no, "unknown option '" + key + "'");
+            }
+        }
+        events.push_back(e);
+    }
+    return FaultPlan(std::move(events));
+}
+
+FaultPlan
+FaultPlan::loadFile(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        SATORI_FATAL("cannot open fault script: " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str(), path);
+}
+
+FaultPlan
+FaultPlan::escalating(std::size_t num_jobs, std::size_t horizon)
+{
+    // Four escalation phases over the first ~2/3 of the run, then a
+    // clean tail so recovery behavior is part of what is measured.
+    // Interval boundaries are fractions of the horizon so the same
+    // shape applies to short test runs and paper-scale benches.
+    auto at = [&](double f) {
+        return static_cast<std::size_t>(
+            std::llround(f * static_cast<double>(horizon)));
+    };
+    FaultPlan plan;
+
+    // Phase 1: telemetry spikes on a rotating single job.
+    FaultEvent spike;
+    spike.kind = FaultKind::SpikeSample;
+    spike.start_interval = at(0.05);
+    spike.end_interval = at(0.18);
+    spike.job = 0;
+    spike.probability = 0.35;
+    spike.magnitude = 8.0;
+    plan.add(spike);
+    spike.job = num_jobs > 1 ? 1 : 0;
+    spike.magnitude = 0.1;
+    plan.add(spike);
+
+    // Phase 2: dropped and frozen samples across all jobs.
+    FaultEvent drop;
+    drop.kind = FaultKind::DropSample;
+    drop.start_interval = at(0.2);
+    drop.end_interval = at(0.32);
+    drop.job = -1;
+    drop.probability = 0.25;
+    plan.add(drop);
+    FaultEvent freeze;
+    freeze.kind = FaultKind::FreezeSample;
+    freeze.start_interval = at(0.32);
+    freeze.end_interval = at(0.42);
+    freeze.job = static_cast<int>(num_jobs / 2);
+    freeze.probability = 1.0;
+    plan.add(freeze);
+
+    // Phase 3: the actuation path degrades - drops, delays, partial
+    // applications.
+    FaultEvent noact;
+    noact.kind = FaultKind::DropActuation;
+    noact.start_interval = at(0.44);
+    noact.end_interval = at(0.54);
+    noact.probability = 0.5;
+    plan.add(noact);
+    FaultEvent delay;
+    delay.kind = FaultKind::DelayActuation;
+    delay.start_interval = at(0.54);
+    delay.end_interval = at(0.6);
+    delay.probability = 0.5;
+    delay.delay_intervals = 4;
+    plan.add(delay);
+    FaultEvent partial;
+    partial.kind = FaultKind::PartialActuation;
+    partial.start_interval = at(0.6);
+    partial.end_interval = at(0.66);
+    partial.probability = 0.6;
+    plan.add(partial);
+
+    // Phase 4: platform churn - one job crashes and restarts, and a
+    // short transient core offline slows another.
+    FaultEvent crash;
+    crash.kind = FaultKind::JobCrash;
+    crash.start_interval = at(0.68);
+    crash.end_interval = at(0.68) + 1;
+    crash.job = num_jobs > 2 ? 2 : 0;
+    plan.add(crash);
+    FaultEvent offline;
+    offline.kind = FaultKind::CoreOffline;
+    offline.start_interval = at(0.7);
+    offline.end_interval = at(0.76);
+    offline.job = num_jobs > 3 ? 3 : 0;
+    offline.magnitude = 0.5;
+    plan.add(offline);
+
+    return plan;
+}
+
+} // namespace faults
+} // namespace satori

@@ -32,6 +32,13 @@ ExperimentRunner::run(sim::SimulatedServer& server,
     std::vector<OnlineStats> per_job_speedup(server.numJobs());
 
     for (std::size_t step = 0; step < steps; ++step) {
+        // Platform faults (crash/restart churn, core offlining) land
+        // before the interval runs; announced churn refreshes the
+        // isolation baseline exactly as a cluster manager would.
+        if (options_.faults != nullptr &&
+            options_.faults->beginInterval(server))
+            monitor.resetBaseline();
+
         const sim::IntervalObservation obs = monitor.observe(options_.dt);
 
         // Score against the *instantaneous* isolation performance so
@@ -55,7 +62,16 @@ ExperimentRunner::run(sim::SimulatedServer& server,
             }
         }
 
-        server.setConfiguration(policy.decide(obs));
+        // The policy sees what the (possibly faulty) telemetry path
+        // delivers; its decision goes through the (possibly faulty)
+        // actuation path. Scoring above used the truth.
+        if (options_.faults != nullptr) {
+            const sim::IntervalObservation seen =
+                options_.faults->perturbObservation(obs);
+            options_.faults->actuate(server, policy.decide(seen));
+        } else {
+            server.setConfiguration(policy.decide(obs));
+        }
 
         if (options_.on_interval)
             options_.on_interval(obs, t_norm, f_norm);
@@ -69,6 +85,8 @@ ExperimentRunner::run(sim::SimulatedServer& server,
             rec.speedups = spd;
             rec.throughput = t_norm;
             rec.fairness = f_norm;
+            if (options_.faults != nullptr)
+                rec.faults = options_.faults->lastFlags();
             options_.trace->write(rec);
         }
 

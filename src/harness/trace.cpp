@@ -41,7 +41,7 @@ TraceWriter::writeCsvHeader(const TraceRecord& record)
         out_ << ",ips_" << j;
     for (std::size_t j = 0; j < record.speedups.size(); ++j)
         out_ << ",speedup_" << j;
-    out_ << "\n";
+    out_ << ",faults\n";
 }
 
 void
@@ -55,7 +55,7 @@ TraceWriter::writeCsv(const TraceRecord& record)
         out_ << "," << v;
     for (double v : record.speedups)
         out_ << "," << v;
-    out_ << "\n";
+    out_ << ",\"" << record.faults << "\"\n";
 }
 
 void
@@ -73,7 +73,7 @@ TraceWriter::writeJson(const TraceRecord& record)
     out_ << "],\"speedups\":[";
     for (std::size_t j = 0; j < record.speedups.size(); ++j)
         out_ << (j ? "," : "") << record.speedups[j];
-    out_ << "]}\n";
+    out_ << "],\"faults\":\"" << record.faults << "\"}\n";
 }
 
 void

@@ -32,9 +32,38 @@ SimulatedServer::setConfiguration(const Configuration& config)
     // sums must equal capacity, every job >= 1 unit of everything.
     SATORI_AUDIT_HOOK(analysis::globalAuditor().checkAllocation(
         platform_, jobs_.size(), config, __FILE__, __LINE__));
-    if (!config.isValidFor(platform_, jobs_.size()))
-        SATORI_FATAL("invalid configuration for this platform/job count: " +
-                     config.toString());
+    if (config.numResources() != platform_.numResources())
+        SATORI_FATAL("configuration has " +
+                     std::to_string(config.numResources()) +
+                     " resources, platform has " +
+                     std::to_string(platform_.numResources()));
+    if (config.numJobs() != jobs_.size())
+        SATORI_FATAL("configuration has " +
+                     std::to_string(config.numJobs()) +
+                     " jobs, server runs " +
+                     std::to_string(jobs_.size()));
+    // Name the offending resource: an over-committed total is the
+    // error a buggy policy actually produces, and "invalid
+    // configuration" gives no lead on which actuator to inspect.
+    for (std::size_t r = 0; r < platform_.numResources(); ++r) {
+        const int total = config.totalUnits(r);
+        const int capacity = platform_.units(r);
+        if (total != capacity)
+            SATORI_FATAL(
+                "resource " +
+                resourceKindName(platform_.resource(r).kind) + ": " +
+                std::to_string(total) + " units configured, platform " +
+                (total > capacity ? "capacity is only "
+                                  : "requires exactly ") +
+                std::to_string(capacity) + " in " + config.toString());
+        for (std::size_t j = 0; j < jobs_.size(); ++j)
+            if (config.units(r, j) < 1)
+                SATORI_FATAL(
+                    "resource " +
+                    resourceKindName(platform_.resource(r).kind) +
+                    ": job " + std::to_string(j) +
+                    " received < 1 unit in " + config.toString());
+    }
     // Accrue the reconfiguration transient for every job whose
     // allocation changed (cache re-warming, thread migration).
     for (std::size_t j = 0; j < jobs_.size(); ++j) {
@@ -112,7 +141,9 @@ SimulatedServer::step(Seconds dt)
         // Outstanding reconfiguration transient, decaying per interval.
         const double transient = 1.0 - reconfig_penalty_[j];
         reconfig_penalty_[j] *= options_.reconfig_decay;
-        const Ips ips = perf.ips * noise * transient;
+        const double throttle =
+            external_throttle_.empty() ? 1.0 : external_throttle_[j];
+        const Ips ips = perf.ips * noise * transient * throttle;
         jobs_[j].retire(ips * dt);
         measured[j] = ips;
     }
@@ -158,9 +189,39 @@ void
 SimulatedServer::replaceJob(std::size_t j,
                             workloads::WorkloadProfile profile)
 {
-    SATORI_ASSERT(j < jobs_.size());
+    if (j >= jobs_.size())
+        SATORI_FATAL("replaceJob: job index " + std::to_string(j) +
+                     " out of range (" + std::to_string(jobs_.size()) +
+                     " jobs)");
+    if (profile.phases.empty())
+        SATORI_FATAL("replaceJob: workload '" + profile.name +
+                     "' has no phases");
     jobs_[j] = Job(std::move(profile));
     reconfig_penalty_[j] = 0.0;
+    // Churn must leave per-job bookkeeping consistent: one transient
+    // slot per job, configuration shape unchanged.
+    SATORI_ASSERT(reconfig_penalty_.size() == jobs_.size());
+    SATORI_ASSERT(config_.numJobs() == jobs_.size());
+}
+
+void
+SimulatedServer::setExternalThrottle(std::vector<double> factors)
+{
+    if (factors.empty()) {
+        external_throttle_.clear();
+        return;
+    }
+    if (factors.size() != jobs_.size())
+        SATORI_FATAL("external throttle has " +
+                     std::to_string(factors.size()) +
+                     " entries, server runs " +
+                     std::to_string(jobs_.size()) + " jobs");
+    for (std::size_t j = 0; j < factors.size(); ++j)
+        if (!(factors[j] > 0.0) || factors[j] > 1.0)
+            SATORI_FATAL("external throttle for job " +
+                         std::to_string(j) + " must be in (0, 1], got " +
+                         std::to_string(factors[j]));
+    external_throttle_ = std::move(factors);
 }
 
 std::vector<Ips>

@@ -1,5 +1,6 @@
 #include "satori/workloads/loader.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -23,11 +24,12 @@ struct PhaseBuilder
     double mrc_b = 1.0; ///< unused (exponential) or width (cliff).
 
     perfmodel::PhaseParams
-    finish(int line) const
+    finish(const std::string& source, int line) const
     {
         perfmodel::PhaseParams p = params;
         if (mpki_one < mpki_floor)
-            SATORI_FATAL("line " + std::to_string(line) +
+            SATORI_FATAL("workload definition " + source + " line " +
+                         std::to_string(line) +
                          ": mpki_one must be >= mpki_floor");
         switch (mrc_kind) {
           case MrcKind::Exponential:
@@ -44,30 +46,37 @@ struct PhaseBuilder
 };
 
 [[noreturn]] void
-fail(int line, const std::string& msg)
+fail(const std::string& source, int line, const std::string& msg)
 {
-    SATORI_FATAL("workload definition line " + std::to_string(line) +
-                 ": " + msg);
+    SATORI_FATAL("workload definition " + source + " line " +
+                 std::to_string(line) + ": " + msg);
 }
 
 double
-parseNumber(const std::string& token, int line)
+parseNumber(const std::string& token, const std::string& source,
+            int line)
 {
     try {
         std::size_t used = 0;
         const double v = std::stod(token, &used);
         if (used != token.size())
-            fail(line, "trailing characters in number '" + token + "'");
+            fail(source, line,
+                 "trailing characters in number '" + token + "'");
+        if (!std::isfinite(v))
+            fail(source, line,
+                 "non-finite value '" + token + "' is not allowed");
         return v;
+    } catch (const FatalError&) {
+        throw;
     } catch (const std::exception&) {
-        fail(line, "expected a number, got '" + token + "'");
+        fail(source, line, "expected a number, got '" + token + "'");
     }
 }
 
 } // namespace
 
 std::vector<WorkloadProfile>
-parseWorkloadText(const std::string& text)
+parseWorkloadText(const std::string& text, const std::string& source)
 {
     std::vector<WorkloadProfile> out;
     WorkloadProfile* current = nullptr;
@@ -78,7 +87,7 @@ parseWorkloadText(const std::string& text)
     auto close_phase = [&](int line) {
         if (phase_open) {
             SATORI_ASSERT(current != nullptr);
-            current->phases.push_back(phase.finish(phase_line));
+            current->phases.push_back(phase.finish(source, phase_line));
             phase_open = false;
         }
         (void)line;
@@ -108,8 +117,12 @@ parseWorkloadText(const std::string& text)
         auto next_token = [&](const char* what) {
             std::string tok;
             if (!(ls >> tok))
-                fail(line_no, std::string("missing value for ") + what);
+                fail(source, line_no,
+                     std::string("missing value for ") + what);
             return tok;
+        };
+        auto number = [&](const char* what) {
+            return parseNumber(next_token(what), source, line_no);
         };
 
         if (key == "workload") {
@@ -120,16 +133,15 @@ parseWorkloadText(const std::string& text)
             out.push_back(std::move(w));
             current = &out.back();
         } else if (current == nullptr) {
-            fail(line_no, "'" + key + "' before any 'workload'");
+            fail(source, line_no, "'" + key + "' before any 'workload'");
         } else if (key == "suite") {
             current->suite = next_token("suite");
         } else if (key == "description") {
             current->description = rest_of_line();
         } else if (key == "fixed_work") {
-            current->fixed_work =
-                parseNumber(next_token("fixed_work"), line_no);
+            current->fixed_work = number("fixed_work");
             if (current->fixed_work <= 0)
-                fail(line_no, "fixed_work must be positive");
+                fail(source, line_no, "fixed_work must be positive");
         } else if (key == "phase") {
             close_phase(line_no);
             phase = PhaseBuilder{};
@@ -137,61 +149,82 @@ parseWorkloadText(const std::string& text)
             phase_open = true;
             phase_line = line_no;
         } else if (!phase_open) {
-            fail(line_no, "'" + key + "' outside a phase");
+            fail(source, line_no, "'" + key + "' outside a phase");
         } else if (key == "base_ipc") {
-            phase.params.base_ipc =
-                parseNumber(next_token(key.c_str()), line_no);
+            phase.params.base_ipc = number(key.c_str());
+            if (phase.params.base_ipc <= 0.0 ||
+                phase.params.base_ipc > 16.0)
+                fail(source, line_no, "base_ipc must be in (0, 16]");
         } else if (key == "parallel_fraction") {
-            phase.params.parallel_fraction =
-                parseNumber(next_token(key.c_str()), line_no);
+            phase.params.parallel_fraction = number(key.c_str());
             if (phase.params.parallel_fraction < 0.0 ||
                 phase.params.parallel_fraction > 1.0)
-                fail(line_no, "parallel_fraction must be in [0, 1]");
+                fail(source, line_no,
+                     "parallel_fraction must be in [0, 1]");
         } else if (key == "mpki_one") {
-            phase.mpki_one =
-                parseNumber(next_token(key.c_str()), line_no);
+            phase.mpki_one = number(key.c_str());
+            if (phase.mpki_one < 0.0 || phase.mpki_one > 1000.0)
+                fail(source, line_no, "mpki_one must be in [0, 1000]");
         } else if (key == "mpki_floor") {
-            phase.mpki_floor =
-                parseNumber(next_token(key.c_str()), line_no);
+            phase.mpki_floor = number(key.c_str());
+            if (phase.mpki_floor < 0.0 || phase.mpki_floor > 1000.0)
+                fail(source, line_no,
+                     "mpki_floor must be in [0, 1000]");
         } else if (key == "mrc") {
             const std::string kind = next_token("mrc kind");
             if (kind == "exponential") {
                 phase.mrc_kind = PhaseBuilder::MrcKind::Exponential;
-                phase.mrc_a =
-                    parseNumber(next_token("decay_ways"), line_no);
+                phase.mrc_a = number("decay_ways");
+                if (phase.mrc_a <= 0.0)
+                    fail(source, line_no,
+                         "mrc exponential decay must be positive");
             } else if (kind == "cliff") {
                 phase.mrc_kind = PhaseBuilder::MrcKind::Cliff;
-                phase.mrc_a = parseNumber(next_token("knee"), line_no);
-                phase.mrc_b = parseNumber(next_token("width"), line_no);
+                phase.mrc_a = number("knee");
+                phase.mrc_b = number("width");
+                if (phase.mrc_a <= 0.0 || phase.mrc_b <= 0.0)
+                    fail(source, line_no,
+                         "mrc cliff knee/width must be positive");
             } else {
-                fail(line_no, "unknown mrc kind '" + kind +
-                                  "' (exponential | cliff)");
+                fail(source, line_no,
+                     "unknown mrc kind '" + kind +
+                         "' (exponential | cliff)");
             }
         } else if (key == "miss_penalty") {
-            phase.params.miss_penalty_cycles =
-                parseNumber(next_token(key.c_str()), line_no);
+            phase.params.miss_penalty_cycles = number(key.c_str());
+            if (phase.params.miss_penalty_cycles <= 0.0 ||
+                phase.params.miss_penalty_cycles > 10000.0)
+                fail(source, line_no,
+                     "miss_penalty must be in (0, 10000] cycles");
         } else if (key == "bytes_per_miss") {
-            phase.params.bytes_per_miss =
-                parseNumber(next_token(key.c_str()), line_no);
+            phase.params.bytes_per_miss = number(key.c_str());
+            if (phase.params.bytes_per_miss <= 0.0 ||
+                phase.params.bytes_per_miss > 4096.0)
+                fail(source, line_no,
+                     "bytes_per_miss must be in (0, 4096]");
         } else if (key == "cache_pressure") {
-            phase.params.cache_pressure =
-                parseNumber(next_token(key.c_str()), line_no);
+            phase.params.cache_pressure = number(key.c_str());
+            if (phase.params.cache_pressure < 0.0 ||
+                phase.params.cache_pressure > 1.0)
+                fail(source, line_no,
+                     "cache_pressure must be in [0, 1]");
         } else if (key == "length") {
-            phase.params.length =
-                parseNumber(next_token(key.c_str()), line_no);
+            phase.params.length = number(key.c_str());
             if (phase.params.length <= 0)
-                fail(line_no, "length must be positive");
+                fail(source, line_no, "length must be positive");
         } else {
-            fail(line_no, "unknown directive '" + key + "'");
+            fail(source, line_no, "unknown directive '" + key + "'");
         }
     }
     close_phase(line_no);
 
     for (const auto& w : out)
         if (w.phases.empty())
-            SATORI_FATAL("workload '" + w.name + "' has no phases");
+            SATORI_FATAL("workload definition " + source +
+                         ": workload '" + w.name + "' has no phases");
     if (out.empty())
-        SATORI_FATAL("no workload definitions found");
+        SATORI_FATAL("workload definition " + source +
+                     ": no workload definitions found");
     return out;
 }
 
@@ -203,7 +236,7 @@ loadWorkloadFile(const std::string& path)
         SATORI_FATAL("cannot open workload file: " + path);
     std::stringstream buffer;
     buffer << in.rdbuf();
-    return parseWorkloadText(buffer.str());
+    return parseWorkloadText(buffer.str(), path);
 }
 
 std::string

@@ -128,6 +128,83 @@ TEST(LoaderTest, RejectsMalformedInput)
     EXPECT_THROW(parseWorkloadText("# only a comment\n"), FatalError);
 }
 
+TEST(LoaderTest, ErrorsNameTheSource)
+{
+    try {
+        parseWorkloadText("workload w\nphase p\nbase_ipc abc\n",
+                          "custom.wl");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("custom.wl"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    }
+}
+
+TEST(LoaderTest, RejectsOutOfRangeValues)
+{
+    auto wl = [](const std::string& body) {
+        return "workload w\nphase p\n" + body + "length 1\n";
+    };
+    // Non-positive or absurd base_ipc.
+    EXPECT_THROW(parseWorkloadText(wl("base_ipc 0\n")), FatalError);
+    EXPECT_THROW(parseWorkloadText(wl("base_ipc -1\n")), FatalError);
+    EXPECT_THROW(parseWorkloadText(wl("base_ipc 99\n")), FatalError);
+    // Non-finite numbers are rejected everywhere.
+    EXPECT_THROW(parseWorkloadText(wl("base_ipc nan\n")), FatalError);
+    EXPECT_THROW(parseWorkloadText(wl("base_ipc inf\n")), FatalError);
+    // Out-of-range MPKI, penalties, traffic, pressure.
+    EXPECT_THROW(parseWorkloadText(wl("mpki_one -1\n")), FatalError);
+    EXPECT_THROW(parseWorkloadText(wl("mpki_one 5000\n")), FatalError);
+    EXPECT_THROW(parseWorkloadText(wl("miss_penalty 0\n")), FatalError);
+    EXPECT_THROW(parseWorkloadText(wl("miss_penalty 1e6\n")),
+                 FatalError);
+    EXPECT_THROW(parseWorkloadText(wl("bytes_per_miss 0\n")),
+                 FatalError);
+    EXPECT_THROW(parseWorkloadText(wl("bytes_per_miss 1e5\n")),
+                 FatalError);
+    EXPECT_THROW(parseWorkloadText(wl("cache_pressure 1.5\n")),
+                 FatalError);
+    EXPECT_THROW(parseWorkloadText(wl("cache_pressure -0.1\n")),
+                 FatalError);
+    // Degenerate MRC shapes.
+    EXPECT_THROW(parseWorkloadText(wl("mrc exponential 0\n")),
+                 FatalError);
+    EXPECT_THROW(parseWorkloadText(wl("mrc cliff 0 1\n")), FatalError);
+    // Truncated directives (missing the value entirely).
+    EXPECT_THROW(parseWorkloadText("workload w\nphase p\nbase_ipc\n"),
+                 FatalError);
+    EXPECT_THROW(parseWorkloadText("workload w\nphase p\nmrc\n"),
+                 FatalError);
+    EXPECT_THROW(parseWorkloadText("workload\n"), FatalError);
+    // Negative length / fixed_work.
+    EXPECT_THROW(
+        parseWorkloadText("workload w\nphase p\nlength -5\n"),
+        FatalError);
+    EXPECT_THROW(
+        parseWorkloadText("workload w\nfixed_work 0\nphase p\n"
+                          "length 1\n"),
+        FatalError);
+}
+
+TEST(LoaderTest, FileErrorsNameTheFile)
+{
+    const std::string path = "/tmp/satori_loader_bad.wl";
+    {
+        std::ofstream out(path);
+        out << "workload w\nphase p\nbase_ipc bogus\n";
+    }
+    try {
+        loadWorkloadFile(path);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find(path), std::string::npos) << msg;
+        EXPECT_NE(msg.find("line 3"), std::string::npos) << msg;
+    }
+    std::remove(path.c_str());
+}
+
 TEST(LoaderTest, LoadsFromFile)
 {
     const std::string path = "/tmp/satori_loader_test.wl";

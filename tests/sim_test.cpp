@@ -226,6 +226,98 @@ TEST(ServerTest, PowerCapResourceSupported)
     EXPECT_LT(after[0], equal_ips[0]);
 }
 
+TEST(ServerTest, OverCommittedConfigurationNamesTheResource)
+{
+    auto server = makeTestServer(2);
+    Configuration bad = server.configuration();
+    bad.units(1, 0) += 2; // over-commits the LLC ways total
+    try {
+        server.setConfiguration(bad);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("llc_ways"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("capacity"), std::string::npos) << msg;
+    }
+}
+
+TEST(ServerTest, StarvedJobConfigurationNamesTheJob)
+{
+    auto server = makeTestServer(2);
+    Configuration bad = server.configuration();
+    // Keep the total right but leave job 1 without any cores.
+    bad.units(0, 0) += bad.units(0, 1);
+    bad.units(0, 1) = 0;
+    try {
+        server.setConfiguration(bad);
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("cores"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("job 1"), std::string::npos) << msg;
+    }
+}
+
+TEST(ServerTest, ReplaceJobRejectsBadArguments)
+{
+    auto server = makeTestServer(2);
+    EXPECT_THROW(
+        server.replaceJob(2, workloads::workloadByName("swaptions")),
+        FatalError);
+    workloads::WorkloadProfile empty;
+    empty.name = "empty";
+    EXPECT_THROW(server.replaceJob(0, empty), FatalError);
+}
+
+TEST(ServerTest, ReplaceJobKeepsBookkeepingConsistentAcrossChurn)
+{
+    auto server = makeTestServer(2, 0.0);
+    // A pending reconfiguration transient on job 0 must not leak into
+    // its replacement: a fresh job starts with a clean slate.
+    Configuration big = server.configuration();
+    big.transferUnit(0, 0, 1);
+    big.transferUnit(1, 0, 1);
+    server.setConfiguration(big);
+    server.replaceJob(0, workloads::workloadByName("swaptions"));
+    const auto fresh_first = server.step(0.1);
+    const auto fresh_second = server.step(0.1);
+    // Job 0's transient was cleared by the replacement, so its IPS is
+    // flat; job 1 still pays its transient down.
+    EXPECT_NEAR(fresh_first[0], fresh_second[0], fresh_second[0] * 1e-9);
+    EXPECT_LT(fresh_first[1], fresh_second[1]);
+    // Churn several times in a row; configuration shape must hold.
+    for (int i = 0; i < 3; ++i)
+        server.replaceJob(i % 2, workloads::workloadByName("canneal"));
+    EXPECT_EQ(server.configuration().numJobs(), 2u);
+    EXPECT_GT(server.step(0.1)[0], 0.0);
+}
+
+TEST(ServerTest, ExternalThrottleScalesMeasuredIps)
+{
+    auto a = makeTestServer(2, 0.0);
+    auto b = makeTestServer(2, 0.0);
+    b.setExternalThrottle({0.5, 1.0});
+    const auto full = a.step(0.1);
+    const auto throttled = b.step(0.1);
+    EXPECT_NEAR(throttled[0], 0.5 * full[0], full[0] * 1e-9);
+    EXPECT_NEAR(throttled[1], full[1], full[1] * 1e-9);
+
+    // Clearing restores full speed.
+    b.setExternalThrottle({});
+    const auto restored = b.step(0.1);
+    const auto reference = a.step(0.1);
+    EXPECT_NEAR(restored[0], reference[0], reference[0] * 1e-9);
+}
+
+TEST(ServerTest, ExternalThrottleRejectsBadFactors)
+{
+    auto server = makeTestServer(2);
+    EXPECT_THROW(server.setExternalThrottle({0.5}), FatalError);
+    EXPECT_THROW(server.setExternalThrottle({0.5, 0.0}), FatalError);
+    EXPECT_THROW(server.setExternalThrottle({0.5, 1.5}), FatalError);
+    EXPECT_THROW(server.setExternalThrottle({0.5, -1.0}), FatalError);
+}
+
 TEST(MonitorTest, ObservationCarriesBaselineAndConfig)
 {
     auto server = makeTestServer(2, 0.0);

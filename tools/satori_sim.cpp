@@ -44,6 +44,10 @@ struct CliArgs
     std::string workload_file;
     std::string trace_path;
     std::string trace_format = "csv";
+    std::string fault_plan_file;
+    std::string fault_preset;
+    std::uint64_t fault_seed = 0xFA17;
+    bool vanilla = false;
     bool compare_oracle = false;
     bool list_workloads = false;
     bool help = false;
@@ -71,6 +75,12 @@ printUsage()
         "  --seed N              RNG seed (default 42)\n"
         "  --noise SIGMA         measurement-noise sigma (default 0.04)\n"
         "  --compare-oracle      also run the Balanced Oracle and report %%\n\n"
+        "fault injection (deterministic, seeded):\n"
+        "  --fault-plan FILE     load a fault script (see GUIDE.md)\n"
+        "  --fault-preset P      built-in plan: escalating\n"
+        "  --fault-seed N        injector RNG seed (default 0xFA17)\n"
+        "  --vanilla             disable the SATORI resilience layer\n"
+        "                        (telemetry guard, retry, degraded mode)\n\n"
         "platform (default: the paper's 10 cores / 11 ways / 10 MBA):\n"
         "  --cores N --ways N --bw N [--power N]\n\n"
         "output:\n"
@@ -150,6 +160,20 @@ parse(int argc, char** argv)
             if (!(v = need_value(i)))
                 return std::nullopt;
             args.power = std::atoi(v);
+        } else if (flag == "--fault-plan") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.fault_plan_file = v;
+        } else if (flag == "--fault-preset") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.fault_preset = v;
+        } else if (flag == "--fault-seed") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.fault_seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (flag == "--vanilla") {
+            args.vanilla = true;
         } else if (flag == "--workload-file") {
             if (!(v = need_value(i)))
                 return std::nullopt;
@@ -256,10 +280,32 @@ main(int argc, char** argv)
 
         sim::SimulatedServer server = harness::makeServer(
             platform, mix, args.seed, args.noise);
-        auto policy = harness::makePolicy(args.policy, server);
+        std::string policy_name = args.policy;
+        if (args.vanilla && policy_name == "SATORI")
+            policy_name = "SATORI-vanilla";
+        auto policy = harness::makePolicy(policy_name, server);
 
         harness::ExperimentOptions opt;
         opt.duration = args.duration;
+
+        std::optional<faults::FaultInjector> injector;
+        if (!args.fault_plan_file.empty() || !args.fault_preset.empty()) {
+            faults::FaultPlan plan;
+            if (!args.fault_plan_file.empty()) {
+                plan = faults::FaultPlan::loadFile(args.fault_plan_file);
+            } else if (args.fault_preset == "escalating") {
+                const auto horizon = static_cast<std::size_t>(
+                    args.duration / opt.dt);
+                plan = faults::FaultPlan::escalating(mix.jobs.size(),
+                                                     horizon);
+            } else {
+                std::fprintf(stderr, "unknown fault preset: %s\n",
+                             args.fault_preset.c_str());
+                return 2;
+            }
+            injector.emplace(plan, args.fault_seed);
+            opt.faults = &*injector;
+        }
 
         std::optional<harness::TraceWriter> trace;
         if (!args.trace_path.empty()) {
@@ -304,6 +350,20 @@ main(int argc, char** argv)
                         TablePrinter::pct(result.mean_fairness /
                                           oracle_result.mean_fairness)
                             .c_str());
+        }
+        if (injector) {
+            std::printf("\nfault injection (seed %llu):\n  %s\n",
+                        static_cast<unsigned long long>(args.fault_seed),
+                        injector->stats().toString().c_str());
+            if (auto* satori_policy =
+                    dynamic_cast<core::SatoriController*>(policy.get())) {
+                const auto& d = satori_policy->diagnostics();
+                std::printf(
+                    "  controller: %zu unusable, %zu actuation "
+                    "mismatches, %zu retries, %zu degraded entries\n",
+                    d.unusable_intervals, d.actuation_mismatches,
+                    d.actuation_retries, d.degraded_entries);
+            }
         }
         if (trace) {
             trace->flush();
