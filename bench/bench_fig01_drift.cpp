@@ -64,6 +64,8 @@ main(int argc, char** argv)
     for (Seconds t = 0.0; t < duration; t += 1.0) {
         const auto& best =
             eval.bestFor(server.phaseSignature(), 1.0, 0.0);
+        // t is loop-carried from exactly 0.0; first-iteration test.
+        // satori-analyzer: allow(num-float-eq)
         if (t == 0.0)
             first = best.config;
         // Drift: fraction of all units allocated differently vs t=0.

@@ -24,7 +24,7 @@ struct BenchOptions
 };
 
 /** Parse --full / --csv; anything else prints usage and exits. */
-BenchOptions parseArgs(int argc, char** argv);
+[[nodiscard]] BenchOptions parseArgs(int argc, char** argv);
 
 /** Print the standard experiment banner. */
 void banner(const std::string& experiment, const std::string& claim,
@@ -34,7 +34,7 @@ void banner(const std::string& experiment, const std::string& claim,
  * The five-job PARSEC mix used by the paper's characterization
  * figures (Figs. 1-3, 17-19).
  */
-workloads::JobMix canonicalParsecMix();
+[[nodiscard]] workloads::JobMix canonicalParsecMix();
 
 /**
  * Run the given policies plus the Balanced Oracle on every mix
@@ -43,14 +43,14 @@ workloads::JobMix canonicalParsecMix();
  * @param duration Simulated seconds per run.
  * @param stride Evaluate every stride-th mix (1 = all).
  */
-std::vector<harness::MixComparison> sweepComparisons(
+[[nodiscard]] std::vector<harness::MixComparison> sweepComparisons(
     const PlatformSpec& platform,
     const std::vector<workloads::JobMix>& mixes,
     const std::vector<std::string>& policies, Seconds duration,
     std::uint64_t seed_base = 42, std::size_t stride = 1);
 
 /** "x.y%" formatting shorthand. */
-std::string pct(double fraction);
+[[nodiscard]] std::string pct(double fraction);
 
 } // namespace bench
 } // namespace satori

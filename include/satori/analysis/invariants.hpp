@@ -61,7 +61,7 @@ enum class CheckId
 inline constexpr std::size_t kNumCheckIds = 14;
 
 /** Stable kebab-case name of a check (used in reports and tests). */
-const char* checkIdName(CheckId id);
+[[nodiscard]] const char* checkIdName(CheckId id);
 
 /** Aggregated violations of one check id. */
 struct ViolationStats
@@ -178,20 +178,20 @@ class Auditor
                          double magnitude, const std::string& detail);
 
     /** Total check-pack invocations so far. */
-    std::size_t checksRun() const;
+    [[nodiscard]] std::size_t checksRun() const;
 
     /** Total violations recorded so far (across all check ids). */
-    std::size_t violationCount() const;
+    [[nodiscard]] std::size_t violationCount() const;
 
     /** Violations of one check id (count 0 if never violated). */
-    ViolationStats violations(CheckId id) const;
+    [[nodiscard]] ViolationStats violations(CheckId id) const;
 
     /**
      * Human-readable structured report: one header line with totals,
      * then per violated check id its count, first offender (file:line
      * and detail) and worst offender by |magnitude|.
      */
-    std::string renderReport() const;
+    [[nodiscard]] std::string renderReport() const;
 
     /** Drop all recorded state (for per-test isolation). */
     void clear();

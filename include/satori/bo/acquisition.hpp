@@ -30,22 +30,22 @@ enum class AcquisitionKind
  * @param best_observed Best objective value evaluated so far.
  * @param xi Exploration bonus (small positive encourages exploring).
  */
-double expectedImprovement(const GpPrediction& pred, double best_observed,
+[[nodiscard]] double expectedImprovement(const GpPrediction& pred, double best_observed,
                            double xi = 0.01);
 
 /** Upper confidence bound: mu + beta * sigma. */
-double upperConfidenceBound(const GpPrediction& pred, double beta = 2.0);
+[[nodiscard]] double upperConfidenceBound(const GpPrediction& pred, double beta = 2.0);
 
 /**
  * Probability of Improvement: Phi((mu - best - xi) / sigma); the
  * greediest of the three, prone to under-exploration (why SATORI
  * prefers EI).
  */
-double probabilityOfImprovement(const GpPrediction& pred,
+[[nodiscard]] double probabilityOfImprovement(const GpPrediction& pred,
                                 double best_observed, double xi = 0.01);
 
 /** Evaluate the selected acquisition function. */
-double acquisition(AcquisitionKind kind, const GpPrediction& pred,
+[[nodiscard]] double acquisition(AcquisitionKind kind, const GpPrediction& pred,
                    double best_observed, double xi = 0.01,
                    double beta = 2.0);
 

@@ -59,21 +59,21 @@ class CandidateGenerator
      * The structured initial configurations S_init: the equal
      * partition plus low-imbalance single-transfer variants.
      */
-    std::vector<Configuration> seedConfigurations() const;
+    [[nodiscard]] std::vector<Configuration> seedConfigurations() const;
 
     /**
      * The concentration set: for every (job, resource) pair, equal-
      * partition variants granting that job a half or maximal share
      * of that resource (working-set-cliff coverage).
      */
-    std::vector<Configuration> concentratedConfigurations() const;
+    [[nodiscard]] std::vector<Configuration> concentratedConfigurations() const;
 
     /**
      * One round of candidates: random samples, neighbors of
      * @p incumbent (if enabled), seeds, and the concentration set,
      * deduplicated by rank.
      */
-    std::vector<Configuration> generate(const Configuration& incumbent,
+    [[nodiscard]] std::vector<Configuration> generate(const Configuration& incumbent,
                                         Rng& rng) const;
 
   private:

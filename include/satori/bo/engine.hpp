@@ -73,43 +73,43 @@ class BoEngine
     void addSample(const RealVec& input, double target);
 
     /** True once at least one sample is fitted. */
-    bool ready() const { return gp_ && gp_->isFitted(); }
+    [[nodiscard]] bool ready() const { return gp_ && gp_->isFitted(); }
 
     /** Best (largest) target value observed so far. */
-    double bestObserved() const;
+    [[nodiscard]] double bestObserved() const;
 
     /** Index (into the current training set) of the best sample. */
-    std::size_t bestIndex() const;
+    [[nodiscard]] std::size_t bestIndex() const;
 
     /**
      * Score all candidates with the acquisition function and return
      * the index of the best one. @pre ready() and non-empty.
      */
-    std::size_t suggestIndex(const std::vector<RealVec>& candidates) const;
+    [[nodiscard]] std::size_t suggestIndex(const std::vector<RealVec>& candidates) const;
 
     /**
      * Like suggestIndex(), but subtracting a per-candidate penalty
      * from the acquisition score (e.g. a reconfiguration cost, in
      * standardized-objective units). @pre penalties matches size.
      */
-    std::size_t suggestIndex(const std::vector<RealVec>& candidates,
+    [[nodiscard]] std::size_t suggestIndex(const std::vector<RealVec>& candidates,
                              const std::vector<double>& penalties) const;
 
     /** Posterior prediction at @p x (for diagnostics and figures). */
-    GpPrediction predict(const RealVec& x) const;
+    [[nodiscard]] GpPrediction predict(const RealVec& x) const;
 
     /**
      * Posterior means at a fixed probe set; Fig. 17(b) tracks the mean
      * absolute change of these estimates between iterations.
      */
-    std::vector<double> probeMeans(
+    [[nodiscard]] std::vector<double> probeMeans(
         const std::vector<RealVec>& probes) const;
 
     /** Number of training samples currently fitted. */
-    std::size_t numSamples() const;
+    [[nodiscard]] std::size_t numSamples() const;
 
     /** The options in force. */
-    const EngineOptions& options() const { return options_; }
+    [[nodiscard]] const EngineOptions& options() const { return options_; }
 
   private:
     void refit();

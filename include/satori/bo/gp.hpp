@@ -25,7 +25,7 @@ struct GpPrediction
     double variance = 0.0;
 
     /** Standard deviation (sqrt of variance, floored at 0). */
-    double stddev() const;
+    [[nodiscard]] double stddev() const;
 };
 
 /**
@@ -58,13 +58,13 @@ class GaussianProcess
              const std::vector<double>& targets);
 
     /** True once fit() succeeded with at least one sample. */
-    bool isFitted() const { return fitted_; }
+    [[nodiscard]] bool isFitted() const { return fitted_; }
 
     /** Posterior mean/variance at @p x (in the original target scale). */
-    GpPrediction predict(const RealVec& x) const;
+    [[nodiscard]] GpPrediction predict(const RealVec& x) const;
 
     /** Log marginal likelihood of the current fit (standardized y). */
-    double logMarginalLikelihood() const;
+    [[nodiscard]] double logMarginalLikelihood() const;
 
     /**
      * Refit trying each length scale in @p grid and keeping the one
@@ -76,10 +76,10 @@ class GaussianProcess
                                 const std::vector<double>& grid);
 
     /** Number of training samples in the current fit. */
-    std::size_t numSamples() const { return inputs_.size(); }
+    [[nodiscard]] std::size_t numSamples() const { return inputs_.size(); }
 
     /** The kernel in use. */
-    const Kernel& kernel() const { return *kernel_; }
+    [[nodiscard]] const Kernel& kernel() const { return *kernel_; }
 
   private:
     void fitStandardized();

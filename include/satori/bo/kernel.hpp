@@ -23,19 +23,19 @@ class Kernel
     virtual ~Kernel() = default;
 
     /** Covariance between inputs @p a and @p b (equal length). */
-    virtual double covariance(const RealVec& a, const RealVec& b) const = 0;
+    [[nodiscard]] virtual double covariance(const RealVec& a, const RealVec& b) const = 0;
 
     /** k(x, x): the signal variance. */
-    virtual double variance() const = 0;
+    [[nodiscard]] virtual double variance() const = 0;
 
     /** Copy with a different length scale (for hyperparameter search). */
-    virtual std::unique_ptr<Kernel> withLengthScale(double ls) const = 0;
+    [[nodiscard]] virtual std::unique_ptr<Kernel> withLengthScale(double ls) const = 0;
 
     /** The current length scale. */
-    virtual double lengthScale() const = 0;
+    [[nodiscard]] virtual double lengthScale() const = 0;
 
     /** Deep copy. */
-    virtual std::unique_ptr<Kernel> clone() const = 0;
+    [[nodiscard]] virtual std::unique_ptr<Kernel> clone() const = 0;
 };
 
 /**
@@ -53,11 +53,11 @@ class Matern52Kernel final : public Kernel
     explicit Matern52Kernel(double length_scale = 0.3,
                             double signal_variance = 1.0);
 
-    double covariance(const RealVec& a, const RealVec& b) const override;
-    double variance() const override { return signal_variance_; }
-    std::unique_ptr<Kernel> withLengthScale(double ls) const override;
-    double lengthScale() const override { return length_scale_; }
-    std::unique_ptr<Kernel> clone() const override;
+    [[nodiscard]] double covariance(const RealVec& a, const RealVec& b) const override;
+    [[nodiscard]] double variance() const override { return signal_variance_; }
+    [[nodiscard]] std::unique_ptr<Kernel> withLengthScale(double ls) const override;
+    [[nodiscard]] double lengthScale() const override { return length_scale_; }
+    [[nodiscard]] std::unique_ptr<Kernel> clone() const override;
 
   private:
     double length_scale_;
@@ -72,11 +72,11 @@ class RbfKernel final : public Kernel
     explicit RbfKernel(double length_scale = 0.3,
                        double signal_variance = 1.0);
 
-    double covariance(const RealVec& a, const RealVec& b) const override;
-    double variance() const override { return signal_variance_; }
-    std::unique_ptr<Kernel> withLengthScale(double ls) const override;
-    double lengthScale() const override { return length_scale_; }
-    std::unique_ptr<Kernel> clone() const override;
+    [[nodiscard]] double covariance(const RealVec& a, const RealVec& b) const override;
+    [[nodiscard]] double variance() const override { return signal_variance_; }
+    [[nodiscard]] std::unique_ptr<Kernel> withLengthScale(double ls) const override;
+    [[nodiscard]] double lengthScale() const override { return length_scale_; }
+    [[nodiscard]] std::unique_ptr<Kernel> clone() const override;
 
   private:
     double length_scale_;

@@ -12,39 +12,39 @@
 namespace satori {
 
 /** Standard normal probability density function. */
-double normalPdf(double z);
+[[nodiscard]] double normalPdf(double z);
 
 /** Standard normal cumulative distribution function. */
-double normalCdf(double z);
+[[nodiscard]] double normalCdf(double z);
 
 /** Clamp @p v to the closed interval [lo, hi]. */
-double clamp(double v, double lo, double hi);
+[[nodiscard]] double clamp(double v, double lo, double hi);
 
 /** Arithmetic mean; returns 0 for an empty vector. */
-double mean(const std::vector<double>& v);
+[[nodiscard]] double mean(const std::vector<double>& v);
 
 /** Population standard deviation; returns 0 for size < 2. */
-double stddev(const std::vector<double>& v);
+[[nodiscard]] double stddev(const std::vector<double>& v);
 
 /** Geometric mean; @pre all elements > 0. Returns 0 for empty input. */
-double geomean(const std::vector<double>& v);
+[[nodiscard]] double geomean(const std::vector<double>& v);
 
 /** Harmonic mean; @pre all elements > 0. Returns 0 for empty input. */
-double harmonicMean(const std::vector<double>& v);
+[[nodiscard]] double harmonicMean(const std::vector<double>& v);
 
 /** Coefficient of variation (stddev / mean); 0 if mean is 0. */
-double coefficientOfVariation(const std::vector<double>& v);
+[[nodiscard]] double coefficientOfVariation(const std::vector<double>& v);
 
 /** Squared Euclidean distance between equal-length vectors. */
-double squaredDistance(const std::vector<double>& a,
+[[nodiscard]] double squaredDistance(const std::vector<double>& a,
                        const std::vector<double>& b);
 
 /** Euclidean distance between equal-length vectors. */
-double euclideanDistance(const std::vector<double>& a,
+[[nodiscard]] double euclideanDistance(const std::vector<double>& a,
                          const std::vector<double>& b);
 
 /** Binomial coefficient C(n, k) computed in unsigned 64-bit arithmetic. */
-std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
+[[nodiscard]] std::uint64_t binomial(std::uint64_t n, std::uint64_t k);
 
 } // namespace satori
 

@@ -24,22 +24,22 @@ class OnlineStats
     void add(double x);
 
     /** Number of observations so far. */
-    std::size_t count() const { return n_; }
+    [[nodiscard]] std::size_t count() const { return n_; }
 
     /** Running mean (0 if empty). */
-    double mean() const { return n_ ? mean_ : 0.0; }
+    [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
 
     /** Population variance (0 if fewer than 2 samples). */
-    double variance() const;
+    [[nodiscard]] double variance() const;
 
     /** Population standard deviation. */
-    double stddev() const;
+    [[nodiscard]] double stddev() const;
 
     /** Smallest observation (+inf if empty). */
-    double min() const { return min_; }
+    [[nodiscard]] double min() const { return min_; }
 
     /** Largest observation (-inf if empty). */
-    double max() const { return max_; }
+    [[nodiscard]] double max() const { return max_; }
 
   private:
     std::size_t n_ = 0;
@@ -60,22 +60,22 @@ class TimeSeries
     void add(double t, double v);
 
     /** All sample times, in insertion order. */
-    const std::vector<double>& times() const { return times_; }
+    [[nodiscard]] const std::vector<double>& times() const { return times_; }
 
     /** All sample values, in insertion order. */
-    const std::vector<double>& values() const { return values_; }
+    [[nodiscard]] const std::vector<double>& values() const { return values_; }
 
     /** Number of points. */
-    std::size_t size() const { return values_.size(); }
+    [[nodiscard]] std::size_t size() const { return values_.size(); }
 
     /** Mean of all values (0 if empty). */
-    double mean() const;
+    [[nodiscard]] double mean() const;
 
     /**
      * Mean over the window [t0, t1] (inclusive); 0 if no points fall
      * inside the window.
      */
-    double meanOver(double t0, double t1) const;
+    [[nodiscard]] double meanOver(double t0, double t1) const;
 
   private:
     std::vector<double> times_;
@@ -83,7 +83,7 @@ class TimeSeries
 };
 
 /** Percentile (0..100) of a copy of @p v via linear interpolation. */
-double percentile(std::vector<double> v, double pct);
+[[nodiscard]] double percentile(std::vector<double> v, double pct);
 
 } // namespace satori
 

@@ -27,16 +27,16 @@ class TablePrinter
     void addRow(std::vector<std::string> cells);
 
     /** Render the table to a string. */
-    std::string render() const;
+    [[nodiscard]] std::string render() const;
 
     /** Print the table to stdout. */
     void print() const;
 
     /** Format a double with @p precision decimal places. */
-    static std::string num(double v, int precision = 2);
+    [[nodiscard]] static std::string num(double v, int precision = 2);
 
     /** Format a value as a percentage string, e.g. "92.1%". */
-    static std::string pct(double fraction, int precision = 1);
+    [[nodiscard]] static std::string pct(double fraction, int precision = 1);
 
   private:
     std::vector<std::string> headers_;
@@ -57,7 +57,7 @@ class CsvWriter
     void addRow(const std::vector<std::string>& cells);
 
     /** True if the file opened successfully. */
-    bool ok() const { return out_.good(); }
+    [[nodiscard]] bool ok() const { return out_.good(); }
 
   private:
     std::ofstream out_;

@@ -36,29 +36,29 @@ class Configuration
     explicit Configuration(std::vector<std::vector<int>> alloc);
 
     /** Number of co-located jobs. */
-    std::size_t numJobs() const;
+    [[nodiscard]] std::size_t numJobs() const;
 
     /** Number of resources. */
-    std::size_t numResources() const { return alloc_.size(); }
+    [[nodiscard]] std::size_t numResources() const { return alloc_.size(); }
 
     /** Units of resource @p r given to job @p j. */
-    int units(ResourceIndex r, JobIndex j) const;
+    [[nodiscard]] int units(ResourceIndex r, JobIndex j) const;
 
     /** Mutable unit count (validity must be restored by the caller). */
     int& units(ResourceIndex r, JobIndex j);
 
     /** The allocation row for resource @p r (one entry per job). */
-    const std::vector<int>& resourceRow(ResourceIndex r) const;
+    [[nodiscard]] const std::vector<int>& resourceRow(ResourceIndex r) const;
 
     /** Total units assigned for resource @p r. */
-    int totalUnits(ResourceIndex r) const;
+    [[nodiscard]] int totalUnits(ResourceIndex r) const;
 
     /**
      * True if the configuration is well-formed for @p platform and
      * @p num_jobs: right shape, every job gets >= 1 unit of every
      * resource, all units fully assigned.
      */
-    bool isValidFor(const PlatformSpec& platform,
+    [[nodiscard]] bool isValidFor(const PlatformSpec& platform,
                     std::size_t num_jobs) const;
 
     /**
@@ -66,7 +66,7 @@ class Configuration
      * possible among jobs (Algorithm 1); leftovers go to the
      * lowest-indexed jobs.
      */
-    static Configuration equalPartition(const PlatformSpec& platform,
+    [[nodiscard]] static Configuration equalPartition(const PlatformSpec& platform,
                                         std::size_t num_jobs);
 
     /**
@@ -76,19 +76,19 @@ class Configuration
      * the space in which the paper's Fig. 15 distances are computed
      * (scaled back to units there).
      */
-    RealVec normalizedVector() const;
+    [[nodiscard]] RealVec normalizedVector() const;
 
     /**
      * Euclidean distance between two configurations in *unit* space
      * (the Fig. 15 metric: 15-dimensional vectors of unit counts).
      */
-    static double distance(const Configuration& a, const Configuration& b);
+    [[nodiscard]] static double distance(const Configuration& a, const Configuration& b);
 
     /**
      * L1 (total moved units) distance between two configurations -
      * the natural measure of reconfiguration effort.
      */
-    static int l1Distance(const Configuration& a, const Configuration& b);
+    [[nodiscard]] static int l1Distance(const Configuration& a, const Configuration& b);
 
     /**
      * Transfer one unit of resource @p r from job @p from to job @p to.
@@ -98,7 +98,7 @@ class Configuration
     bool transferUnit(ResourceIndex r, JobIndex from, JobIndex to);
 
     /** Compact human-readable rendering, e.g. "[5,5|6,5|5,5]". */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 
     /** Structural equality. */
     bool operator==(const Configuration& other) const;

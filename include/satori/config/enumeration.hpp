@@ -31,22 +31,22 @@ class CompositionSpace
     CompositionSpace(int units, int parts);
 
     /** Number of compositions: C(units-1, parts-1). */
-    std::uint64_t size() const { return size_; }
+    [[nodiscard]] std::uint64_t size() const { return size_; }
 
     /** The @p index-th composition in lexicographic order. */
-    std::vector<int> at(std::uint64_t index) const;
+    [[nodiscard]] std::vector<int> at(std::uint64_t index) const;
 
     /** Rank of a composition (inverse of at()). */
-    std::uint64_t rank(const std::vector<int>& composition) const;
+    [[nodiscard]] std::uint64_t rank(const std::vector<int>& composition) const;
 
     /** A uniformly random composition. */
-    std::vector<int> sample(Rng& rng) const;
+    [[nodiscard]] std::vector<int> sample(Rng& rng) const;
 
     /** Units being split. */
-    int units() const { return units_; }
+    [[nodiscard]] int units() const { return units_; }
 
     /** Number of parts. */
-    int parts() const { return parts_; }
+    [[nodiscard]] int parts() const { return parts_; }
 
   private:
     int units_;
@@ -65,35 +65,35 @@ class ConfigurationSpace
     ConfigurationSpace(const PlatformSpec& platform, std::size_t num_jobs);
 
     /** Total number of valid configurations (Sec. II formula). */
-    std::uint64_t size() const { return size_; }
+    [[nodiscard]] std::uint64_t size() const { return size_; }
 
     /** The @p index-th configuration (mixed-radix over resources). */
-    Configuration at(std::uint64_t index) const;
+    [[nodiscard]] Configuration at(std::uint64_t index) const;
 
     /** Rank of a configuration (inverse of at()). */
-    std::uint64_t rank(const Configuration& config) const;
+    [[nodiscard]] std::uint64_t rank(const Configuration& config) const;
 
     /** A uniformly random configuration. */
-    Configuration sample(Rng& rng) const;
+    [[nodiscard]] Configuration sample(Rng& rng) const;
 
     /**
      * All configurations reachable from @p config by moving exactly
      * one unit of one resource between two jobs (the local moves used
      * by BO candidate refinement and the gradient-descent baseline).
      */
-    std::vector<Configuration> neighbors(const Configuration& config) const;
+    [[nodiscard]] std::vector<Configuration> neighbors(const Configuration& config) const;
 
     /** Number of co-located jobs. */
-    std::size_t numJobs() const { return num_jobs_; }
+    [[nodiscard]] std::size_t numJobs() const { return num_jobs_; }
 
     /** The platform this space was built for. */
-    const PlatformSpec& platform() const { return platform_; }
+    [[nodiscard]] const PlatformSpec& platform() const { return platform_; }
 
     /**
      * Closed-form size of a space without building it, e.g. for the
      * search-space-growth table of Sec. II.
      */
-    static std::uint64_t sizeOf(const PlatformSpec& platform,
+    [[nodiscard]] static std::uint64_t sizeOf(const PlatformSpec& platform,
                                 std::size_t num_jobs);
 
   private:

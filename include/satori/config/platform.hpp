@@ -28,7 +28,7 @@ enum class ResourceKind
 };
 
 /** Human-readable name of a resource kind. */
-std::string resourceKindName(ResourceKind kind);
+[[nodiscard]] std::string resourceKindName(ResourceKind kind);
 
 /** One partitionable resource: a kind and its number of integer units. */
 struct ResourceSpec
@@ -57,46 +57,46 @@ class PlatformSpec
     void addResource(ResourceKind kind, int units);
 
     /** Number of partitionable resources. */
-    std::size_t numResources() const { return resources_.size(); }
+    [[nodiscard]] std::size_t numResources() const { return resources_.size(); }
 
     /** Resource descriptor by index. */
-    const ResourceSpec& resource(ResourceIndex r) const;
+    [[nodiscard]] const ResourceSpec& resource(ResourceIndex r) const;
 
     /** Units of resource @p r. */
-    int units(ResourceIndex r) const { return resource(r).units; }
+    [[nodiscard]] int units(ResourceIndex r) const { return resource(r).units; }
 
     /** All resources. */
-    const std::vector<ResourceSpec>& resources() const { return resources_; }
+    [[nodiscard]] const std::vector<ResourceSpec>& resources() const { return resources_; }
 
     /**
      * Index of the resource with the given kind, or -1 if absent.
      * Platforms never contain the same kind twice.
      */
-    int indexOf(ResourceKind kind) const;
+    [[nodiscard]] int indexOf(ResourceKind kind) const;
 
     /**
      * A restricted copy containing only the resources in @p kinds
      * (used for the single/two-resource ablation of Sec. V).
      */
-    PlatformSpec restrictedTo(const std::vector<ResourceKind>& kinds) const;
+    [[nodiscard]] PlatformSpec restrictedTo(const std::vector<ResourceKind>& kinds) const;
 
     /**
      * The paper's testbed: 10 cores, 11 LLC ways, 10 memory-bandwidth
      * units (Sec. IV).
      */
-    static PlatformSpec paperTestbed();
+    [[nodiscard]] static PlatformSpec paperTestbed();
 
     /**
      * A smaller platform (8/8/8) used by multi-mix benchmark sweeps to
      * keep exhaustive-oracle runs fast; shape-preserving.
      */
-    static PlatformSpec smallTestbed();
+    [[nodiscard]] static PlatformSpec smallTestbed();
 
     /**
      * The paper's testbed extended with an 8-unit RAPL-style power
      * budget - the fourth knob the conclusion says SATORI can handle.
      */
-    static PlatformSpec extendedTestbed();
+    [[nodiscard]] static PlatformSpec extendedTestbed();
 
   private:
     std::vector<ResourceSpec> resources_;

@@ -57,16 +57,16 @@ class ChangeDetector
     bool update(double value);
 
     /** True while the reference statistics are being estimated. */
-    bool calibrating() const { return calibrating_; }
+    [[nodiscard]] bool calibrating() const { return calibrating_; }
 
     /** The current reference mean (0 while calibrating the first). */
-    double referenceMean() const { return mean_; }
+    [[nodiscard]] double referenceMean() const { return mean_; }
 
     /** Restart calibration from scratch. */
     void reset();
 
     /** The options in force. */
-    const ChangeDetectorOptions& options() const { return options_; }
+    [[nodiscard]] const ChangeDetectorOptions& options() const { return options_; }
 
   private:
     ChangeDetectorOptions options_;

@@ -35,7 +35,7 @@ enum class GoalMode
 };
 
 /** Printable name of a goal mode variant. */
-std::string goalModeName(GoalMode mode);
+[[nodiscard]] std::string goalModeName(GoalMode mode);
 
 /**
  * Hardening against unreliable telemetry and actuation (none of this
@@ -68,7 +68,7 @@ struct ResilienceOptions
     std::size_t recover_after = 3;
 
     /** Everything off: the paper's original (vanilla) controller. */
-    static ResilienceOptions vanilla()
+    [[nodiscard]] static ResilienceOptions vanilla()
     {
         ResilienceOptions r;
         r.guard.enabled = false;
@@ -229,24 +229,24 @@ class SatoriController final : public policies::PartitioningPolicy
     SatoriController(const PlatformSpec& platform, std::size_t num_jobs,
                      SatoriOptions options = {});
 
-    std::string name() const override;
+    [[nodiscard]] std::string name() const override;
     Configuration decide(const sim::IntervalObservation& obs) override;
     void reset() override;
 
     /** Diagnostics of the most recent iteration. */
-    const SatoriDiagnostics& diagnostics() const { return diagnostics_; }
+    [[nodiscard]] const SatoriDiagnostics& diagnostics() const { return diagnostics_; }
 
     /** The configuration space being explored. */
-    const ConfigurationSpace& space() const { return space_; }
+    [[nodiscard]] const ConfigurationSpace& space() const { return space_; }
 
     /** The options in force. */
-    const SatoriOptions& options() const { return options_; }
+    [[nodiscard]] const SatoriOptions& options() const { return options_; }
 
     /** The telemetry guard (activity counters for tests/benches). */
-    const TelemetryGuard& telemetryGuard() const { return guard_; }
+    [[nodiscard]] const TelemetryGuard& telemetryGuard() const { return guard_; }
 
     /** True while the degraded equal-partition fallback is active. */
-    bool degraded() const { return degraded_; }
+    [[nodiscard]] bool degraded() const { return degraded_; }
 
   private:
     /** Current (w_t, w_f) per the goal mode and weight controller. */
@@ -260,7 +260,7 @@ class SatoriController final : public policies::PartitioningPolicy
     void recordOnly(const sim::IntervalObservation& obs);
 
     /** The configuration returned when learning is impossible. */
-    const Configuration& holdCourse() const;
+    [[nodiscard]] const Configuration& holdCourse() const;
 
     SatoriOptions options_;
     ConfigurationSpace space_;

@@ -47,33 +47,33 @@ class GoalRecorder
     void add(Configuration config, std::vector<double> goal_values);
 
     /** Number of retained samples. */
-    std::size_t size() const { return samples_.size(); }
+    [[nodiscard]] std::size_t size() const { return samples_.size(); }
 
     /** True if no samples retained. */
-    bool empty() const { return samples_.empty(); }
+    [[nodiscard]] bool empty() const { return samples_.empty(); }
 
     /** Sample access, oldest first. */
-    const GoalSample& sample(std::size_t i) const;
+    [[nodiscard]] const GoalSample& sample(std::size_t i) const;
 
     /** All input vectors, oldest first. */
-    std::vector<RealVec> inputs() const;
+    [[nodiscard]] std::vector<RealVec> inputs() const;
 
     /**
      * Reconstruct the combined objective for every retained sample:
      * y_i = sum_k weights[k] * goals_ik (Eq. 2).
      * @pre weights.size() == numGoals().
      */
-    std::vector<double> combined(const std::vector<double>& weights) const;
+    [[nodiscard]] std::vector<double> combined(const std::vector<double>& weights) const;
 
     /** Number of goals per sample. */
-    std::size_t numGoals() const { return num_goals_; }
+    [[nodiscard]] std::size_t numGoals() const { return num_goals_; }
 
     /**
      * Index of the most recent sample of the configuration whose
      * *averaged* combined objective (over its repeated evaluations)
      * is highest - a noise-robust incumbent selection. @pre !empty().
      */
-    std::size_t bestSampleByAveragedObjective(
+    [[nodiscard]] std::size_t bestSampleByAveragedObjective(
         const std::vector<double>& weights,
         double uncertainty_kappa = 0.0) const;
 

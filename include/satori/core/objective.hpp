@@ -59,13 +59,13 @@ class ObjectiveSpec
                   std::vector<ExtraGoal> extras = {});
 
     /** Total goals: 2 built-ins + extras. */
-    std::size_t numGoals() const { return 2 + extras_.size(); }
+    [[nodiscard]] std::size_t numGoals() const { return 2 + extras_.size(); }
 
     /**
      * Normalized per-goal values for one interval:
      * index 0 = throughput, 1 = fairness, 2.. = extras.
      */
-    std::vector<double> goalValues(
+    [[nodiscard]] std::vector<double> goalValues(
         const sim::IntervalObservation& obs) const;
 
     /**
@@ -74,17 +74,17 @@ class ObjectiveSpec
      * shares; (w_t, w_f) are scaled into the remaining budget.
      * @pre w_t + w_f ~ 1.
      */
-    std::vector<double> weightVector(double w_t, double w_f) const;
+    [[nodiscard]] std::vector<double> weightVector(double w_t, double w_f) const;
 
     /** Combined objective value: dot(weights, goals) (Eq. 2). */
-    static double combine(const std::vector<double>& weights,
+    [[nodiscard]] static double combine(const std::vector<double>& weights,
                           const std::vector<double>& goals);
 
     /** Throughput metric in use. */
-    ThroughputMetric throughputMetric() const { return tmetric_; }
+    [[nodiscard]] ThroughputMetric throughputMetric() const { return tmetric_; }
 
     /** Fairness metric in use. */
-    FairnessMetric fairnessMetric() const { return fmetric_; }
+    [[nodiscard]] FairnessMetric fairnessMetric() const { return fmetric_; }
 
   private:
     ThroughputMetric tmetric_;

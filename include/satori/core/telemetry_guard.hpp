@@ -101,10 +101,10 @@ class TelemetryGuard
     SampleHealth filter(sim::IntervalObservation& obs);
 
     /** Cumulative activity counters. */
-    const TelemetryGuardStats& stats() const { return stats_; }
+    [[nodiscard]] const TelemetryGuardStats& stats() const { return stats_; }
 
     /** The options in force. */
-    const TelemetryGuardOptions& options() const { return options_; }
+    [[nodiscard]] const TelemetryGuardOptions& options() const { return options_; }
 
     /** Forget all history (controller reset). */
     void reset();

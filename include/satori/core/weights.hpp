@@ -82,10 +82,10 @@ class WeightController
     void resetPeriods();
 
     /** Mean throughput weight over the *previous* full T_E window. */
-    double lastEqualizationMeanWt() const { return last_eq_mean_wt_; }
+    [[nodiscard]] double lastEqualizationMeanWt() const { return last_eq_mean_wt_; }
 
     /** The options in force. */
-    const Options& options() const { return options_; }
+    [[nodiscard]] const Options& options() const { return options_; }
 
   private:
     Options options_;

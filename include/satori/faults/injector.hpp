@@ -47,10 +47,10 @@ struct FaultStats
     std::size_t crashes = 0;
 
     /** Total injected faults across all categories. */
-    std::size_t total() const;
+    [[nodiscard]] std::size_t total() const;
 
     /** One-line summary ("drop=12 nan=0 ... crash=1"). */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 };
 
 /** Executes a FaultPlan against one experiment run. */
@@ -95,20 +95,20 @@ class FaultInjector
                                  const Configuration& requested);
 
     /** Faults injected so far. */
-    const FaultStats& stats() const { return stats_; }
+    [[nodiscard]] const FaultStats& stats() const { return stats_; }
 
     /** Index of the interval currently being processed (0-based). */
-    std::size_t interval() const { return interval_; }
+    [[nodiscard]] std::size_t interval() const { return interval_; }
 
     /**
      * Compact annotation of the faults injected during the current
      * interval (e.g. "spike(j0)|noact"), empty when the interval was
      * clean. Reset by beginInterval().
      */
-    const std::string& lastFlags() const { return flags_; }
+    [[nodiscard]] const std::string& lastFlags() const { return flags_; }
 
     /** The plan being executed. */
-    const FaultPlan& plan() const { return plan_; }
+    [[nodiscard]] const FaultPlan& plan() const { return plan_; }
 
   private:
     void flag(const std::string& token);

@@ -55,7 +55,7 @@ enum class FaultKind
 };
 
 /** Stable lower-case name of a fault kind (scripts and reports). */
-const char* faultKindName(FaultKind kind);
+[[nodiscard]] const char* faultKindName(FaultKind kind);
 
 /** One scripted fault: a kind active over an interval window. */
 struct FaultEvent
@@ -87,7 +87,7 @@ struct FaultEvent
     std::size_t delay_intervals = 3;
 
     /** Compact one-line script rendering of this event. */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 };
 
 /**
@@ -107,19 +107,19 @@ class FaultPlan
     FaultPlan& add(const FaultEvent& event);
 
     /** All scripted events. */
-    const std::vector<FaultEvent>& events() const { return events_; }
+    [[nodiscard]] const std::vector<FaultEvent>& events() const { return events_; }
 
     /** True if no events are scripted. */
-    bool empty() const { return events_.empty(); }
+    [[nodiscard]] bool empty() const { return events_.empty(); }
 
     /** Events active at @p interval (optionally for @p job only). */
-    std::vector<const FaultEvent*> activeAt(std::size_t interval) const;
+    [[nodiscard]] std::vector<const FaultEvent*> activeAt(std::size_t interval) const;
 
     /** One past the last scripted interval (0 for an empty plan). */
-    std::size_t horizon() const;
+    [[nodiscard]] std::size_t horizon() const;
 
     /** Round-trippable script rendering (one event per line). */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 
     /**
      * Parse a fault script. Format: one event per line,
@@ -137,11 +137,11 @@ class FaultPlan
      * @throws FatalError naming @p source and the line on malformed
      *         input.
      */
-    static FaultPlan parse(const std::string& text,
+    [[nodiscard]] static FaultPlan parse(const std::string& text,
                            const std::string& source = "<string>");
 
     /** Parse a fault script file. @throws FatalError on I/O errors. */
-    static FaultPlan loadFile(const std::string& path);
+    [[nodiscard]] static FaultPlan loadFile(const std::string& path);
 
     /**
      * The default escalating plan used by bench_fault_resilience:
@@ -151,7 +151,7 @@ class FaultPlan
      * core offline - then a clean tail so recovery is observable.
      * Deterministic for a given (num_jobs, horizon).
      */
-    static FaultPlan escalating(std::size_t num_jobs,
+    [[nodiscard]] static FaultPlan escalating(std::size_t num_jobs,
                                 std::size_t horizon = 300);
 
   private:

@@ -110,12 +110,12 @@ class ExperimentRunner
      * server is mutated (time advances); use a fresh server per run
      * for apples-to-apples policy comparisons.
      */
-    ExperimentResult run(sim::SimulatedServer& server,
+    [[nodiscard]] ExperimentResult run(sim::SimulatedServer& server,
                          policies::PartitioningPolicy& policy,
                          const std::string& mix_label = "") const;
 
     /** The options in force. */
-    const ExperimentOptions& options() const { return options_; }
+    [[nodiscard]] const ExperimentOptions& options() const { return options_; }
 
   private:
     ExperimentOptions options_;

@@ -67,7 +67,7 @@ class OfflineEvaluator
      * Normalized (throughput, fairness) of @p config with jobs pinned
      * at @p phase_signature.
      */
-    std::pair<double, double> metricsFor(
+    [[nodiscard]] std::pair<double, double> metricsFor(
         const Configuration& config,
         const std::vector<std::size_t>& phase_signature) const;
 
@@ -80,16 +80,16 @@ class OfflineEvaluator
         double w_f);
 
     /** The configuration space being searched. */
-    const ConfigurationSpace& space() const { return space_; }
+    [[nodiscard]] const ConfigurationSpace& space() const { return space_; }
 
     /** Number of distinct searches performed (memo misses). */
-    std::size_t searchesPerformed() const { return searches_; }
+    [[nodiscard]] std::size_t searchesPerformed() const { return searches_; }
 
   private:
     /** Per-job IPS lookup tables for one phase signature. */
     struct IpsTables;
 
-    IpsTables buildTables(
+    [[nodiscard]] IpsTables buildTables(
         const std::vector<std::size_t>& phase_signature) const;
 
     const sim::SimulatedServer& server_;

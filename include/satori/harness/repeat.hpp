@@ -26,7 +26,7 @@ struct Estimate
     double ci95 = 0.0; ///< 1.96 * stderr; 0 with fewer than 2 runs.
 
     /** "m ± c" rendering with the given precision. */
-    std::string toString(int precision = 3) const;
+    [[nodiscard]] std::string toString(int precision = 3) const;
 };
 
 /** Aggregated multi-seed outcome of one policy on one scenario. */
@@ -43,7 +43,7 @@ struct RepeatedResult
      * more than the sum of both confidence half-widths - a
      * conservative "statistically clearly better" check.
      */
-    bool clearlyBeats(const RepeatedResult& other) const;
+    [[nodiscard]] bool clearlyBeats(const RepeatedResult& other) const;
 };
 
 /**

@@ -37,7 +37,7 @@ struct MixComparison
     std::vector<PolicyScore> scores;
 
     /** Score for @p policy; throws if absent. */
-    const PolicyScore& score(const std::string& policy) const;
+    [[nodiscard]] const PolicyScore& score(const std::string& policy) const;
 };
 
 /**
@@ -55,15 +55,15 @@ MixComparison comparePolicies(const PlatformSpec& platform,
                               core::SatoriOptions satori_options = {});
 
 /** Mean of a member across comparisons (aggregate-figure helper). */
-double meanThroughputPct(const std::vector<MixComparison>& comps,
+[[nodiscard]] double meanThroughputPct(const std::vector<MixComparison>& comps,
                          const std::string& policy);
 
 /** Mean fairness %-of-oracle across comparisons. */
-double meanFairnessPct(const std::vector<MixComparison>& comps,
+[[nodiscard]] double meanFairnessPct(const std::vector<MixComparison>& comps,
                        const std::string& policy);
 
 /** Mean worst-job %-of-oracle across comparisons. */
-double meanWorstJobPct(const std::vector<MixComparison>& comps,
+[[nodiscard]] double meanWorstJobPct(const std::vector<MixComparison>& comps,
                        const std::string& policy);
 
 } // namespace harness

@@ -22,7 +22,7 @@ namespace satori {
 namespace harness {
 
 /** Build a server for a mix on a platform with a deterministic seed. */
-sim::SimulatedServer makeServer(const PlatformSpec& platform,
+[[nodiscard]] sim::SimulatedServer makeServer(const PlatformSpec& platform,
                                 const workloads::JobMix& mix,
                                 std::uint64_t seed = 42,
                                 double noise_sigma = 0.04);
@@ -45,10 +45,10 @@ std::unique_ptr<policies::PartitioningPolicy> makePolicy(
     core::SatoriOptions satori_options = {});
 
 /** The paper's Fig. 7 comparison set, ordered as plotted. */
-std::vector<std::string> comparisonPolicyNames();
+[[nodiscard]] std::vector<std::string> comparisonPolicyNames();
 
 /** All SATORI variants. */
-std::vector<std::string> satoriVariantNames();
+[[nodiscard]] std::vector<std::string> satoriVariantNames();
 
 } // namespace harness
 } // namespace satori

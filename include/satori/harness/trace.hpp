@@ -65,7 +65,7 @@ class TraceWriter
     void write(const TraceRecord& record);
 
     /** Records written so far. */
-    std::size_t count() const { return count_; }
+    [[nodiscard]] std::size_t count() const { return count_; }
 
     /** Flush buffered output. */
     void flush();

@@ -34,29 +34,29 @@ class Cholesky
     explicit Cholesky(Matrix a, double initial_jitter = 1e-10);
 
     /** The lower-triangular factor L with A + jitter*I = L L^T. */
-    const Matrix& factor() const { return l_; }
+    [[nodiscard]] const Matrix& factor() const { return l_; }
 
     /** The jitter that was finally added to the diagonal (0 if none). */
-    double jitter() const { return jitter_; }
+    [[nodiscard]] double jitter() const { return jitter_; }
 
     /**
      * Cheap condition-number estimate from the factor's diagonal:
      * (max L_ii / min L_ii)^2. A lower bound on the true 2-norm
      * condition number, good enough to flag near-singular kernels.
      */
-    double conditionEstimate() const;
+    [[nodiscard]] double conditionEstimate() const;
 
     /** Solve L y = b (forward substitution). */
-    std::vector<double> solveLower(const std::vector<double>& b) const;
+    [[nodiscard]] std::vector<double> solveLower(const std::vector<double>& b) const;
 
     /** Solve L^T x = b (backward substitution). */
-    std::vector<double> solveUpper(const std::vector<double>& b) const;
+    [[nodiscard]] std::vector<double> solveUpper(const std::vector<double>& b) const;
 
     /** Solve A x = b via the two triangular solves. */
-    std::vector<double> solve(const std::vector<double>& b) const;
+    [[nodiscard]] std::vector<double> solve(const std::vector<double>& b) const;
 
     /** log(det(A)) = 2 * sum(log(L_ii)). */
-    double logDet() const;
+    [[nodiscard]] double logDet() const;
 
   private:
     bool tryFactorize(const Matrix& a, double jitter);

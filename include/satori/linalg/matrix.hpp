@@ -28,10 +28,10 @@ class Matrix
     Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
 
     /** Number of rows. */
-    std::size_t rows() const { return rows_; }
+    [[nodiscard]] std::size_t rows() const { return rows_; }
 
     /** Number of columns. */
-    std::size_t cols() const { return cols_; }
+    [[nodiscard]] std::size_t cols() const { return cols_; }
 
     /** Mutable element access (no bounds check in release builds). */
     double& operator()(std::size_t r, std::size_t c);
@@ -40,22 +40,22 @@ class Matrix
     double operator()(std::size_t r, std::size_t c) const;
 
     /** The identity matrix of size n. */
-    static Matrix identity(std::size_t n);
+    [[nodiscard]] static Matrix identity(std::size_t n);
 
     /** Matrix-vector product. @pre v.size() == cols(). */
-    std::vector<double> multiply(const std::vector<double>& v) const;
+    [[nodiscard]] std::vector<double> multiply(const std::vector<double>& v) const;
 
     /** Matrix-matrix product. @pre other.rows() == cols(). */
-    Matrix multiply(const Matrix& other) const;
+    [[nodiscard]] Matrix multiply(const Matrix& other) const;
 
     /** Transposed copy. */
-    Matrix transposed() const;
+    [[nodiscard]] Matrix transposed() const;
 
     /** Add @p v to every diagonal element. @pre square. */
     void addDiagonal(double v);
 
     /** Raw storage (row-major), mainly for tests. */
-    const std::vector<double>& data() const { return data_; }
+    [[nodiscard]] const std::vector<double>& data() const { return data_; }
 
   private:
     std::size_t rows_ = 0;
@@ -64,7 +64,7 @@ class Matrix
 };
 
 /** Dot product of equal-length vectors. */
-double dot(const std::vector<double>& a, const std::vector<double>& b);
+[[nodiscard]] double dot(const std::vector<double>& a, const std::vector<double>& b);
 
 } // namespace linalg
 } // namespace satori

@@ -36,23 +36,23 @@ enum class FairnessMetric
  * Per-job speedups relative to isolated execution: ips[i] / iso[i].
  * @pre equal sizes; iso[i] > 0.
  */
-std::vector<double> speedups(const std::vector<Ips>& ips,
+[[nodiscard]] std::vector<double> speedups(const std::vector<Ips>& ips,
                              const std::vector<Ips>& isolation_ips);
 
 /** Jain's fairness index of the given speedups: 1 / (1 + CoV^2). */
-double jainFairnessIndex(const std::vector<double>& speedup);
+[[nodiscard]] double jainFairnessIndex(const std::vector<double>& speedup);
 
 /** The 1 - CoV fairness metric of the given speedups. */
-double oneMinusCovFairness(const std::vector<double>& speedup);
+[[nodiscard]] double oneMinusCovFairness(const std::vector<double>& speedup);
 
 /** Fairness under the selected metric. */
-double fairness(FairnessMetric metric, const std::vector<double>& speedup);
+[[nodiscard]] double fairness(FairnessMetric metric, const std::vector<double>& speedup);
 
 /**
  * Raw throughput under the selected metric (sum of IPS for SumIps;
  * a speedup statistic otherwise).
  */
-double throughput(ThroughputMetric metric, const std::vector<Ips>& ips,
+[[nodiscard]] double throughput(ThroughputMetric metric, const std::vector<Ips>& ips,
                   const std::vector<Ips>& isolation_ips);
 
 /**
@@ -63,7 +63,7 @@ double throughput(ThroughputMetric metric, const std::vector<Ips>& ips,
  * scale stretches the throughput goal across the full unit range the
  * fairness index already occupies.
  */
-double colocationThroughputScale(std::size_t num_jobs);
+[[nodiscard]] double colocationThroughputScale(std::size_t num_jobs);
 
 /**
  * Throughput normalized to [0, 1] so it is comparable with fairness
@@ -71,7 +71,7 @@ double colocationThroughputScale(std::size_t num_jobs);
  * the sum of isolation IPS and by colocationThroughputScale();
  * speedup statistics are already relative and are clamped to [0, 1].
  */
-double normalizedThroughput(ThroughputMetric metric,
+[[nodiscard]] double normalizedThroughput(ThroughputMetric metric,
                             const std::vector<Ips>& ips,
                             const std::vector<Ips>& isolation_ips);
 
@@ -80,7 +80,7 @@ double normalizedThroughput(ThroughputMetric metric,
  * 1 - CoV is clamped from below at 0 (Sec. III-B notes it has no
  * lower bound).
  */
-double normalizedFairness(FairnessMetric metric,
+[[nodiscard]] double normalizedFairness(FairnessMetric metric,
                           const std::vector<double>& speedup);
 
 } // namespace satori

@@ -39,7 +39,7 @@ class MissRatioCurve
      * @param decay_ways Decay constant in ways; small = cache-friendly,
      *        large = needs many ways before misses drop.
      */
-    static MissRatioCurve exponential(double mpki_one, double mpki_floor,
+    [[nodiscard]] static MissRatioCurve exponential(double mpki_one, double mpki_floor,
                                       double decay_ways);
 
     /**
@@ -47,7 +47,7 @@ class MissRatioCurve
      * Queries beyond the table clamp to the last entry.
      * @pre non-empty, non-negative, non-increasing.
      */
-    static MissRatioCurve table(std::vector<double> mpki_by_way);
+    [[nodiscard]] static MissRatioCurve table(std::vector<double> mpki_by_way);
 
     /**
      * Working-set-cliff curve: MPKI stays near mpki_one until the
@@ -57,7 +57,7 @@ class MissRatioCurve
      * what makes one-way-at-a-time reallocation blind to the benefit
      * of crossing the cliff.
      */
-    static MissRatioCurve sCurve(double mpki_one, double mpki_floor,
+    [[nodiscard]] static MissRatioCurve sCurve(double mpki_one, double mpki_floor,
                                  double knee_ways, double width);
 
     /**
@@ -67,23 +67,23 @@ class MissRatioCurve
      * Models Mattson-style inclusion: more ways monotonically capture
      * more of the reuse distribution.
      */
-    static MissRatioCurve fromStackDistances(double mpki_one,
+    [[nodiscard]] static MissRatioCurve fromStackDistances(double mpki_one,
                                              double ws_ways,
                                              double reuse_decay,
                                              int max_ways);
 
     /** MPKI with @p ways allocated ways. @pre ways >= 1. */
-    double mpki(int ways) const;
+    [[nodiscard]] double mpki(int ways) const;
 
     /**
      * MPKI at a continuous effective way count (>= 1), used for the
      * core-count/cache-pressure coupling; tables are linearly
      * interpolated, the exponential form is evaluated directly.
      */
-    double mpkiAt(double ways) const;
+    [[nodiscard]] double mpkiAt(double ways) const;
 
     /** MPKI floor (compulsory misses) of this curve. */
-    double floorMpki() const;
+    [[nodiscard]] double floorMpki() const;
 
   private:
     // Exponential parameters (used when table_ is empty).

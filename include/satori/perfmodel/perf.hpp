@@ -42,7 +42,7 @@ struct MachineParams
     double power_exponent = 0.4;
 
     /** A Skylake-like machine matching the paper's testbed. */
-    static MachineParams paperLike() { return {}; }
+    [[nodiscard]] static MachineParams paperLike() { return {}; }
 };
 
 /** Allocation handed to the model, in resource units/fractions. */
@@ -66,7 +66,7 @@ struct PerfResult
 };
 
 /** Amdahl speedup of @p cores cores with parallel fraction @p p. */
-double amdahlSpeedup(double p, int cores);
+[[nodiscard]] double amdahlSpeedup(double p, int cores);
 
 /**
  * Evaluate the model for one phase under one allocation.
@@ -74,7 +74,7 @@ double amdahlSpeedup(double p, int cores);
  * @pre alloc.cores >= 1, alloc.llc_ways >= 1,
  *      0 < alloc.bw_fraction <= 1, 0 < alloc.power_fraction.
  */
-PerfResult evaluatePhase(const PhaseParams& phase,
+[[nodiscard]] PerfResult evaluatePhase(const PhaseParams& phase,
                          const MachineParams& machine,
                          const AllocationView& alloc);
 

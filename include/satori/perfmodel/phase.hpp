@@ -65,10 +65,10 @@ class PhaseSequence
     explicit PhaseSequence(std::vector<PhaseParams> phases);
 
     /** The currently executing phase. */
-    const PhaseParams& current() const;
+    [[nodiscard]] const PhaseParams& current() const;
 
     /** Index of the current phase within the cycle. */
-    std::size_t currentIndex() const { return index_; }
+    [[nodiscard]] std::size_t currentIndex() const { return index_; }
 
     /**
      * Retire @p instructions; advances through phase boundaries
@@ -77,13 +77,13 @@ class PhaseSequence
     void advance(Instructions instructions);
 
     /** Number of distinct phases in the cycle. */
-    std::size_t numPhases() const { return phases_.size(); }
+    [[nodiscard]] std::size_t numPhases() const { return phases_.size(); }
 
     /** Phase by index. */
-    const PhaseParams& phase(std::size_t i) const;
+    [[nodiscard]] const PhaseParams& phase(std::size_t i) const;
 
     /** Instructions retired inside the current phase. */
-    Instructions progressInPhase() const { return progress_; }
+    [[nodiscard]] Instructions progressInPhase() const { return progress_; }
 
     /** Restart from the first phase. */
     void reset();

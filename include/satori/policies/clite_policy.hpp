@@ -60,15 +60,15 @@ class ClitePolicy final : public PartitioningPolicy
     ClitePolicy(const PlatformSpec& platform, std::size_t num_jobs,
                 CliteOptions options = {});
 
-    std::string name() const override { return "CLITE"; }
+    [[nodiscard]] std::string name() const override { return "CLITE"; }
     Configuration decide(const sim::IntervalObservation& obs) override;
     void reset() override;
 
     /** True once the search has converged and holds its best. */
-    bool converged() const { return holding_; }
+    [[nodiscard]] bool converged() const { return holding_; }
 
   private:
-    double objective(const sim::IntervalObservation& obs) const;
+    [[nodiscard]] double objective(const sim::IntervalObservation& obs) const;
 
     CliteOptions options_;
     ConfigurationSpace space_;

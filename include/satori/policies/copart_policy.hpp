@@ -47,7 +47,7 @@ class CoPartPolicy final : public PartitioningPolicy
     CoPartPolicy(const PlatformSpec& platform, std::size_t num_jobs,
                  Options options = {});
 
-    std::string name() const override { return "CoPart"; }
+    [[nodiscard]] std::string name() const override { return "CoPart"; }
     Configuration decide(const sim::IntervalObservation& obs) override;
     void reset() override;
 

@@ -50,12 +50,12 @@ class DCatPolicy final : public PartitioningPolicy
     DCatPolicy(const PlatformSpec& platform, std::size_t num_jobs,
                Options options = {});
 
-    std::string name() const override { return "dCAT"; }
+    [[nodiscard]] std::string name() const override { return "dCAT"; }
     Configuration decide(const sim::IntervalObservation& obs) override;
     void reset() override;
 
   private:
-    double sumIps(const std::vector<Ips>& ips) const;
+    [[nodiscard]] double sumIps(const std::vector<Ips>& ips) const;
 
     PlatformSpec platform_;
     std::size_t num_jobs_;

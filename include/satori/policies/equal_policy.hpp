@@ -19,7 +19,7 @@ class EqualPartitionPolicy final : public PartitioningPolicy
     EqualPartitionPolicy(const PlatformSpec& platform,
                          std::size_t num_jobs);
 
-    std::string name() const override { return "Equal"; }
+    [[nodiscard]] std::string name() const override { return "Equal"; }
     Configuration decide(const sim::IntervalObservation& obs) override;
 
   private:

@@ -27,7 +27,7 @@ enum class OracleKind
 };
 
 /** Printable oracle name. */
-std::string oracleKindName(OracleKind kind);
+[[nodiscard]] std::string oracleKindName(OracleKind kind);
 
 /** Exhaustive offline search, re-run (memoized) on phase changes. */
 class OraclePolicy final : public PartitioningPolicy
@@ -42,14 +42,14 @@ class OraclePolicy final : public PartitioningPolicy
     OraclePolicy(const sim::SimulatedServer& server, OracleKind kind,
                  harness::OfflineEvaluator::Options options = {});
 
-    std::string name() const override;
+    [[nodiscard]] std::string name() const override;
     Configuration decide(const sim::IntervalObservation& obs) override;
 
     /** Weight on throughput for this oracle. */
-    double weightThroughput() const { return w_t_; }
+    [[nodiscard]] double weightThroughput() const { return w_t_; }
 
     /** Weight on fairness for this oracle. */
-    double weightFairness() const { return w_f_; }
+    [[nodiscard]] double weightFairness() const { return w_f_; }
 
     /** Access the underlying evaluator (e.g. for distance figures). */
     harness::OfflineEvaluator& evaluator() { return *evaluator_; }

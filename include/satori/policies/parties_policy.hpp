@@ -54,12 +54,12 @@ class PartiesPolicy final : public PartitioningPolicy
     PartiesPolicy(const PlatformSpec& platform, std::size_t num_jobs,
                   Options options = {});
 
-    std::string name() const override { return "PARTIES"; }
+    [[nodiscard]] std::string name() const override { return "PARTIES"; }
     Configuration decide(const sim::IntervalObservation& obs) override;
     void reset() override;
 
   private:
-    double objective(const sim::IntervalObservation& obs) const;
+    [[nodiscard]] double objective(const sim::IntervalObservation& obs) const;
 
     PlatformSpec platform_;
     std::size_t num_jobs_;

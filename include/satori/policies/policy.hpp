@@ -32,7 +32,7 @@ class PartitioningPolicy
     virtual ~PartitioningPolicy();
 
     /** Short policy name used in result tables ("SATORI", "dCAT"...). */
-    virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
 
     /** Choose the configuration for the next interval. */
     virtual Configuration decide(const sim::IntervalObservation& obs) = 0;

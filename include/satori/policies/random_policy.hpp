@@ -21,7 +21,7 @@ class RandomPolicy final : public PartitioningPolicy
     RandomPolicy(const PlatformSpec& platform, std::size_t num_jobs,
                  std::uint64_t seed = 13);
 
-    std::string name() const override { return "Random"; }
+    [[nodiscard]] std::string name() const override { return "Random"; }
     Configuration decide(const sim::IntervalObservation& obs) override;
     void reset() override;
 

@@ -38,16 +38,16 @@ class RestrictedPolicy final : public PartitioningPolicy
                      const std::vector<ResourceKind>& managed,
                      const InnerFactory& factory);
 
-    std::string name() const override;
+    [[nodiscard]] std::string name() const override;
     Configuration decide(const sim::IntervalObservation& obs) override;
     void reset() override;
 
   private:
     /** Project a full-platform config down to the managed resources. */
-    Configuration project(const Configuration& full) const;
+    [[nodiscard]] Configuration project(const Configuration& full) const;
 
     /** Embed a restricted config into the full platform (equal rest). */
-    Configuration embed(const Configuration& restricted) const;
+    [[nodiscard]] Configuration embed(const Configuration& restricted) const;
 
     PlatformSpec full_;
     PlatformSpec restricted_;

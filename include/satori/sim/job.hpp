@@ -29,25 +29,25 @@ class Job
     explicit Job(workloads::WorkloadProfile profile);
 
     /** The workload this job executes. */
-    const workloads::WorkloadProfile& profile() const { return profile_; }
+    [[nodiscard]] const workloads::WorkloadProfile& profile() const { return profile_; }
 
     /** Parameters of the phase currently executing. */
-    const perfmodel::PhaseParams& currentPhase() const;
+    [[nodiscard]] const perfmodel::PhaseParams& currentPhase() const;
 
     /** Index of the current phase within the profile's cycle. */
-    std::size_t currentPhaseIndex() const;
+    [[nodiscard]] std::size_t currentPhaseIndex() const;
 
     /** Retire @p n instructions, advancing phase and work accounting. */
     void retire(Instructions n);
 
     /** Total instructions retired since construction/reset. */
-    Instructions totalRetired() const { return total_retired_; }
+    [[nodiscard]] Instructions totalRetired() const { return total_retired_; }
 
     /** Completed fixed-work runs (for fixed-work experiments). */
-    std::uint64_t completedRuns() const { return completed_runs_; }
+    [[nodiscard]] std::uint64_t completedRuns() const { return completed_runs_; }
 
     /** Progress through the current fixed-work run, in [0, 1). */
-    double runProgress() const;
+    [[nodiscard]] double runProgress() const;
 
     /** Restart from scratch (phase 0, zero counters). */
     void reset();

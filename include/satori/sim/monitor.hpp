@@ -62,7 +62,7 @@ class PerfMonitor
     void resetBaseline();
 
     /** The isolation baseline in use. */
-    const std::vector<Ips>& baseline() const { return baseline_; }
+    [[nodiscard]] const std::vector<Ips>& baseline() const { return baseline_; }
 
     /** The monitored server. */
     SimulatedServer& server() { return server_; }

@@ -71,13 +71,13 @@ class SimulatedServer
                     ServerOptions options = {});
 
     /** Number of co-located jobs. */
-    std::size_t numJobs() const { return jobs_.size(); }
+    [[nodiscard]] std::size_t numJobs() const { return jobs_.size(); }
 
     /** The platform's partitionable resources. */
-    const PlatformSpec& platform() const { return platform_; }
+    [[nodiscard]] const PlatformSpec& platform() const { return platform_; }
 
     /** Machine performance constants. */
-    const perfmodel::MachineParams& machine() const { return machine_; }
+    [[nodiscard]] const perfmodel::MachineParams& machine() const { return machine_; }
 
     /**
      * Apply a new partitioning configuration (validated).
@@ -89,7 +89,7 @@ class SimulatedServer
     void setConfiguration(const Configuration& config);
 
     /** The configuration currently in force. */
-    const Configuration& configuration() const { return config_; }
+    [[nodiscard]] const Configuration& configuration() const { return config_; }
 
     /**
      * Advance simulated time by @p dt seconds under the current
@@ -100,20 +100,20 @@ class SimulatedServer
     std::vector<Ips> step(Seconds dt);
 
     /** Simulated time elapsed so far. */
-    Seconds now() const { return now_; }
+    [[nodiscard]] Seconds now() const { return now_; }
 
     /**
      * Per-job isolated-execution IPS at each job's *current* phase
      * (the job alone on the whole machine); noiseless. This is the
      * paper's online isolation baseline measurement.
      */
-    std::vector<Ips> isolationIpsNow() const;
+    [[nodiscard]] std::vector<Ips> isolationIpsNow() const;
 
     /** Current phase index of every job (the oracle's memo key). */
-    std::vector<std::size_t> phaseSignature() const;
+    [[nodiscard]] std::vector<std::size_t> phaseSignature() const;
 
     /** Job state access. */
-    const Job& job(std::size_t j) const;
+    [[nodiscard]] const Job& job(std::size_t j) const;
 
     /** Mutable job state access. */
     Job& job(std::size_t j);
@@ -142,7 +142,7 @@ class SimulatedServer
     void setExternalThrottle(std::vector<double> factors);
 
     /** The external throttle in force (empty = all-ones). */
-    const std::vector<double>& externalThrottle() const
+    [[nodiscard]] const std::vector<double>& externalThrottle() const
     {
         return external_throttle_;
     }
@@ -152,7 +152,7 @@ class SimulatedServer
      * jobs pinned at @p phase_signature. Does not mutate the server.
      * Used by the offline oracle and the characterization benches.
      */
-    std::vector<Ips> evaluateIps(
+    [[nodiscard]] std::vector<Ips> evaluateIps(
         const Configuration& config,
         const std::vector<std::size_t>& phase_signature) const;
 
@@ -160,10 +160,10 @@ class SimulatedServer
      * Noiseless isolation IPS of job @p j pinned at phase
      * @p phase_index.
      */
-    Ips isolationIpsAt(std::size_t j, std::size_t phase_index) const;
+    [[nodiscard]] Ips isolationIpsAt(std::size_t j, std::size_t phase_index) const;
 
     /** Map @p config to the model's AllocationView for job @p j. */
-    perfmodel::AllocationView allocationView(const Configuration& config,
+    [[nodiscard]] perfmodel::AllocationView allocationView(const Configuration& config,
                                              JobIndex j) const;
 
   private:

@@ -44,7 +44,7 @@ namespace workloads {
  *         malformed input: truncated directives, non-numeric fields,
  *         and out-of-range or non-finite values are all rejected.
  */
-std::vector<WorkloadProfile>
+[[nodiscard]] std::vector<WorkloadProfile>
 parseWorkloadText(const std::string& text,
                   const std::string& source = "<string>");
 
@@ -52,13 +52,13 @@ parseWorkloadText(const std::string& text,
  * Parse workload definitions from a file.
  * @throws FatalError if the file cannot be read or is malformed.
  */
-std::vector<WorkloadProfile> loadWorkloadFile(const std::string& path);
+[[nodiscard]] std::vector<WorkloadProfile> loadWorkloadFile(const std::string& path);
 
 /**
  * Serialize profiles back to the loader format (round-trippable);
  * useful for exporting the built-in suites as editable templates.
  */
-std::string formatWorkloads(const std::vector<WorkloadProfile>& profiles);
+[[nodiscard]] std::string formatWorkloads(const std::vector<WorkloadProfile>& profiles);
 
 } // namespace workloads
 } // namespace satori

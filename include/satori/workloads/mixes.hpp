@@ -27,15 +27,15 @@ struct JobMix
  * All C(n, k) k-subsets of {0..n-1} in lexicographic order.
  * @pre 1 <= k <= n.
  */
-std::vector<std::vector<std::size_t>> combinations(std::size_t n,
+[[nodiscard]] std::vector<std::vector<std::size_t>> combinations(std::size_t n,
                                                    std::size_t k);
 
 /** All k-job mixes of a suite, lexicographic, with "name+name" labels. */
-std::vector<JobMix> allMixes(const std::vector<WorkloadProfile>& suite,
+[[nodiscard]] std::vector<JobMix> allMixes(const std::vector<WorkloadProfile>& suite,
                              std::size_t k);
 
 /** A single mix from explicit workload names (cross-suite allowed). */
-JobMix mixOf(const std::vector<std::string>& names);
+[[nodiscard]] JobMix mixOf(const std::vector<std::string>& names);
 
 } // namespace workloads
 } // namespace satori

@@ -39,14 +39,14 @@ struct WorkloadProfile
     Instructions fixed_work = 5e10;
 
     /** Sum of phase lengths (one trip around the cycle). */
-    Instructions cycleLength() const;
+    [[nodiscard]] Instructions cycleLength() const;
 };
 
 /**
  * Helper used by the suite definitions: builds one phase with the
  * exponential miss-ratio-curve parameterization.
  */
-perfmodel::PhaseParams makePhase(std::string label, double base_ipc,
+[[nodiscard]] perfmodel::PhaseParams makePhase(std::string label, double base_ipc,
                                  double parallel_fraction, double mpki_one,
                                  double mpki_floor, double mrc_decay_ways,
                                  double miss_penalty_cycles,
@@ -57,7 +57,7 @@ perfmodel::PhaseParams makePhase(std::string label, double base_ipc,
  * Like makePhase() but with a working-set-cliff MRC: MPKI stays high
  * until @p knee_ways fit, then drops steeply (width @p cliff_width).
  */
-perfmodel::PhaseParams makeCliffPhase(std::string label, double base_ipc,
+[[nodiscard]] perfmodel::PhaseParams makeCliffPhase(std::string label, double base_ipc,
                                       double parallel_fraction,
                                       double mpki_one, double mpki_floor,
                                       double knee_ways, double cliff_width,

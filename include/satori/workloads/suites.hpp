@@ -21,19 +21,19 @@ namespace satori {
 namespace workloads {
 
 /** The seven PARSEC benchmarks used in the paper's mixes. */
-std::vector<WorkloadProfile> parsecSuite();
+[[nodiscard]] std::vector<WorkloadProfile> parsecSuite();
 
 /** The five CloudSuite benchmarks (Table II). */
-std::vector<WorkloadProfile> cloudSuite();
+[[nodiscard]] std::vector<WorkloadProfile> cloudSuite();
 
 /** The five ECP proxy applications (Table III). */
-std::vector<WorkloadProfile> ecpSuite();
+[[nodiscard]] std::vector<WorkloadProfile> ecpSuite();
 
 /** Look up a suite by name ("parsec", "cloudsuite", "ecp"). */
-std::vector<WorkloadProfile> suiteByName(const std::string& name);
+[[nodiscard]] std::vector<WorkloadProfile> suiteByName(const std::string& name);
 
 /** Look up one workload by name across all suites; throws if absent. */
-WorkloadProfile workloadByName(const std::string& name);
+[[nodiscard]] WorkloadProfile workloadByName(const std::string& name);
 
 } // namespace workloads
 } // namespace satori

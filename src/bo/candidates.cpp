@@ -41,6 +41,10 @@ std::vector<Configuration>
 CandidateGenerator::generate(const Configuration& incumbent, Rng& rng) const
 {
     std::vector<Configuration> out;
+    // `seen` is queried only for membership — the emitted order is the
+    // insertion order of `out`, so candidate lists replay exactly for a
+    // given (incumbent, rng state) regardless of hash-bucket layout.
+    // Iterating `seen` here would break replay; see BoTest.
     std::unordered_set<std::uint64_t> seen;
     auto push_unique = [&](Configuration c) {
         const std::uint64_t key = space_.rank(c);

@@ -79,7 +79,7 @@ double
 coefficientOfVariation(const std::vector<double>& v)
 {
     const double m = mean(v);
-    if (m == 0.0)
+    if (std::abs(m) == 0.0)
         return 0.0;
     return stddev(v) / m;
 }

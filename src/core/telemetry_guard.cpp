@@ -105,6 +105,8 @@ TelemetryGuard::filter(sim::IntervalObservation& obs)
         // repeat bit-identically; a run of equal reads means the
         // source froze and the value carries no new information.
         bool frozen = false;
+        // Exact repeat is the point: freeze detection wants bitwise
+        // equality, not closeness. satori-analyzer: allow(num-float-eq)
         if (h.has_last_raw && raw == h.last_raw) {
             if (++h.freeze_count + 1 >= options_.freeze_run &&
                 options_.freeze_run > 0) {

@@ -199,6 +199,8 @@ FaultPlan::parse(const std::string& text, const std::string& source)
                     e.job = -1;
                 } else {
                     const double j = parseNumber(val, source, line_no);
+                    // Integrality test, not a tolerance compare.
+                    // satori-analyzer: allow(num-float-eq)
                     if (j < 0 || j != std::floor(j))
                         fail(source, line_no,
                              "job must be a non-negative integer or *");
@@ -214,6 +216,8 @@ FaultPlan::parse(const std::string& text, const std::string& source)
                     fail(source, line_no, "x must be >= 0");
             } else if (key == "k") {
                 const double k = parseNumber(val, source, line_no);
+                // Integrality test, not a tolerance compare.
+                // satori-analyzer: allow(num-float-eq)
                 if (k < 1 || k != std::floor(k))
                     fail(source, line_no, "k must be a positive integer");
                 e.delay_intervals = static_cast<std::size_t>(k);

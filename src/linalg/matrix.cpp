@@ -2,6 +2,8 @@
 
 #include "satori/common/logging.hpp"
 
+#include <cmath>
+
 namespace satori {
 namespace linalg {
 
@@ -54,7 +56,7 @@ Matrix::multiply(const Matrix& other) const
     for (std::size_t r = 0; r < rows_; ++r) {
         for (std::size_t k = 0; k < cols_; ++k) {
             const double a = (*this)(r, k);
-            if (a == 0.0)
+            if (std::abs(a) == 0.0)
                 continue;
             for (std::size_t c = 0; c < other.cols_; ++c)
                 out(r, c) += a * other(k, c);

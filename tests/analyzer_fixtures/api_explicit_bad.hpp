@@ -1,0 +1,18 @@
+// Fixture: single-argument constructor invites implicit conversions.
+#ifndef SATORI_API_EXPLICIT_BAD_HPP
+#define SATORI_API_EXPLICIT_BAD_HPP
+
+namespace fixture {
+
+class Budget
+{
+  public:
+    Budget(double watts);
+
+  private:
+    double watts_;
+};
+
+} // namespace fixture
+
+#endif // SATORI_API_EXPLICIT_BAD_HPP

@@ -1,0 +1,19 @@
+// Fixture: explicit constructor; copy ctor stays implicit-friendly.
+#ifndef SATORI_API_EXPLICIT_GOOD_HPP
+#define SATORI_API_EXPLICIT_GOOD_HPP
+
+namespace fixture {
+
+class Budget
+{
+  public:
+    explicit Budget(double watts);
+    Budget(const Budget& other);
+
+  private:
+    double watts_;
+};
+
+} // namespace fixture
+
+#endif // SATORI_API_EXPLICIT_GOOD_HPP

@@ -1,0 +1,20 @@
+// Fixture: value-returning accessors without [[nodiscard]].
+#ifndef SATORI_API_NODISCARD_BAD_HPP
+#define SATORI_API_NODISCARD_BAD_HPP
+
+namespace fixture {
+
+class Meter
+{
+  public:
+    double reading() const { return reading_; }
+
+  private:
+    double reading_ = 0.0;
+};
+
+int totalUnits();
+
+} // namespace fixture
+
+#endif // SATORI_API_NODISCARD_BAD_HPP

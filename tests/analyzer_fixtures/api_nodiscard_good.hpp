@@ -1,0 +1,20 @@
+// Fixture: the same API with results marked [[nodiscard]].
+#ifndef SATORI_API_NODISCARD_GOOD_HPP
+#define SATORI_API_NODISCARD_GOOD_HPP
+
+namespace fixture {
+
+class Meter
+{
+  public:
+    [[nodiscard]] double reading() const { return reading_; }
+
+  private:
+    double reading_ = 0.0;
+};
+
+[[nodiscard]] int totalUnits();
+
+} // namespace fixture
+
+#endif // SATORI_API_NODISCARD_GOOD_HPP

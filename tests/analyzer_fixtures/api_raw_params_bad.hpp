@@ -1,0 +1,11 @@
+// Fixture: adjacent raw resource amounts are swappable silently.
+#ifndef SATORI_API_RAW_PARAMS_BAD_HPP
+#define SATORI_API_RAW_PARAMS_BAD_HPP
+
+namespace fixture {
+
+void allocate(int cores, int ways, double bandwidth_gbps);
+
+} // namespace fixture
+
+#endif // SATORI_API_RAW_PARAMS_BAD_HPP

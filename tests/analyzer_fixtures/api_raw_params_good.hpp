@@ -1,0 +1,18 @@
+// Fixture: a named struct makes the call sites self-describing.
+#ifndef SATORI_API_RAW_PARAMS_GOOD_HPP
+#define SATORI_API_RAW_PARAMS_GOOD_HPP
+
+namespace fixture {
+
+struct Allocation
+{
+    int cores = 0;
+    int ways = 0;
+    double bandwidth_gbps = 0.0;
+};
+
+void allocate(const Allocation& amounts);
+
+} // namespace fixture
+
+#endif // SATORI_API_RAW_PARAMS_GOOD_HPP

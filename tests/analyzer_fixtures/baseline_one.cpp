@@ -1,0 +1,11 @@
+// Fixture: two violations on distinct lines; the baseline entry
+// fingerprints the first and leaves the second active.
+bool grandfathered(double a, double b)
+{
+    return a == b;
+}
+
+bool fresh(double c, double d)
+{
+    return c == d;
+}

@@ -1,0 +1,9 @@
+// Fixture: hashing a pointer value bakes ASLR into the output.
+#include <cstdint>
+
+struct Job;
+
+std::uint64_t jobKey(const Job* job)
+{
+    return reinterpret_cast<std::uintptr_t>(job) * 0x9e3779b97f4a7c15ull;
+}

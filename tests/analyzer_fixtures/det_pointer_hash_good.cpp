@@ -1,0 +1,12 @@
+// Fixture: key on a stable id, not the object's address.
+#include <cstdint>
+
+struct Job
+{
+    std::uint64_t id;
+};
+
+std::uint64_t jobKey(const Job& job)
+{
+    return job.id * 0x9e3779b97f4a7c15ull;
+}

@@ -1,0 +1,8 @@
+// Fixture: nondeterministic seeding.
+#include <random>
+
+unsigned freshSeed()
+{
+    std::random_device rd;
+    return rd();
+}

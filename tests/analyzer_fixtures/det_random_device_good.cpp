@@ -1,0 +1,5 @@
+// Fixture: seeds come from the experiment plan.
+unsigned freshSeed(unsigned plan_seed)
+{
+    return plan_seed;
+}

@@ -1,0 +1,10 @@
+// Fixture: emitting while iterating an unordered container.
+#include <iostream>
+#include <string>
+#include <unordered_map>
+
+void dump(const std::unordered_map<std::string, int>& table)
+{
+    for (const auto& kv : table)
+        std::cout << kv.first << "=" << kv.second << "\n";
+}

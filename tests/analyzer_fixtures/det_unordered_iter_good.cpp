@@ -1,0 +1,11 @@
+// Fixture: emit from a sorted snapshot, not the unordered container.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+
+void dump(const std::map<std::string, int>& table)
+{
+    for (const auto& kv : table)
+        std::cout << kv.first << "=" << kv.second << "\n";
+}

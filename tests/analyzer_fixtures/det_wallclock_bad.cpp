@@ -1,0 +1,10 @@
+// Fixture: wall-clock reads outside the allowlist.
+#include <chrono>
+#include <ctime>
+
+double sampleNow()
+{
+    const auto t = std::chrono::steady_clock::now();
+    (void)t;
+    return static_cast<double>(std::time(nullptr));
+}

@@ -1,0 +1,5 @@
+// Fixture: simulated time flows in as a parameter; no clock reads.
+double sampleNow(double sim_now)
+{
+    return sim_now;
+}

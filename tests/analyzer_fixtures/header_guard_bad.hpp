@@ -1,0 +1,10 @@
+#ifndef WRONG_GUARD_NAME_HPP
+#define WRONG_GUARD_NAME_HPP
+
+namespace fixture {
+
+using namespace std;
+
+} // namespace fixture
+
+#endif // WRONG_GUARD_NAME_HPP

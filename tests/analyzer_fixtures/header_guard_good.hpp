@@ -1,0 +1,10 @@
+#ifndef SATORI_HEADER_GUARD_GOOD_HPP
+#define SATORI_HEADER_GUARD_GOOD_HPP
+
+namespace fixture {
+
+[[nodiscard]] int guarded();
+
+} // namespace fixture
+
+#endif // SATORI_HEADER_GUARD_GOOD_HPP

@@ -1,0 +1,5 @@
+// Fixture: C-style narrowing of a floating expression.
+int toUnits(double share)
+{
+    return (int)share;
+}

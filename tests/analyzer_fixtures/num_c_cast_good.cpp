@@ -1,0 +1,7 @@
+// Fixture: explicit rounding before the narrowing conversion.
+#include <cmath>
+
+int toUnits(double share)
+{
+    return static_cast<int>(std::lround(share));
+}

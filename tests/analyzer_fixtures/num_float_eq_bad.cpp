@@ -1,0 +1,5 @@
+// Fixture: raw equality between floating expressions.
+bool converged(double prev, double next)
+{
+    return prev == next;
+}

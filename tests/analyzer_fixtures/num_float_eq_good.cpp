@@ -1,0 +1,12 @@
+// Fixture: tolerance compare, plus the sanctioned abs-zero idiom.
+#include <cmath>
+
+bool converged(double prev, double next)
+{
+    return std::abs(prev - next) < 1e-9;
+}
+
+bool isZero(double x)
+{
+    return std::abs(x) == 0.0;
+}

@@ -1,0 +1,8 @@
+// Fixture: std::abs on a double without <cmath>; <cstdlib>'s integer
+// overload may bind and truncate.
+#include <cstdlib>
+
+double magnitude(double delta)
+{
+    return std::abs(delta);
+}

@@ -1,0 +1,7 @@
+// Fixture: <cmath> included, the double overload binds.
+#include <cmath>
+
+double magnitude(double delta)
+{
+    return std::abs(delta);
+}

@@ -1,0 +1,12 @@
+// Fixture: two identical violations; the inline allow silences exactly
+// the first one.
+bool first(double a, double b)
+{
+    // satori-analyzer: allow(num-float-eq)
+    return a == b;
+}
+
+bool second(double a, double b)
+{
+    return a == b;
+}

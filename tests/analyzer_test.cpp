@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Fixture tests for satori_analyzer: every rule id fires on its bad
+ * fixture and stays silent on the good one, inline suppressions and
+ * baseline entries each silence exactly one finding, and the engine's
+ * rendering/pack plumbing behaves.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyzer/analyzer.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace satori_analyzer;
+
+fs::path
+fixture(const std::string& name)
+{
+    return fs::path(SATORI_ANALYZER_FIXTURES) / name;
+}
+
+/** Analyze one fixture with every pack enabled. */
+std::vector<Finding>
+analyzeFixture(const std::string& name)
+{
+    Options options;
+    const fs::path path = fixture(name);
+    return analyzeFile(path, options, path);
+}
+
+/** Active rule ids (suppressed/baselined excluded), deduplicated. */
+std::set<std::string>
+activeRules(const std::vector<Finding>& findings)
+{
+    std::set<std::string> rules;
+    for (const Finding& f : findings)
+        if (!f.suppressed && !f.baselined)
+            rules.insert(f.rule);
+    return rules;
+}
+
+struct RuleFixture
+{
+    const char* rule;
+    const char* bad;
+    const char* good;
+};
+
+const RuleFixture kRuleFixtures[] = {
+    {"det-wallclock", "det_wallclock_bad.cpp", "det_wallclock_good.cpp"},
+    {"det-random-device", "det_random_device_bad.cpp",
+     "det_random_device_good.cpp"},
+    {"det-unordered-iter", "det_unordered_iter_bad.cpp",
+     "det_unordered_iter_good.cpp"},
+    {"det-pointer-hash", "det_pointer_hash_bad.cpp",
+     "det_pointer_hash_good.cpp"},
+    {"num-float-eq", "num_float_eq_bad.cpp", "num_float_eq_good.cpp"},
+    {"num-c-cast", "num_c_cast_bad.cpp", "num_c_cast_good.cpp"},
+    {"num-int-abs", "num_int_abs_bad.cpp", "num_int_abs_good.cpp"},
+    {"api-nodiscard", "api_nodiscard_bad.hpp", "api_nodiscard_good.hpp"},
+    {"api-explicit", "api_explicit_bad.hpp", "api_explicit_good.hpp"},
+    {"api-raw-params", "api_raw_params_bad.hpp",
+     "api_raw_params_good.hpp"},
+};
+
+TEST(AnalyzerRules, BadFixturesFireExactlyTheirRule)
+{
+    for (const RuleFixture& rf : kRuleFixtures) {
+        const auto findings = analyzeFixture(rf.bad);
+        const auto rules = activeRules(findings);
+        EXPECT_EQ(rules, std::set<std::string>{rf.rule})
+            << rf.bad << " should fire only " << rf.rule;
+    }
+}
+
+TEST(AnalyzerRules, GoodFixturesAreClean)
+{
+    for (const RuleFixture& rf : kRuleFixtures) {
+        const auto findings = analyzeFixture(rf.good);
+        EXPECT_EQ(countActive(findings), 0u)
+            << rf.good << " should be clean; first finding: "
+            << (findings.empty() ? std::string("none")
+                                 : findings.front().rule + ": " +
+                                       findings.front().message);
+    }
+}
+
+TEST(AnalyzerRules, HeaderPackFlagsGuardMismatchAndUsingNamespace)
+{
+    const auto bad = activeRules(analyzeFixture("header_guard_bad.hpp"));
+    EXPECT_EQ(bad, (std::set<std::string>{"guard-mismatch",
+                                          "using-namespace"}));
+    EXPECT_EQ(countActive(analyzeFixture("header_guard_good.hpp")), 0u);
+}
+
+TEST(AnalyzerEngine, InlineAllowSilencesExactlyOneFinding)
+{
+    const auto findings = analyzeFixture("suppress_one.cpp");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(countActive(findings), 1u);
+    const auto suppressed =
+        std::count_if(findings.begin(), findings.end(),
+                      [](const Finding& f) { return f.suppressed; });
+    EXPECT_EQ(suppressed, 1);
+    for (const Finding& f : findings)
+        EXPECT_EQ(f.rule, "num-float-eq");
+}
+
+TEST(AnalyzerEngine, BaselineEntrySilencesExactlyOneFinding)
+{
+    auto findings = analyzeFixture("baseline_one.cpp");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(countActive(findings), 2u);
+
+    std::vector<BaselineEntry> entries;
+    std::string error;
+    ASSERT_TRUE(loadBaseline(fixture("baseline_one.txt"), entries, error))
+        << error;
+    ASSERT_EQ(entries.size(), 1u);
+    applyBaseline(entries, findings);
+
+    EXPECT_EQ(countActive(findings), 1u);
+    EXPECT_TRUE(entries[0].used);
+    // The grandfathered line is the first one; the fresh one stays.
+    const auto baselined =
+        std::find_if(findings.begin(), findings.end(),
+                     [](const Finding& f) { return f.baselined; });
+    ASSERT_NE(baselined, findings.end());
+    EXPECT_EQ(baselined->fingerprint, "return a == b;");
+}
+
+TEST(AnalyzerEngine, MissingOrMalformedBaselineIsAnError)
+{
+    std::vector<BaselineEntry> entries;
+    std::string error;
+    EXPECT_FALSE(
+        loadBaseline(fixture("does_not_exist.txt"), entries, error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(AnalyzerEngine, PackListParsesNamesAndAliases)
+{
+    EXPECT_EQ(parsePackList("all"), kPackAll);
+    EXPECT_EQ(parsePackList("det"), kPackDeterminism);
+    EXPECT_EQ(parsePackList("num,api"), kPackNumeric | kPackApi);
+    EXPECT_EQ(parsePackList("header"), kPackHeader);
+    EXPECT_EQ(parsePackList("bogus"), 0u);
+}
+
+TEST(AnalyzerEngine, PackMaskRestrictsRules)
+{
+    Options options;
+    options.packs = kPackHeader;
+    const fs::path path = fixture("num_float_eq_bad.cpp");
+    const auto findings = analyzeFile(path, options, path);
+    EXPECT_EQ(countActive(findings), 0u)
+        << "numeric rule fired with only the header pack enabled";
+}
+
+TEST(AnalyzerEngine, RenderTextReportsFileLineAndRule)
+{
+    Options options;
+    AnalyzeResult result =
+        analyzePaths({fixture("num_float_eq_bad.cpp")}, options);
+    EXPECT_EQ(result.files_scanned, 1u);
+    const std::string text = renderText(result, "satori_analyzer");
+    EXPECT_NE(text.find("num_float_eq_bad.cpp:"), std::string::npos);
+    EXPECT_NE(text.find("[num-float-eq]"), std::string::npos);
+    const std::string json = renderJson(result);
+    EXPECT_NE(json.find("\"rule\": \"num-float-eq\""),
+              std::string::npos);
+}
+
+} // namespace

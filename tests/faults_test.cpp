@@ -110,7 +110,8 @@ TEST(FaultPlanTest, RejectsMalformedScriptsNamingTheLine)
 
     // Errors name the source and the offending line.
     try {
-        FaultPlan::parse("drop 1..2\nexplode 3..4\n", "plan.txt");
+        (void)FaultPlan::parse("drop 1..2\nexplode 3..4\n",
+                               "plan.txt");
         FAIL() << "expected FatalError";
     } catch (const FatalError& e) {
         const std::string msg = e.what();
@@ -446,7 +447,7 @@ TEST(FaultResilienceTest, DegradedModeEngagesAndRecovers)
     opt.duration = 10.0;
     opt.faults = &injector;
     const harness::ExperimentRunner runner(opt);
-    runner.run(server, *policy, mix.label);
+    (void)runner.run(server, *policy, mix.label);
 
     EXPECT_GE(satori->diagnostics().degraded_entries, 1u);
     EXPECT_GT(satori->diagnostics().unusable_intervals, 0u);
@@ -496,7 +497,7 @@ TEST(FaultAuditTest, HardenedRunUnderFaultsIsAuditClean)
     opt.duration = 10.0;
     opt.faults = &injector;
     const harness::ExperimentRunner runner(opt);
-    runner.run(server, *policy, mix.label);
+    (void)runner.run(server, *policy, mix.label);
 
     EXPECT_GT(analysis::globalAuditor().checksRun(), 0u);
     EXPECT_EQ(analysis::globalAuditor().violationCount(), 0u)

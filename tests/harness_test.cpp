@@ -101,7 +101,7 @@ TEST(ExperimentRunnerTest, OnIntervalHookSeesEveryInterval)
         EXPECT_GE(t, 0.0);
         EXPECT_GE(f, 0.0);
     };
-    ExperimentRunner(opt).run(server, policy, "");
+    (void)ExperimentRunner(opt).run(server, policy, "");
     EXPECT_EQ(calls, 20);
 }
 
@@ -144,8 +144,8 @@ TEST(ComparePoliciesTest, NormalizesAgainstBalancedOracle)
                         comp.oracle.mean_throughput,
                     1e-12);
     }
-    EXPECT_NO_THROW(comp.score("Equal"));
-    EXPECT_THROW(comp.score("SATORI"), FatalError);
+    EXPECT_NO_THROW((void)comp.score("Equal"));
+    EXPECT_THROW((void)comp.score("SATORI"), FatalError);
 }
 
 TEST(ComparePoliciesTest, AggregateHelpers)

@@ -90,7 +90,8 @@ TEST(LoaderTest, DefaultsApplyForOmittedDirectives)
 TEST(LoaderTest, ErrorsCarryLineNumbers)
 {
     try {
-        parseWorkloadText("workload w\n phase p\n  bogus_key 1\n");
+        (void)parseWorkloadText(
+            "workload w\n phase p\n  bogus_key 1\n");
         FAIL() << "expected FatalError";
     } catch (const FatalError& e) {
         EXPECT_NE(std::string(e.what()).find("line 3"),
@@ -131,8 +132,8 @@ TEST(LoaderTest, RejectsMalformedInput)
 TEST(LoaderTest, ErrorsNameTheSource)
 {
     try {
-        parseWorkloadText("workload w\nphase p\nbase_ipc abc\n",
-                          "custom.wl");
+        (void)parseWorkloadText(
+            "workload w\nphase p\nbase_ipc abc\n", "custom.wl");
         FAIL() << "expected FatalError";
     } catch (const FatalError& e) {
         const std::string msg = e.what();
@@ -195,7 +196,7 @@ TEST(LoaderTest, FileErrorsNameTheFile)
         out << "workload w\nphase p\nbase_ipc bogus\n";
     }
     try {
-        loadWorkloadFile(path);
+        (void)loadWorkloadFile(path);
         FAIL() << "expected FatalError";
     } catch (const FatalError& e) {
         const std::string msg = e.what();

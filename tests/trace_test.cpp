@@ -108,7 +108,7 @@ TEST(TraceWriterTest, RunnerIntegrationWritesOneRecordPerInterval)
     ExperimentOptions opt;
     opt.duration = 2.0;
     opt.trace = &trace;
-    ExperimentRunner(opt).run(server, policy, "");
+    (void)ExperimentRunner(opt).run(server, policy, "");
     trace.flush();
 
     EXPECT_EQ(trace.count(), 20u);

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * satori_analyzer: project-specific semantic static analysis for the
+ * SATORI tree. One engine, four rule packs:
+ *
+ *   det    - determinism: no wall clocks, no std::random_device, no
+ *            emitting loops over unordered containers, no pointer-value
+ *            hashing. A (plan, seed) pair must replay byte-for-byte.
+ *   num    - numeric hygiene: no floating == / !=, no C-style (int) or
+ *            (long) narrowing of floating expressions, no std::abs that
+ *            can bind <cstdlib>'s integer overload.
+ *   api    - API contracts in public headers: [[nodiscard]] on
+ *            non-mutating value-returning functions, explicit on
+ *            single-argument constructors, no adjacent raw int/double
+ *            resource parameters (the cores/ways/bandwidth trap).
+ *   header - include-guard naming, #define matching the #ifndef, and
+ *            no `using namespace` at header scope (the legacy
+ *            satori_lint checks, folded in as a pass).
+ *
+ * Findings are reported as `file:line: [rule-id] message`. A finding
+ * can be silenced inline (`// satori-analyzer: allow(rule-id)`) on the
+ * offending line or the line above, or grandfathered in a checked-in
+ * baseline file (see loadBaseline() for the grammar).
+ *
+ * The scanner is token-heuristic, not a full parser: comments, string
+ * and character literals are stripped first, then the packs work on
+ * lines, declared-identifier tables, and a lightweight scope walker.
+ * False negatives are acceptable; the rule set is tuned so the real
+ * tree compiles the packs with zero noise.
+ */
+
+#ifndef SATORI_TOOLS_ANALYZER_ANALYZER_HPP
+#define SATORI_TOOLS_ANALYZER_ANALYZER_HPP
+
+#include <cstddef>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace satori_analyzer {
+
+// --- rule packs ------------------------------------------------------
+
+inline constexpr unsigned kPackDeterminism = 1u << 0;
+inline constexpr unsigned kPackNumeric = 1u << 1;
+inline constexpr unsigned kPackApi = 1u << 2;
+inline constexpr unsigned kPackHeader = 1u << 3;
+inline constexpr unsigned kPackAll =
+    kPackDeterminism | kPackNumeric | kPackApi | kPackHeader;
+
+/**
+ * Parse a comma-separated pack list ("det,num", "api", "all", or the
+ * legacy alias "header") into a pack mask. Returns 0 on an unknown
+ * pack name (the driver reports usage).
+ */
+[[nodiscard]] unsigned parsePackList(const std::string& list);
+
+// --- findings --------------------------------------------------------
+
+/** One diagnostic produced by a rule pass. */
+struct Finding
+{
+    std::string file;        ///< Path as scanned (generic separators).
+    int line = 0;            ///< 1-based line of the finding.
+    std::string rule;        ///< Kebab-case rule id, e.g. "num-float-eq".
+    std::string message;     ///< Human-readable explanation.
+    std::string fingerprint; ///< Trimmed source line (baseline matching).
+    bool suppressed = false; ///< Silenced by an inline allow comment.
+    bool baselined = false;  ///< Silenced by a baseline entry.
+};
+
+/** Analysis options shared by the driver, the lint alias, and tests. */
+struct Options
+{
+    unsigned packs = kPackAll;
+
+    /**
+     * Include root used to derive expected header-guard names; files
+     * below it use their path relative to it (include/ ->
+     * SATORI_COMMON_TYPES_HPP for satori/common/types.hpp). Files
+     * outside it fall back to their path relative to the scan
+     * target's parent (bench/bench_util.hpp ->
+     * SATORI_BENCH_BENCH_UTIL_HPP).
+     */
+    std::filesystem::path include_root;
+
+    /**
+     * Path substrings (generic separators) where wall-clock reads are
+     * legitimate: interactive CLI entry points and bench harness
+     * timing. Everything else must use simulated time.
+     */
+    std::vector<std::string> wallclock_allow = {
+        "tools/satori_sim.cpp",
+        "bench/bench_util",
+    };
+};
+
+// --- source model ----------------------------------------------------
+
+/** One physical line: raw text plus its comment/string-stripped form. */
+struct SourceLine
+{
+    std::string raw;
+    std::string code;    ///< raw minus comments, string/char literals.
+    bool preproc = false; ///< Preprocessor directive or continuation.
+};
+
+/**
+ * A scanned file plus the derived per-file identifier tables the rule
+ * packs share.
+ */
+struct SourceFile
+{
+    std::filesystem::path path;
+    std::string display;      ///< path.generic_string(), as reported.
+    bool is_header = false;   ///< .hpp (api/header packs apply).
+    std::string guard_rel;    ///< Relative path deriving the guard name.
+    std::vector<SourceLine> lines; ///< lines[i] is line i+1.
+
+    std::set<std::string> float_idents;     ///< declared double/float names.
+    std::set<std::string> integer_idents;   ///< declared integer names.
+    std::set<std::string> unordered_idents; ///< unordered_{map,set} names.
+    bool has_cmath = false;
+    bool has_cstdlib = false;
+};
+
+/** Load @p path and derive the identifier tables. */
+[[nodiscard]] SourceFile loadSourceFile(const std::filesystem::path& path);
+
+/**
+ * Relative path used to derive the expected include-guard name: below
+ * @p include_root, relative to it; otherwise relative to
+ * @p scan_target's parent directory (or to @p scan_target itself when
+ * the target is the file). Empty when no sensible relation exists.
+ */
+[[nodiscard]] std::string
+guardRelativePath(const std::filesystem::path& file,
+                  const std::filesystem::path& include_root,
+                  const std::filesystem::path& scan_target);
+
+// --- token helpers (shared by the rule passes and their tests) -------
+
+/** True for [A-Za-z0-9_]. */
+[[nodiscard]] bool isIdentChar(char c);
+
+/** True if @p word occurs in @p s delimited by non-identifier chars. */
+[[nodiscard]] bool containsWord(const std::string& s,
+                                const std::string& word);
+
+/**
+ * Strip // and (multi-line) block comments plus string and character
+ * literals; @p in_block carries block-comment state across lines.
+ * Digit separators (1'000'000) are not treated as character literals.
+ */
+[[nodiscard]] std::string stripCommentsAndStrings(const std::string& line,
+                                                  bool& in_block);
+
+/**
+ * The token ending immediately before @p pos (whitespace skipped):
+ * a qualified identifier chain (abc::def), a numeric literal, or a
+ * single punctuation character. Empty at start of line.
+ */
+[[nodiscard]] std::string prevTokenBefore(const std::string& s,
+                                          std::size_t pos);
+
+/** The token starting at or after @p pos (whitespace skipped). */
+[[nodiscard]] std::string nextTokenAfter(const std::string& s,
+                                         std::size_t pos);
+
+/**
+ * Position of the closer matching the opener at @p s[pos], counting
+ * nesting; std::string::npos if unbalanced within @p s.
+ */
+[[nodiscard]] std::size_t findMatching(const std::string& s,
+                                       std::size_t pos, char open,
+                                       char close);
+
+/** True if @p token spells a floating-point literal (1.5, .5, 1e-3). */
+[[nodiscard]] bool isFloatLiteral(const std::string& token);
+
+/**
+ * True if @p token names a floating-valued expression in @p file:
+ * a declared double/float identifier, a floating literal, or a
+ * known double-returning satori API (mean, stddev, clamp, ...).
+ * Names declared with both an integer and a floating type somewhere
+ * in the file are resolved by the nearest declaration at or above
+ * @p line_index (0-based); ties go to not-floating.
+ */
+[[nodiscard]] bool isFloatingToken(const SourceFile& file,
+                                   const std::string& token,
+                                   std::size_t line_index);
+
+// --- rule passes -----------------------------------------------------
+
+void runDeterminismPack(const SourceFile& file, const Options& options,
+                        std::vector<Finding>& findings);
+void runNumericPack(const SourceFile& file, std::vector<Finding>& findings);
+void runApiPack(const SourceFile& file, std::vector<Finding>& findings);
+void runHeaderPack(const SourceFile& file, std::vector<Finding>& findings);
+
+// --- suppression and baseline ----------------------------------------
+
+/**
+ * Mark findings silenced by `// satori-analyzer: allow(rule-a, ...)`
+ * (or allow(all)) on the finding's line or the line directly above.
+ */
+void applySuppressions(const SourceFile& file,
+                       std::vector<Finding>& findings);
+
+/**
+ * One grandfathered finding. Grammar (one per line, `#` comments):
+ *
+ *     <rule-id> | <path-suffix> | <trimmed source line>
+ *
+ * An entry silences at most one finding whose rule matches, whose
+ * file ends with the path suffix, and whose trimmed source line
+ * equals the fingerprint — so entries survive unrelated line-number
+ * churn but die with the code they grandfathered.
+ */
+struct BaselineEntry
+{
+    std::string rule;
+    std::string path_suffix;
+    std::string fingerprint;
+    int source_line = 0; ///< Line in the baseline file (diagnostics).
+    bool used = false;
+};
+
+/**
+ * Parse @p path into @p entries. Returns false and sets @p error on a
+ * malformed line; a missing file is an error too (pass no baseline
+ * instead).
+ */
+[[nodiscard]] bool loadBaseline(const std::filesystem::path& path,
+                                std::vector<BaselineEntry>& entries,
+                                std::string& error);
+
+/** Mark at most one matching finding baselined per entry. */
+void applyBaseline(std::vector<BaselineEntry>& entries,
+                   std::vector<Finding>& findings);
+
+// --- engine ----------------------------------------------------------
+
+/** Aggregate result of analyzing a set of targets. */
+struct AnalyzeResult
+{
+    std::vector<Finding> findings; ///< Sorted by (file, line, rule).
+    std::size_t files_scanned = 0;
+};
+
+/**
+ * Analyze one file with the packs enabled in @p options that apply to
+ * its kind (det/num: any source; api/header: headers only). Inline
+ * suppressions are applied; baselines are the caller's business.
+ */
+[[nodiscard]] std::vector<Finding>
+analyzeFile(const std::filesystem::path& file, const Options& options,
+            const std::filesystem::path& scan_target);
+
+/**
+ * Analyze every .hpp/.cpp under @p targets (files or directories,
+ * recursively; paths containing "/build" are skipped) and return the
+ * sorted findings.
+ */
+[[nodiscard]] AnalyzeResult
+analyzePaths(const std::vector<std::filesystem::path>& targets,
+             const Options& options);
+
+/** Active findings only: neither suppressed nor baselined. */
+[[nodiscard]] std::size_t countActive(const std::vector<Finding>& findings);
+
+/** Render active findings as `file:line: [rule] message` lines. */
+[[nodiscard]] std::string renderText(const AnalyzeResult& result,
+                                     const std::string& tool_name);
+
+/** Render the full result (including silenced findings) as JSON. */
+[[nodiscard]] std::string renderJson(const AnalyzeResult& result);
+
+} // namespace satori_analyzer
+
+#endif // SATORI_TOOLS_ANALYZER_ANALYZER_HPP

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * The rule-pass engine: file collection, pack dispatch, inline
+ * suppressions, baseline handling, and text/JSON rendering.
+ */
+
+#include "analyzer/analyzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace satori_analyzer {
+
+unsigned
+parsePackList(const std::string& list)
+{
+    unsigned packs = 0;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item == "det" || item == "determinism")
+            packs |= kPackDeterminism;
+        else if (item == "num" || item == "numeric")
+            packs |= kPackNumeric;
+        else if (item == "api")
+            packs |= kPackApi;
+        else if (item == "header" || item == "hdr")
+            packs |= kPackHeader;
+        else if (item == "all")
+            packs |= kPackAll;
+        else
+            return 0;
+    }
+    return packs;
+}
+
+namespace {
+
+/** Trimmed copy of @p s (the fingerprint normalization). */
+std::string
+trimmed(const std::string& s)
+{
+    std::size_t b = s.find_first_not_of(" \t\r\n");
+    std::size_t e = s.find_last_not_of(" \t\r\n");
+    if (b == std::string::npos)
+        return "";
+    return s.substr(b, e - b + 1);
+}
+
+/** Rules allowed by `satori-analyzer: allow(a, b)` in @p raw, or "". */
+std::vector<std::string>
+parseAllowedRules(const std::string& raw)
+{
+    std::vector<std::string> rules;
+    const std::size_t tag = raw.find("satori-analyzer:");
+    if (tag == std::string::npos)
+        return rules;
+    const std::size_t allow = raw.find("allow", tag);
+    if (allow == std::string::npos)
+        return rules;
+    const std::size_t open = raw.find('(', allow);
+    const std::size_t close =
+        open == std::string::npos ? std::string::npos
+                                  : raw.find(')', open);
+    if (close == std::string::npos)
+        return rules;
+    std::stringstream ss(raw.substr(open + 1, close - open - 1));
+    std::string item;
+    while (std::getline(ss, item, ','))
+        rules.push_back(trimmed(item));
+    return rules;
+}
+
+} // namespace
+
+void
+applySuppressions(const SourceFile& file, std::vector<Finding>& findings)
+{
+    for (Finding& f : findings) {
+        if (f.file != file.display || f.line <= 0 ||
+            static_cast<std::size_t>(f.line) > file.lines.size())
+            continue;
+        for (int line : {f.line, f.line - 1}) {
+            if (line <= 0)
+                continue;
+            const std::vector<std::string> allowed = parseAllowedRules(
+                file.lines[static_cast<std::size_t>(line) - 1].raw);
+            for (const std::string& rule : allowed)
+                if (rule == f.rule || rule == "all")
+                    f.suppressed = true;
+        }
+    }
+}
+
+bool
+loadBaseline(const fs::path& path, std::vector<BaselineEntry>& entries,
+             std::string& error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        error = "cannot open baseline file " + path.string();
+        return false;
+    }
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::string t = trimmed(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        const std::size_t p1 = t.find('|');
+        const std::size_t p2 =
+            p1 == std::string::npos ? std::string::npos
+                                    : t.find('|', p1 + 1);
+        if (p2 == std::string::npos) {
+            error = path.string() + ":" + std::to_string(lineno) +
+                    ": expected `rule | path-suffix | fingerprint`";
+            return false;
+        }
+        BaselineEntry entry;
+        entry.rule = trimmed(t.substr(0, p1));
+        entry.path_suffix = trimmed(t.substr(p1 + 1, p2 - p1 - 1));
+        entry.fingerprint = trimmed(t.substr(p2 + 1));
+        entry.source_line = lineno;
+        if (entry.rule.empty() || entry.path_suffix.empty()) {
+            error = path.string() + ":" + std::to_string(lineno) +
+                    ": empty rule or path suffix";
+            return false;
+        }
+        entries.push_back(std::move(entry));
+    }
+    return true;
+}
+
+void
+applyBaseline(std::vector<BaselineEntry>& entries,
+              std::vector<Finding>& findings)
+{
+    for (BaselineEntry& entry : entries) {
+        for (Finding& f : findings) {
+            if (f.baselined || f.suppressed || f.rule != entry.rule)
+                continue;
+            if (f.file.size() < entry.path_suffix.size() ||
+                f.file.compare(f.file.size() - entry.path_suffix.size(),
+                               entry.path_suffix.size(),
+                               entry.path_suffix) != 0)
+                continue;
+            if (f.fingerprint != entry.fingerprint)
+                continue;
+            f.baselined = true;
+            entry.used = true;
+            break;
+        }
+    }
+}
+
+namespace {
+
+void
+sortFindings(std::vector<Finding>& findings)
+{
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.message < b.message;
+              });
+}
+
+void
+fillFingerprints(const SourceFile& file, std::vector<Finding>& findings)
+{
+    for (Finding& f : findings) {
+        if (f.file == file.display && f.line >= 1 &&
+            static_cast<std::size_t>(f.line) <= file.lines.size())
+            f.fingerprint = trimmed(
+                file.lines[static_cast<std::size_t>(f.line) - 1].raw);
+    }
+}
+
+} // namespace
+
+std::vector<Finding>
+analyzeFile(const fs::path& file, const Options& options,
+            const fs::path& scan_target)
+{
+    SourceFile source = loadSourceFile(file);
+    source.guard_rel =
+        guardRelativePath(file, options.include_root, scan_target);
+    std::vector<Finding> findings;
+    if ((options.packs & kPackDeterminism) != 0)
+        runDeterminismPack(source, options, findings);
+    if ((options.packs & kPackNumeric) != 0)
+        runNumericPack(source, findings);
+    if ((options.packs & kPackApi) != 0)
+        runApiPack(source, findings);
+    if ((options.packs & kPackHeader) != 0)
+        runHeaderPack(source, findings);
+    fillFingerprints(source, findings);
+    applySuppressions(source, findings);
+    return findings;
+}
+
+AnalyzeResult
+analyzePaths(const std::vector<fs::path>& targets, const Options& options)
+{
+    AnalyzeResult result;
+    std::vector<std::pair<fs::path, fs::path>> files; // (file, target)
+    for (const fs::path& target : targets) {
+        if (fs::is_directory(target)) {
+            for (const auto& entry :
+                 fs::recursive_directory_iterator(target)) {
+                if (!entry.is_regular_file())
+                    continue;
+                const fs::path& p = entry.path();
+                if (p.extension() != ".hpp" && p.extension() != ".cpp")
+                    continue;
+                if (p.generic_string().find("/build") !=
+                    std::string::npos)
+                    continue;
+                files.emplace_back(p, target);
+            }
+        } else {
+            files.emplace_back(target, target);
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    for (const auto& [file, target] : files) {
+        std::vector<Finding> findings =
+            analyzeFile(file, options, target);
+        result.findings.insert(result.findings.end(),
+                               findings.begin(), findings.end());
+    }
+    result.files_scanned = files.size();
+    sortFindings(result.findings);
+    return result;
+}
+
+std::size_t
+countActive(const std::vector<Finding>& findings)
+{
+    std::size_t active = 0;
+    for (const Finding& f : findings)
+        if (!f.suppressed && !f.baselined)
+            ++active;
+    return active;
+}
+
+std::string
+renderText(const AnalyzeResult& result, const std::string& tool_name)
+{
+    std::ostringstream out;
+    std::size_t suppressed = 0;
+    std::size_t baselined = 0;
+    for (const Finding& f : result.findings) {
+        if (f.suppressed) {
+            ++suppressed;
+            continue;
+        }
+        if (f.baselined) {
+            ++baselined;
+            continue;
+        }
+        out << f.file << ":" << f.line << ": [" << f.rule << "] "
+            << f.message << "\n";
+    }
+    out << tool_name << ": " << result.files_scanned << " files, "
+        << countActive(result.findings) << " findings (" << suppressed
+        << " suppressed, " << baselined << " baselined)\n";
+    return out.str();
+}
+
+namespace {
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderJson(const AnalyzeResult& result)
+{
+    std::ostringstream out;
+    out << "{\n  \"files_scanned\": " << result.files_scanned
+        << ",\n  \"active_findings\": "
+        << countActive(result.findings) << ",\n  \"findings\": [";
+    bool first = true;
+    for (const Finding& f : result.findings) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\"file\": \"" << jsonEscape(f.file)
+            << "\", \"line\": " << f.line << ", \"rule\": \""
+            << jsonEscape(f.rule) << "\", \"message\": \""
+            << jsonEscape(f.message) << "\", \"suppressed\": "
+            << (f.suppressed ? "true" : "false")
+            << ", \"baselined\": " << (f.baselined ? "true" : "false")
+            << "}";
+    }
+    out << "\n  ]\n}\n";
+    return out.str();
+}
+
+} // namespace satori_analyzer

@@ -1,0 +1,539 @@
+/**
+ * @file
+ * API-contract rule pack for public headers: [[nodiscard]] on
+ * non-mutating value-returning functions, explicit on single-argument
+ * constructors, and no adjacent raw int/double resource parameters
+ * (the cores/ways/bandwidth confusion trap).
+ *
+ * Rules: api-nodiscard, api-explicit, api-raw-params.
+ *
+ * Implementation: a lightweight scope walker over the stripped code.
+ * Braces push a scope classified from the text accumulated since the
+ * last declaration boundary (namespace / class / enum / function /
+ * other); declarations are analyzed when they terminate with `;` or
+ * open a body with `{` at namespace or class scope.
+ */
+
+#include "analyzer/analyzer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace satori_analyzer {
+
+namespace {
+
+void
+add(std::vector<Finding>& findings, const SourceFile& file, int line,
+    const char* rule, std::string message)
+{
+    Finding f;
+    f.file = file.display;
+    f.line = line;
+    f.rule = rule;
+    f.message = std::move(message);
+    findings.push_back(std::move(f));
+}
+
+enum class ScopeKind
+{
+    Namespace,
+    Class,
+    Enum,
+    Function,
+    Other,
+};
+
+struct Scope
+{
+    ScopeKind kind;
+    std::string class_name; ///< For Class scopes.
+};
+
+/** Collapse runs of whitespace to single spaces and trim. */
+std::string
+normalizeWhitespace(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    bool pending_space = false;
+    for (char c : text) {
+        if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+            pending_space = !out.empty();
+        } else {
+            if (pending_space)
+                out.push_back(' ');
+            pending_space = false;
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/** Remove access-specifier labels merged into the declaration text. */
+std::string
+stripAccessLabels(std::string text)
+{
+    for (const char* label : {"public :", "protected :", "private :",
+                              "public:", "protected:", "private:"}) {
+        std::size_t at;
+        const std::string pat(label);
+        while ((at = text.find(pat)) != std::string::npos) {
+            const bool left_ok = at == 0 || !isIdentChar(text[at - 1]);
+            if (!left_ok)
+                break;
+            text.erase(at, pat.size());
+        }
+    }
+    return text;
+}
+
+/** Strip one leading `template < ... >` clause (nesting-aware). */
+std::string
+stripTemplateClause(const std::string& text)
+{
+    std::string t = text;
+    while (t.rfind("template", 0) == 0) {
+        const std::size_t open = t.find('<');
+        if (open == std::string::npos)
+            break;
+        int depth = 0;
+        std::size_t i = open;
+        for (; i < t.size(); ++i) {
+            if (t[i] == '<')
+                ++depth;
+            else if (t[i] == '>' && --depth == 0)
+                break;
+        }
+        if (i >= t.size())
+            break;
+        t = t.substr(i + 1);
+        while (!t.empty() &&
+               std::isspace(static_cast<unsigned char>(t[0])) != 0)
+            t.erase(t.begin());
+    }
+    return t;
+}
+
+/** Remove `[[...]]` attribute blocks. */
+std::string
+stripAttributes(const std::string& text)
+{
+    std::string out;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] == '[' && i + 1 < text.size() &&
+            text[i + 1] == '[') {
+            const std::size_t close = text.find("]]", i + 2);
+            if (close != std::string::npos) {
+                i = close + 1;
+                continue;
+            }
+        }
+        out.push_back(text[i]);
+    }
+    return out;
+}
+
+/** Split @p params on commas at paren/angle depth zero. */
+std::vector<std::string>
+splitParams(const std::string& params)
+{
+    std::vector<std::string> out;
+    std::string current;
+    int paren = 0;
+    int angle = 0;
+    int brace = 0;
+    for (char c : params) {
+        if (c == '(')
+            ++paren;
+        else if (c == ')')
+            --paren;
+        else if (c == '<')
+            ++angle;
+        else if (c == '>' && angle > 0)
+            --angle;
+        else if (c == '{')
+            ++brace;
+        else if (c == '}')
+            --brace;
+        if (c == ',' && paren == 0 && angle == 0 && brace == 0) {
+            out.push_back(normalizeWhitespace(current));
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    const std::string last = normalizeWhitespace(current);
+    if (!last.empty())
+        out.push_back(last);
+    return out;
+}
+
+/** Drop a trailing ` = default-value` from a parameter. */
+std::string
+stripDefaultArg(const std::string& param)
+{
+    int angle = 0;
+    int paren = 0;
+    for (std::size_t i = 0; i < param.size(); ++i) {
+        const char c = param[i];
+        if (c == '<')
+            ++angle;
+        else if (c == '>' && angle > 0)
+            --angle;
+        else if (c == '(')
+            ++paren;
+        else if (c == ')')
+            --paren;
+        else if (c == '=' && angle == 0 && paren == 0 &&
+                 (i == 0 || (param[i - 1] != '=' && param[i - 1] != '!' &&
+                             param[i - 1] != '<' && param[i - 1] != '>')))
+            return normalizeWhitespace(param.substr(0, i));
+    }
+    return param;
+}
+
+/** Last identifier token of @p param: the parameter name (or ""). */
+std::string
+paramName(const std::string& param)
+{
+    const std::string p = stripDefaultArg(param);
+    if (p.empty())
+        return "";
+    std::size_t end = p.size();
+    while (end > 0 &&
+           std::isspace(static_cast<unsigned char>(p[end - 1])) != 0)
+        --end;
+    std::size_t start = end;
+    while (start > 0 && isIdentChar(p[start - 1]))
+        --start;
+    if (start == end)
+        return "";
+    const std::string name = p.substr(start, end - start);
+    // A single token is an unnamed parameter's type, not a name.
+    if (normalizeWhitespace(p) == name)
+        return "";
+    return name;
+}
+
+/** Parameter type with name and default stripped. */
+std::string
+paramType(const std::string& param)
+{
+    std::string p = stripDefaultArg(param);
+    const std::string name = paramName(param);
+    if (!name.empty()) {
+        const std::size_t at = p.rfind(name);
+        if (at != std::string::npos)
+            p = p.substr(0, at);
+    }
+    return normalizeWhitespace(p);
+}
+
+/** `int` / `double`, optionally const-qualified, nothing else. */
+bool
+isRawArithmeticType(const std::string& type)
+{
+    std::string t = type;
+    if (t.rfind("const ", 0) == 0)
+        t = t.substr(6);
+    return t == "int" || t == "double";
+}
+
+/** Parameter names that smell like partitionable-resource amounts. */
+bool
+isResourceName(const std::string& name)
+{
+    std::string lower;
+    lower.reserve(name.size());
+    for (char c : name)
+        lower.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+    for (const char* token :
+         {"core", "way", "bandwidth", "bw", "power", "watt", "unit",
+          "part", "llc", "mem"}) {
+        if (lower.find(token) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+/** Specifier keywords preceding the return type in a declaration. */
+bool
+isSpecifierToken(const std::string& token)
+{
+    return token == "static" || token == "inline" ||
+           token == "constexpr" || token == "virtual" ||
+           token == "explicit" || token == "extern" ||
+           token == "friend" || token == "typename" ||
+           token == "consteval" || token == "constinit";
+}
+
+struct DeclInfo
+{
+    std::string text;   ///< Normalized declaration text.
+    int line = 0;       ///< Line the declaration started on.
+};
+
+/** The walker state and the findings sink. */
+struct ApiWalker
+{
+    const SourceFile& file;
+    std::vector<Finding>& findings;
+    std::vector<Scope> scopes;
+    DeclInfo decl;
+
+    void pushChar(char c, int line)
+    {
+        if (std::isspace(static_cast<unsigned char>(c)) == 0 &&
+            decl.text.find_first_not_of(" \t\n") == std::string::npos)
+            decl.line = line;
+        decl.text.push_back(c);
+        // An access label ends with `:` and is not a declaration; drop
+        // it here so the next declaration's line is attributed to its
+        // own first token, not to the `public:` above it.
+        if (c == ':') {
+            const std::string t = normalizeWhitespace(decl.text);
+            if (t == "public:" || t == "public :" || t == "private:" ||
+                t == "private :" || t == "protected:" ||
+                t == "protected :")
+                decl.text.clear();
+        }
+    }
+
+    ScopeKind currentKind() const
+    {
+        return scopes.empty() ? ScopeKind::Namespace
+                              : scopes.back().kind;
+    }
+
+    void processDeclaration(bool opens_body);
+    void classifyAndPush();
+};
+
+/**
+ * Analyze one declaration that terminated at namespace or class
+ * scope. @p opens_body distinguishes `int f();` from `int f() {`.
+ */
+void
+ApiWalker::processDeclaration(bool opens_body)
+{
+    (void)opens_body;
+    const ScopeKind kind = currentKind();
+    std::string text = normalizeWhitespace(stripAccessLabels(decl.text));
+    if (text.empty())
+        return;
+    const bool has_nodiscard =
+        text.find("[[nodiscard") != std::string::npos;
+    const bool has_explicit = containsWord(text, "explicit");
+    text = stripTemplateClause(text);
+    const std::string no_attr = normalizeWhitespace(stripAttributes(text));
+    if (no_attr.empty())
+        return;
+
+    // Skip non-function declarations and the shapes the rules do not
+    // govern: operators (incl. conversion), destructors, friends,
+    // deleted functions, typedefs/usings, and macro-ish lines.
+    if (containsWord(no_attr, "operator") ||
+        containsWord(no_attr, "friend") ||
+        containsWord(no_attr, "typedef") ||
+        containsWord(no_attr, "using") ||
+        no_attr.find('~') != std::string::npos ||
+        no_attr.find("= delete") != std::string::npos)
+        return;
+
+    const std::size_t open = no_attr.find('(');
+    if (open == std::string::npos)
+        return;
+    const std::size_t close = findMatching(no_attr, open, '(', ')');
+    if (close == std::string::npos)
+        return;
+    const std::string name = prevTokenBefore(no_attr, open);
+    if (name.empty() || !isIdentChar(name[0]) ||
+        std::isdigit(static_cast<unsigned char>(name[0])) != 0)
+        return;
+    if (name == "main")
+        return;
+    const std::string params_text =
+        no_attr.substr(open + 1, close - open - 1);
+    const std::vector<std::string> params =
+        params_text == "void" ? std::vector<std::string>{}
+                              : splitParams(params_text);
+    const std::string after = no_attr.substr(close + 1);
+
+    // An `=` before the parameter list means this is a variable with
+    // an initializer, not a function declaration.
+    const std::size_t eq = no_attr.find('=');
+    if (eq != std::string::npos && eq < open)
+        return;
+
+    const bool is_ctor =
+        kind == ScopeKind::Class && !scopes.empty() &&
+        name == scopes.back().class_name;
+
+    // --- api-explicit ------------------------------------------------
+    if (is_ctor && !has_explicit && !params.empty()) {
+        bool single_arg_callable = true;
+        for (std::size_t i = 1; i < params.size(); ++i)
+            if (stripDefaultArg(params[i]) == params[i])
+                single_arg_callable = false;
+        const bool copy_or_move =
+            params.size() == 1 &&
+            params[0].find(name) != std::string::npos;
+        const bool init_list =
+            params[0].find("initializer_list") != std::string::npos;
+        if (single_arg_callable && !copy_or_move && !init_list)
+            add(findings, file, decl.line, "api-explicit",
+                "constructor `" + name +
+                    "` is callable with one argument; mark it "
+                    "explicit to forbid implicit conversions");
+    }
+
+    // --- api-raw-params (constructors included: a `(cores, ways,
+    // bw)` constructor is the canonical confusion trap) -------------
+    for (std::size_t i = 0; i + 1 < params.size(); ++i) {
+        const std::string t0 = paramType(params[i]);
+        const std::string t1 = paramType(params[i + 1]);
+        const std::string n0 = paramName(params[i]);
+        const std::string n1 = paramName(params[i + 1]);
+        if (isRawArithmeticType(t0) && isRawArithmeticType(t1) &&
+            isResourceName(n0) && isResourceName(n1)) {
+            add(findings, file, decl.line, "api-raw-params",
+                "function `" + name + "` takes adjacent raw " + t0 +
+                    " resource parameters (`" + n0 + "`, `" + n1 +
+                    "`); wrap them in a struct or strong type so "
+                    "cores/ways/bandwidth cannot be swapped "
+                    "silently");
+            break;
+        }
+    }
+
+    if (is_ctor)
+        return;
+
+    // --- return type -------------------------------------------------
+    std::string ret = normalizeWhitespace(no_attr.substr(0, open));
+    // Drop the function name and leading specifiers.
+    if (ret.size() >= name.size())
+        ret = normalizeWhitespace(
+            ret.substr(0, ret.size() - name.size()));
+    bool is_static = false;
+    bool stripped = true;
+    while (stripped && !ret.empty()) {
+        stripped = false;
+        const std::string first = nextTokenAfter(ret, 0);
+        if (isSpecifierToken(first)) {
+            if (first == "static")
+                is_static = true;
+            ret = normalizeWhitespace(ret.substr(first.size()));
+            stripped = true;
+        }
+    }
+    if (ret.empty())
+        return; // conversion operator or constructor-like shape
+    const bool returns_void = ret == "void";
+    const bool returns_ref = ret.find('&') != std::string::npos;
+    const bool is_const_member =
+        kind == ScopeKind::Class && containsWord(after, "const");
+
+    // --- api-nodiscard -----------------------------------------------
+    if (!returns_void && !has_nodiscard) {
+        if (kind == ScopeKind::Class &&
+            (is_const_member || (is_static && !returns_ref))) {
+            add(findings, file, decl.line, "api-nodiscard",
+                std::string(is_const_member ? "const member"
+                                            : "static member") +
+                    " function `" + name + "` returns `" + ret +
+                    "`; non-mutating results must be [[nodiscard]] "
+                    "so discarded calls surface as bugs");
+        } else if (kind == ScopeKind::Namespace && !returns_ref) {
+            add(findings, file, decl.line, "api-nodiscard",
+                "free function `" + name + "` returns `" + ret +
+                    "`; value-returning public functions must be "
+                    "[[nodiscard]]");
+        }
+    }
+
+}
+
+/** Classify the `{` that just opened and push the new scope. */
+void
+ApiWalker::classifyAndPush()
+{
+    const std::string text =
+        normalizeWhitespace(stripAccessLabels(decl.text));
+    const std::string body = stripTemplateClause(text);
+    Scope scope{ScopeKind::Other, ""};
+    if (containsWord(body, "namespace") || body.rfind("extern", 0) == 0) {
+        scope.kind = ScopeKind::Namespace;
+    } else if (containsWord(body, "enum")) {
+        scope.kind = ScopeKind::Enum;
+    } else if ((containsWord(body, "class") ||
+                containsWord(body, "struct") ||
+                containsWord(body, "union")) &&
+               body.find('(') == std::string::npos) {
+        scope.kind = ScopeKind::Class;
+        // Name: token after the class keyword, skipping attributes
+        // and before any base-clause `:`.
+        for (const char* kw : {"class", "struct", "union"}) {
+            std::size_t at = body.find(kw);
+            if (at == std::string::npos ||
+                (at > 0 && isIdentChar(body[at - 1])))
+                continue;
+            std::string name =
+                nextTokenAfter(body, at + std::string(kw).size());
+            if (name == "alignas" || name.empty())
+                continue;
+            scope.class_name = name;
+            break;
+        }
+    } else if (body.find('(') != std::string::npos &&
+               (currentKind() == ScopeKind::Namespace ||
+                currentKind() == ScopeKind::Class)) {
+        // Function definition: analyze the declaration, then enter
+        // the body (member declarations inside are invisible).
+        processDeclaration(true);
+        scope.kind = ScopeKind::Function;
+    } else {
+        scope.kind = currentKind() == ScopeKind::Function
+                         ? ScopeKind::Function
+                         : ScopeKind::Other;
+    }
+    scopes.push_back(std::move(scope));
+    decl.text.clear();
+}
+
+} // namespace
+
+void
+runApiPack(const SourceFile& file, std::vector<Finding>& findings)
+{
+    if (!file.is_header)
+        return;
+    ApiWalker walker{file, findings, {}, {}};
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+        if (file.lines[li].preproc)
+            continue;
+        const std::string& code = file.lines[li].code;
+        for (char c : code) {
+            if (c == '{') {
+                walker.classifyAndPush();
+            } else if (c == '}') {
+                if (!walker.scopes.empty())
+                    walker.scopes.pop_back();
+                walker.decl.text.clear();
+            } else if (c == ';') {
+                const ScopeKind kind = walker.currentKind();
+                if (kind == ScopeKind::Namespace ||
+                    kind == ScopeKind::Class)
+                    walker.processDeclaration(false);
+                walker.decl.text.clear();
+            } else {
+                walker.pushChar(c, static_cast<int>(li) + 1);
+            }
+        }
+        walker.decl.text.push_back('\n');
+    }
+}
+
+} // namespace satori_analyzer

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Determinism rule pack: SATORI's golden-trace guarantee (a (plan,
+ * seed) pair replays byte-for-byte) dies the moment wall-clock time,
+ * OS entropy, hash-iteration order, or pointer values leak into a
+ * decision or a trace. These passes ban the leaks at commit time.
+ *
+ * Rules: det-wallclock, det-random-device, det-unordered-iter,
+ * det-pointer-hash.
+ */
+
+#include "analyzer/analyzer.hpp"
+
+#include <cctype>
+
+namespace satori_analyzer {
+
+namespace {
+
+/** Wall-clock entry points banned outside the allowlisted harness. */
+const char* const kClockCalls[] = {
+    "time", "clock", "gettimeofday", "clock_gettime", "localtime",
+    "gmtime",
+};
+
+/** Tokens that indicate a loop body feeds an output aggregate. */
+const char* const kEmitTokens[] = {
+    "trace", "log", "record", "emit", "print", "push_back", "append",
+    "write",
+};
+
+bool
+pathAllowlisted(const SourceFile& file, const Options& options)
+{
+    for (const std::string& allow : options.wallclock_allow)
+        if (file.display.find(allow) != std::string::npos)
+            return true;
+    return false;
+}
+
+void
+add(std::vector<Finding>& findings, const SourceFile& file, int line,
+    const char* rule, std::string message)
+{
+    Finding f;
+    f.file = file.display;
+    f.line = line;
+    f.rule = rule;
+    f.message = std::move(message);
+    findings.push_back(std::move(f));
+}
+
+/**
+ * `name(` as a standalone call token at @p at in @p code. Qualified
+ * calls (std::time) count: the left boundary only rejects longer
+ * identifiers (timestamp, last_time).
+ */
+bool
+isCallOf(const std::string& code, std::size_t at, const std::string& name)
+{
+    if (at > 0 && isIdentChar(code[at - 1]))
+        return false;
+    std::size_t i = at + name.size();
+    while (i < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[i])) != 0)
+        ++i;
+    return i < code.size() && code[i] == '(';
+}
+
+void
+scanWallclock(const SourceFile& file, const Options& options,
+              std::vector<Finding>& findings)
+{
+    if (pathAllowlisted(file, options))
+        return;
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+        const std::string& code = file.lines[li].code;
+        const int lineno = static_cast<int>(li) + 1;
+        if (code.find("::now") != std::string::npos &&
+            code.find("_clock") != std::string::npos) {
+            add(findings, file, lineno, "det-wallclock",
+                "chrono clock read; use the simulator's virtual time "
+                "so replays are reproducible");
+            continue;
+        }
+        for (const char* call : kClockCalls) {
+            const std::string name(call);
+            std::size_t at = 0;
+            bool hit = false;
+            while ((at = code.find(name, at)) != std::string::npos) {
+                if (isCallOf(code, at, name)) {
+                    hit = true;
+                    break;
+                }
+                at += name.size();
+            }
+            if (hit) {
+                add(findings, file, lineno, "det-wallclock",
+                    "wall-clock call `" + name +
+                        "(`; only the allowlisted harness/CLI set may "
+                        "read real time");
+                break;
+            }
+        }
+    }
+}
+
+void
+scanRandomDevice(const SourceFile& file, std::vector<Finding>& findings)
+{
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+        if (file.lines[li].code.find("random_device") !=
+            std::string::npos)
+            add(findings, file, static_cast<int>(li) + 1,
+                "det-random-device",
+                "std::random_device draws OS entropy; seed satori::Rng "
+                "explicitly so the experiment replays");
+    }
+}
+
+void
+scanPointerHash(const SourceFile& file, std::vector<Finding>& findings)
+{
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+        const std::string& code = file.lines[li].code;
+        const int lineno = static_cast<int>(li) + 1;
+        const std::size_t at = code.find("reinterpret_cast");
+        if (at != std::string::npos) {
+            const std::size_t open = code.find('<', at);
+            const std::size_t close =
+                open == std::string::npos
+                    ? std::string::npos
+                    : findMatching(code, open, '<', '>');
+            if (close != std::string::npos) {
+                const std::string target =
+                    code.substr(open, close - open + 1);
+                if (target.find("uintptr") != std::string::npos ||
+                    target.find("intptr") != std::string::npos ||
+                    target.find("size_t") != std::string::npos) {
+                    add(findings, file, lineno, "det-pointer-hash",
+                        "pointer-value cast " + target +
+                            "; pointer bits vary run to run (ASLR), "
+                            "key on a stable id instead");
+                    continue;
+                }
+            }
+        }
+        if (code.find("hash<void") != std::string::npos ||
+            code.find("hash<const void") != std::string::npos)
+            add(findings, file, lineno, "det-pointer-hash",
+                "hashing a raw pointer value; pointer bits vary run "
+                "to run, key on a stable id instead");
+    }
+}
+
+/**
+ * Collect the loop body starting after the for's closing paren at
+ * (line @p li, column @p col): a braced block up to the matching `}`
+ * or a single statement up to `;`. Capped at 200 lines.
+ */
+std::string
+collectLoopBody(const SourceFile& file, std::size_t li, std::size_t col)
+{
+    std::string body;
+    int depth = 0;
+    bool started = false;
+    for (std::size_t l = li; l < file.lines.size() && l < li + 200;
+         ++l) {
+        const std::string& code = file.lines[l].code;
+        for (std::size_t c = (l == li ? col : 0); c < code.size();
+             ++c) {
+            const char ch = code[c];
+            if (!started) {
+                if (std::isspace(static_cast<unsigned char>(ch)) != 0)
+                    continue;
+                started = true;
+                if (ch != '{') {
+                    // Single-statement body: scan to the first `;`.
+                    const std::size_t semi = code.find(';', c);
+                    if (semi != std::string::npos)
+                        return code.substr(c, semi - c);
+                    body += code.substr(c);
+                    for (std::size_t m = l + 1;
+                         m < file.lines.size() && m < l + 10; ++m) {
+                        const std::size_t s =
+                            file.lines[m].code.find(';');
+                        if (s != std::string::npos) {
+                            body += file.lines[m].code.substr(0, s);
+                            return body;
+                        }
+                        body += file.lines[m].code;
+                    }
+                    return body;
+                }
+                depth = 1;
+                continue;
+            }
+            if (ch == '{')
+                ++depth;
+            else if (ch == '}') {
+                if (--depth == 0)
+                    return body;
+            } else {
+                body.push_back(ch);
+            }
+        }
+        if (started)
+            body.push_back('\n');
+    }
+    return body;
+}
+
+void
+scanUnorderedIteration(const SourceFile& file,
+                       std::vector<Finding>& findings)
+{
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+        const std::string& code = file.lines[li].code;
+        const int lineno = static_cast<int>(li) + 1;
+        std::size_t at = 0;
+        while ((at = code.find("for", at)) != std::string::npos) {
+            if (!isCallOf(code, at, "for")) {
+                at += 3;
+                continue;
+            }
+            const std::size_t open = code.find('(', at);
+            // The for-header may span lines; join a small window.
+            std::string header = code.substr(open);
+            std::size_t close = findMatching(header, 0, '(', ')');
+            std::size_t extra = 0;
+            while (close == std::string::npos && extra < 4 &&
+                   li + 1 + extra < file.lines.size()) {
+                header += file.lines[li + 1 + extra].code;
+                ++extra;
+                close = findMatching(header, 0, '(', ')');
+            }
+            if (close == std::string::npos)
+                break;
+            const std::string inner = header.substr(1, close - 1);
+
+            bool over_unordered = false;
+            // Range-for: a top-level `:` not part of `::`.
+            std::size_t colon = std::string::npos;
+            int depth = 0;
+            for (std::size_t i = 0; i < inner.size(); ++i) {
+                const char ch = inner[i];
+                if (ch == '(' || ch == '<')
+                    ++depth;
+                else if (ch == ')' || ch == '>')
+                    --depth;
+                else if (ch == ':' && depth == 0 &&
+                         (i + 1 >= inner.size() ||
+                          inner[i + 1] != ':') &&
+                         (i == 0 || inner[i - 1] != ':')) {
+                    colon = i;
+                    break;
+                }
+            }
+            if (colon != std::string::npos) {
+                const std::string range = inner.substr(colon + 1);
+                if (range.find("unordered_") != std::string::npos)
+                    over_unordered = true;
+                for (const std::string& name : file.unordered_idents)
+                    if (containsWord(range, name))
+                        over_unordered = true;
+            } else if (inner.find(".begin") != std::string::npos ||
+                       inner.find(".cbegin") != std::string::npos) {
+                for (const std::string& name : file.unordered_idents)
+                    if (containsWord(inner, name))
+                        over_unordered = true;
+            }
+
+            if (over_unordered) {
+                // Map the body start (offset close+1 in the joined
+                // header) back to a (line, column) in the file.
+                std::size_t body_line = li;
+                std::size_t body_col = open + close + 1;
+                std::size_t offset = close + 1;
+                std::size_t seg = code.size() - open;
+                for (std::size_t e = 0; offset >= seg && e < extra;
+                     ++e) {
+                    offset -= seg;
+                    body_line = li + 1 + e;
+                    seg = file.lines[body_line].code.size();
+                    body_col = offset;
+                }
+                const std::string body =
+                    collectLoopBody(file, body_line, body_col);
+                std::string emit_token;
+                if (body.find("<<") != std::string::npos)
+                    emit_token = "<<";
+                for (const char* tok : kEmitTokens)
+                    if (emit_token.empty() && containsWord(body, tok))
+                        emit_token = tok;
+                if (!emit_token.empty())
+                    add(findings, file, lineno, "det-unordered-iter",
+                        "loop over an unordered container feeds an "
+                        "output aggregate (`" +
+                            emit_token +
+                            "`); hash order is not deterministic "
+                            "across runs — sort keys first");
+            }
+            at += 3;
+        }
+    }
+}
+
+} // namespace
+
+void
+runDeterminismPack(const SourceFile& file, const Options& options,
+                   std::vector<Finding>& findings)
+{
+    scanWallclock(file, options, findings);
+    scanRandomDevice(file, findings);
+    scanPointerHash(file, findings);
+    scanUnorderedIteration(file, findings);
+}
+
+} // namespace satori_analyzer

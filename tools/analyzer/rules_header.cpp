@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Header-hygiene rule pack: the legacy satori_lint checks folded into
+ * the analyzer so one engine owns every source-level rule. Rule ids
+ * keep their historical names: missing-guard, guard-mismatch,
+ * guard-define-mismatch, using-namespace.
+ */
+
+#include "analyzer/analyzer.hpp"
+
+#include <cctype>
+
+namespace satori_analyzer {
+
+namespace {
+
+void
+add(std::vector<Finding>& findings, const SourceFile& file, int line,
+    const char* rule, std::string message)
+{
+    Finding f;
+    f.file = file.display;
+    f.line = line;
+    f.rule = rule;
+    f.message = std::move(message);
+    findings.push_back(std::move(f));
+}
+
+/**
+ * SATORI_COMMON_TYPES_HPP from "satori/common/types.hpp". Paths that
+ * do not start with a satori component get the SATORI_ prefix added
+ * (bench/bench_util.hpp -> SATORI_BENCH_BENCH_UTIL_HPP).
+ */
+std::string
+expectedGuard(const std::string& relative_path)
+{
+    std::string guard;
+    guard.reserve(relative_path.size());
+    for (char c : relative_path) {
+        if (std::isalnum(static_cast<unsigned char>(c)) != 0)
+            guard.push_back(static_cast<char>(
+                std::toupper(static_cast<unsigned char>(c))));
+        else
+            guard.push_back('_');
+    }
+    if (guard.rfind("SATORI", 0) != 0)
+        guard = "SATORI_" + guard;
+    return guard;
+}
+
+/** First whitespace-delimited token after @p prefix, or "". */
+std::string
+tokenAfter(const std::string& line, const std::string& prefix)
+{
+    const std::size_t at = line.find(prefix);
+    if (at == std::string::npos)
+        return "";
+    std::size_t i = at + prefix.size();
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) != 0)
+        ++i;
+    std::size_t end = i;
+    while (end < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[end])) == 0)
+        ++end;
+    return line.substr(i, end - i);
+}
+
+} // namespace
+
+void
+runHeaderPack(const SourceFile& file, std::vector<Finding>& findings)
+{
+    if (!file.is_header)
+        return;
+
+    const std::string expected = expectedGuard(file.guard_rel);
+    std::string ifndef_name;
+    int ifndef_line = 0;
+    std::string define_name;
+
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+        const std::string& code = file.lines[li].code;
+        const int lineno = static_cast<int>(li) + 1;
+        if (ifndef_name.empty()) {
+            const std::string name = tokenAfter(code, "#ifndef");
+            if (!name.empty()) {
+                ifndef_name = name;
+                ifndef_line = lineno;
+                continue;
+            }
+        } else if (define_name.empty()) {
+            const std::string name = tokenAfter(code, "#define");
+            if (!name.empty())
+                define_name = name;
+        }
+        std::size_t at = code.find("using");
+        const bool word_start =
+            at != std::string::npos &&
+            (at == 0 || !isIdentChar(code[at - 1]));
+        if (word_start &&
+            nextTokenAfter(code, at + 5) == "namespace")
+            add(findings, file, lineno, "using-namespace",
+                "`using namespace` directive at header scope");
+    }
+
+    if (ifndef_name.empty()) {
+        add(findings, file, 1, "missing-guard",
+            "no #ifndef include guard found");
+        return;
+    }
+    if (!file.guard_rel.empty() && ifndef_name != expected)
+        add(findings, file, ifndef_line, "guard-mismatch",
+            "guard is " + ifndef_name + ", path wants " + expected);
+    if (define_name != ifndef_name)
+        add(findings, file, ifndef_line, "guard-define-mismatch",
+            "#ifndef " + ifndef_name + " followed by #define " +
+                (define_name.empty() ? std::string("<none>")
+                                     : define_name));
+}
+
+} // namespace satori_analyzer

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * satori_analyzer driver: project-specific semantic static analysis
+ * over the SATORI tree (see tools/analyzer/analyzer.hpp for the rule
+ * packs and GUIDE.md §10 for the workflow).
+ *
+ * Usage:
+ *   satori_analyzer [--packs=det,num,api,header|all]
+ *                   [--root <include-root>] [--baseline <file>]
+ *                   [--allow-wallclock <path-substr>]... [--json]
+ *                   <dir-or-file>...
+ *
+ * Exit status: 0 when every finding is suppressed or baselined, 1 on
+ * any active finding, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analyzer/analyzer.hpp"
+
+namespace {
+
+void
+printUsage(std::FILE* to)
+{
+    std::fprintf(
+        to,
+        "usage: satori_analyzer [--packs=det,num,api,header|all]\n"
+        "                       [--root <include-root>] [--baseline "
+        "<file>]\n"
+        "                       [--allow-wallclock <path-substr>]... "
+        "[--json]\n"
+        "                       <dir-or-file>...\n");
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    namespace sa = satori_analyzer;
+    sa::Options options;
+    std::vector<std::filesystem::path> targets;
+    std::filesystem::path baseline_path;
+    bool json = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--packs=", 0) == 0) {
+            options.packs = sa::parsePackList(arg.substr(8));
+            if (options.packs == 0) {
+                std::fprintf(stderr, "unknown pack in '%s'\n",
+                             arg.c_str());
+                return 2;
+            }
+        } else if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for --root\n");
+                return 2;
+            }
+            options.include_root = argv[++i];
+        } else if (arg == "--baseline") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for --baseline\n");
+                return 2;
+            }
+            baseline_path = argv[++i];
+        } else if (arg == "--allow-wallclock") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "missing value for --allow-wallclock\n");
+                return 2;
+            }
+            options.wallclock_allow.emplace_back(argv[++i]);
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printUsage(stdout);
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            printUsage(stderr);
+            return 2;
+        } else {
+            targets.emplace_back(arg);
+        }
+    }
+    if (targets.empty()) {
+        printUsage(stderr);
+        return 2;
+    }
+    for (const auto& target : targets) {
+        if (!std::filesystem::exists(target)) {
+            std::fprintf(stderr, "no such file or directory: %s\n",
+                         target.string().c_str());
+            return 2;
+        }
+    }
+    // Default the include root to an `include/` directory among the
+    // targets so `satori_analyzer include src` derives SATORI_*_HPP
+    // guard names without extra flags.
+    if (options.include_root.empty()) {
+        for (const auto& target : targets)
+            if (target.filename() == "include")
+                options.include_root = target;
+    }
+
+    sa::AnalyzeResult result = sa::analyzePaths(targets, options);
+
+    std::vector<sa::BaselineEntry> baseline;
+    if (!baseline_path.empty()) {
+        std::string error;
+        if (!sa::loadBaseline(baseline_path, baseline, error)) {
+            std::fprintf(stderr, "satori_analyzer: %s\n",
+                         error.c_str());
+            return 2;
+        }
+        sa::applyBaseline(baseline, result.findings);
+        for (const sa::BaselineEntry& entry : baseline)
+            if (!entry.used)
+                std::fprintf(stderr,
+                             "satori_analyzer: note: stale baseline "
+                             "entry at %s:%d (%s) matched nothing — "
+                             "delete it\n",
+                             baseline_path.string().c_str(),
+                             entry.source_line, entry.rule.c_str());
+    }
+
+    if (json)
+        std::fputs(sa::renderJson(result).c_str(), stdout);
+    else
+        std::fputs(sa::renderText(result, "satori_analyzer").c_str(),
+                   stdout);
+    return sa::countActive(result.findings) == 0 ? 0 : 1;
+}

@@ -1,214 +1,29 @@
 /**
  * @file
- * satori_lint: source-level lint for the project's public headers.
- *
- * Checks (one kebab-case check name per diagnostic line):
- *   - missing-guard: header has no #ifndef/#define include guard.
- *   - guard-mismatch: the guard name does not match the header's path
- *     relative to the include root (satori/common/types.hpp must use
- *     SATORI_COMMON_TYPES_HPP).
- *   - guard-define-mismatch: the #define does not repeat the #ifndef.
- *   - using-namespace: a `using namespace` directive at header scope
- *     (comments and string literals are ignored).
- *
- * Self-containedness of every public header is verified separately by
- * the generated one-TU-per-header compile target
- * (cmake/HeaderSelfContained.cmake).
+ * satori_lint: legacy entry point for the header-hygiene checks, kept
+ * as a thin alias over `satori_analyzer --packs=header` now that the
+ * analyzer's rule-pass engine owns every source-level check. The
+ * historical rule ids (missing-guard, guard-mismatch,
+ * guard-define-mismatch, using-namespace) are unchanged; diagnostics
+ * use the analyzer's `file:line: [rule-id] message` format.
  *
  * Usage: satori_lint [--root <include-root>] <dir-or-file>...
- * Exits 1 if any violation was found; diagnostics are sorted so the
- * output is deterministic for ctest regex matching.
  */
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <string>
 #include <vector>
 
-namespace fs = std::filesystem;
-
-namespace {
-
-struct Diagnostic
-{
-    std::string path;
-    int line;
-    std::string check;
-    std::string detail;
-};
-
-/** SATORI_COMMON_TYPES_HPP from "satori/common/types.hpp". */
-std::string
-expectedGuard(const std::string& relative_path)
-{
-    std::string guard;
-    guard.reserve(relative_path.size());
-    for (char c : relative_path) {
-        if (std::isalnum(static_cast<unsigned char>(c)))
-            guard.push_back(static_cast<char>(
-                std::toupper(static_cast<unsigned char>(c))));
-        else
-            guard.push_back('_');
-    }
-    return guard;
-}
-
-/**
- * Strip // and (possibly multi-line) block comments plus string and
- * character literals, so the token scans below see only real code.
- * @p in_block tracks block-comment state across lines.
- */
-std::string
-stripCommentsAndStrings(const std::string& line, bool& in_block)
-{
-    std::string out;
-    out.reserve(line.size());
-    for (std::size_t i = 0; i < line.size(); ++i) {
-        if (in_block) {
-            if (line[i] == '*' && i + 1 < line.size() &&
-                line[i + 1] == '/') {
-                in_block = false;
-                ++i;
-            }
-            continue;
-        }
-        if (line[i] == '/' && i + 1 < line.size()) {
-            if (line[i + 1] == '/')
-                break;
-            if (line[i + 1] == '*') {
-                in_block = true;
-                ++i;
-                continue;
-            }
-        }
-        if (line[i] == '"' || line[i] == '\'') {
-            const char quote = line[i];
-            ++i;
-            while (i < line.size()) {
-                if (line[i] == '\\')
-                    ++i;
-                else if (line[i] == quote)
-                    break;
-                ++i;
-            }
-            continue;
-        }
-        out.push_back(line[i]);
-    }
-    return out;
-}
-
-/** First whitespace-delimited token after @p prefix, or "". */
-std::string
-tokenAfter(const std::string& line, const std::string& prefix)
-{
-    const std::size_t at = line.find(prefix);
-    if (at == std::string::npos)
-        return "";
-    std::size_t i = at + prefix.size();
-    while (i < line.size() &&
-           std::isspace(static_cast<unsigned char>(line[i])))
-        ++i;
-    std::size_t end = i;
-    while (end < line.size() &&
-           !std::isspace(static_cast<unsigned char>(line[end])))
-        ++end;
-    return line.substr(i, end - i);
-}
-
-void
-lintHeader(const fs::path& path, const fs::path& root,
-           std::vector<Diagnostic>& diagnostics)
-{
-    std::ifstream in(path);
-    if (!in) {
-        diagnostics.push_back(
-            {path.string(), 0, "unreadable", "cannot open file"});
-        return;
-    }
-
-    const std::string rel =
-        fs::relative(path, root).generic_string();
-    const std::string expected = expectedGuard(rel);
-
-    std::string ifndef_name;
-    int ifndef_line = 0;
-    std::string define_name;
-    bool in_block = false;
-    std::string line;
-    int lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        const std::string code = stripCommentsAndStrings(line, in_block);
-        if (ifndef_name.empty()) {
-            const std::string name = tokenAfter(code, "#ifndef");
-            if (!name.empty()) {
-                ifndef_name = name;
-                ifndef_line = lineno;
-                continue;
-            }
-        } else if (define_name.empty()) {
-            const std::string name = tokenAfter(code, "#define");
-            if (!name.empty())
-                define_name = name;
-        }
-        const std::size_t at = code.find("using");
-        const bool word_start =
-            at != std::string::npos &&
-            (at == 0 ||
-             (!std::isalnum(static_cast<unsigned char>(code[at - 1])) &&
-              code[at - 1] != '_'));
-        if (word_start) {
-            const std::string next = tokenAfter(code.substr(at), "using");
-            if (next == "namespace")
-                diagnostics.push_back(
-                    {path.string(), lineno, "using-namespace",
-                     "`using namespace` directive at header scope"});
-        }
-    }
-
-    if (ifndef_name.empty()) {
-        diagnostics.push_back({path.string(), 1, "missing-guard",
-                               "no #ifndef include guard found"});
-        return;
-    }
-    if (ifndef_name != expected)
-        diagnostics.push_back(
-            {path.string(), ifndef_line, "guard-mismatch",
-             "guard is " + ifndef_name + ", path wants " + expected});
-    if (define_name != ifndef_name)
-        diagnostics.push_back(
-            {path.string(), ifndef_line, "guard-define-mismatch",
-             "#ifndef " + ifndef_name + " followed by #define " +
-                 (define_name.empty() ? std::string("<none>")
-                                      : define_name)});
-}
-
-void
-collectHeaders(const fs::path& target, std::vector<fs::path>& headers)
-{
-    if (fs::is_directory(target)) {
-        for (const auto& entry :
-             fs::recursive_directory_iterator(target)) {
-            if (entry.is_regular_file() &&
-                entry.path().extension() == ".hpp")
-                headers.push_back(entry.path());
-        }
-    } else {
-        headers.push_back(target);
-    }
-}
-
-} // namespace
+#include "analyzer/analyzer.hpp"
 
 int
 main(int argc, char** argv)
 {
-    fs::path root;
-    std::vector<fs::path> targets;
+    namespace sa = satori_analyzer;
+    sa::Options options;
+    options.packs = sa::kPackHeader;
+    std::vector<std::filesystem::path> targets;
+
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--root") {
@@ -216,7 +31,7 @@ main(int argc, char** argv)
                 std::fprintf(stderr, "missing value for --root\n");
                 return 2;
             }
-            root = argv[++i];
+            options.include_root = argv[++i];
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: satori_lint [--root <include-root>] "
                         "<dir-or-file>...\n");
@@ -231,39 +46,17 @@ main(int argc, char** argv)
                      "<dir-or-file>...\n");
         return 2;
     }
-    if (root.empty())
-        root = targets.front();
-
-    std::vector<fs::path> headers;
     for (const auto& target : targets) {
-        if (!fs::exists(target)) {
+        if (!std::filesystem::exists(target)) {
             std::fprintf(stderr, "no such file or directory: %s\n",
                          target.string().c_str());
             return 2;
         }
-        collectHeaders(target, headers);
     }
-    std::sort(headers.begin(), headers.end());
-    headers.erase(std::unique(headers.begin(), headers.end()),
-                  headers.end());
+    if (options.include_root.empty())
+        options.include_root = targets.front();
 
-    std::vector<Diagnostic> diagnostics;
-    for (const auto& header : headers)
-        lintHeader(header, root, diagnostics);
-
-    std::sort(diagnostics.begin(), diagnostics.end(),
-              [](const Diagnostic& a, const Diagnostic& b) {
-                  if (a.path != b.path)
-                      return a.path < b.path;
-                  if (a.line != b.line)
-                      return a.line < b.line;
-                  return a.check < b.check;
-              });
-    for (const auto& d : diagnostics)
-        std::printf("%s:%d: %s: %s\n", d.path.c_str(), d.line,
-                    d.check.c_str(), d.detail.c_str());
-
-    std::printf("satori_lint: %zu headers, %zu violations\n",
-                headers.size(), diagnostics.size());
-    return diagnostics.empty() ? 0 : 1;
+    const sa::AnalyzeResult result = sa::analyzePaths(targets, options);
+    std::fputs(sa::renderText(result, "satori_lint").c_str(), stdout);
+    return sa::countActive(result.findings) == 0 ? 0 : 1;
 }
