@@ -259,6 +259,14 @@ class SatoriController final : public policies::PartitioningPolicy
     /** Record a sample and advance the weight clock (retry paths). */
     void recordOnly(const sim::IntervalObservation& obs);
 
+    /**
+     * Emit one decision-audit record (observability only; gated on
+     * the channel being enabled, no-op in SATORI_OBS=OFF builds).
+     */
+    void emitObsAudit(const sim::IntervalObservation& observation,
+                      SampleHealth health, const Configuration& decision,
+                      const char* outcome) const;
+
     /** The configuration returned when learning is impossible. */
     [[nodiscard]] const Configuration& holdCourse() const;
 
@@ -302,6 +310,12 @@ class SatoriController final : public policies::PartitioningPolicy
     Configuration expected_config_;
     bool has_expected_ = false;
     std::size_t actuation_retries_ = 0;
+
+    /// decide() invocations since construction/reset (audit records).
+    std::size_t decide_calls_ = 0;
+
+    /// How decideCore produced its last decision (audit records).
+    const char* last_outcome_ = "";
 
     SatoriDiagnostics diagnostics_;
 };

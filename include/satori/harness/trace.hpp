@@ -51,6 +51,11 @@ enum class TraceFormat
  * Streams TraceRecords to a file. The writer is format-stable: the
  * CSV header (or JSON keys) are fixed by the first record's job
  * count.
+ *
+ * Records are formatted into an in-memory buffer and written to the
+ * file every flush_every records (and on flush()/destruction) rather
+ * than per interval, so tracing a 100 ms decision loop does not put
+ * a filesystem round-trip on every control interval.
  */
 class TraceWriter
 {
@@ -58,16 +63,26 @@ class TraceWriter
     /**
      * Open @p path for writing. @throws FatalError if the file cannot
      * be created.
+     *
+     * @param flush_every Records buffered between writes to the file;
+     *        0 buffers the whole run until flush()/destruction.
      */
-    TraceWriter(const std::string& path, TraceFormat format);
+    TraceWriter(const std::string& path, TraceFormat format,
+                std::size_t flush_every = 256);
 
-    /** Append one record. */
+    /** Flushes any buffered records. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    /** Append one record (buffered; see flush_every). */
     void write(const TraceRecord& record);
 
     /** Records written so far. */
     [[nodiscard]] std::size_t count() const { return count_; }
 
-    /** Flush buffered output. */
+    /** Write buffered records to the file and flush it. */
     void flush();
 
   private:
@@ -77,6 +92,9 @@ class TraceWriter
 
     std::ofstream out_;
     TraceFormat format_;
+    std::size_t flush_every_;
+    std::string buffer_;
+    std::size_t buffered_ = 0; ///< Records in buffer_ since last flush.
     std::size_t count_ = 0;
     bool header_written_ = false;
 };

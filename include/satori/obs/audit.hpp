@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The decision-audit channel: one structured record per control
+ * interval, answering "why did the controller pick this config" -
+ * the observed IPS the decision was based on, the telemetry guard's
+ * verdict, the BO proxy-model state, the objective/weight values in
+ * force, the chosen configuration, and how the decision left the
+ * controller (exploring, settled, holding, retrying actuation,
+ * degraded).
+ *
+ * Records are buffered in memory and exported as JSON Lines, so an
+ * auditable objective trajectory falls out of every run without
+ * recompiling. The channel is observability only: the controller
+ * writes records, never reads them back.
+ */
+
+#ifndef SATORI_OBS_AUDIT_HPP
+#define SATORI_OBS_AUDIT_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace satori {
+namespace obs {
+
+/** Everything worth knowing about one control-interval decision. */
+struct DecisionRecord
+{
+    std::size_t interval = 0;  ///< 0-based decide() invocation index.
+    double time = 0.0;         ///< Simulated time of the observation.
+    std::string policy;        ///< Deciding policy's name.
+
+    std::vector<double> observed_ips; ///< Post-guard per-job IPS.
+    std::string guard_verdict; ///< healthy | repaired | unusable | off.
+
+    bool degraded = false;     ///< Equal-partition fallback active.
+    bool settled = false;      ///< Exploration currently off.
+
+    double throughput = 0.0;   ///< Normalized goal values in force.
+    double fairness = 0.0;
+    double w_t = 0.0;          ///< Dynamic weights in force.
+    double w_f = 0.0;
+    double objective = 0.0;    ///< w_t * T + w_f * F.
+
+    std::size_t bo_samples = 0;     ///< Proxy-model training size.
+    double proxy_change_pct = 0.0;  ///< Mean |d mean| % at the probes.
+
+    std::string chosen_config; ///< Configuration::toString() form.
+
+    /**
+     * How the decision was produced: seed | explore | exploit |
+     * settled | hold | retry-actuation | degraded.
+     */
+    std::string outcome;
+};
+
+/**
+ * Buffers DecisionRecords and exports them as JSON Lines. Disabled
+ * by default; a disabled channel's emit() sites take one branch.
+ */
+class DecisionAuditChannel
+{
+  public:
+    DecisionAuditChannel() = default;
+    DecisionAuditChannel(const DecisionAuditChannel&) = delete;
+    DecisionAuditChannel& operator=(const DecisionAuditChannel&) = delete;
+
+    /** Turn record buffering on or off. */
+    void setEnabled(bool enabled) { enabled_ = enabled; }
+
+    /** True while records are being buffered. */
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /** Buffer one record (no-op while disabled). */
+    void emit(DecisionRecord record);
+
+    /** Records buffered so far. */
+    [[nodiscard]] const std::vector<DecisionRecord>& records() const
+    {
+        return records_;
+    }
+
+    /** All records as JSON Lines (one object per line). */
+    [[nodiscard]] std::string jsonLines() const;
+
+    /** Write jsonLines() to @p path. @throws FatalError. */
+    void writeJsonl(const std::string& path) const;
+
+    /** Drop all buffered records. */
+    void clear() { records_.clear(); }
+
+  private:
+    bool enabled_ = false;
+    std::vector<DecisionRecord> records_;
+};
+
+} // namespace obs
+} // namespace satori
+
+#endif // SATORI_OBS_AUDIT_HPP

@@ -74,6 +74,11 @@
 #include "satori/policies/random_policy.hpp"
 #include "satori/policies/restricted_policy.hpp"
 
+#include "satori/obs/audit.hpp"
+#include "satori/obs/obs.hpp"
+#include "satori/obs/registry.hpp"
+#include "satori/obs/tracer.hpp"
+
 #include "satori/harness/experiment.hpp"
 #include "satori/harness/offline_eval.hpp"
 #include "satori/harness/repeat.hpp"

@@ -5,6 +5,7 @@
 
 #include "satori/analysis/invariants.hpp"
 #include "satori/common/logging.hpp"
+#include "satori/obs/obs.hpp"
 
 namespace satori {
 namespace bo {
@@ -40,12 +41,15 @@ BoEngine::addSample(const RealVec& input, double target)
 void
 BoEngine::refit()
 {
+    SATORI_OBS_SPAN("bo.fit");
+    SATORI_OBS_METRIC(bo_fits.inc());
     ++fits_since_grid_;
     const bool use_grid = !options_.length_scale_grid.empty() &&
                           options_.grid_refit_period > 0 &&
                           fits_since_grid_ >= options_.grid_refit_period &&
                           inputs_.size() >= 8;
     if (use_grid) {
+        SATORI_OBS_METRIC(bo_grid_refits.inc());
         gp_->fitWithLengthScaleGrid(inputs_, targets_,
                                     options_.length_scale_grid);
         fits_since_grid_ = 0;
@@ -81,6 +85,10 @@ std::size_t
 BoEngine::suggestIndex(const std::vector<RealVec>& candidates,
                        const std::vector<double>& penalties) const
 {
+    SATORI_OBS_SPAN("bo.acquisition");
+    SATORI_OBS_METRIC(bo_suggests.inc());
+    SATORI_OBS_METRIC(bo_candidates.observe(
+        static_cast<double>(candidates.size())));
     SATORI_ASSERT(ready());
     SATORI_ASSERT(!candidates.empty());
     SATORI_ASSERT(penalties.size() == candidates.size());
@@ -111,6 +119,7 @@ BoEngine::predict(const RealVec& x) const
 std::vector<double>
 BoEngine::probeMeans(const std::vector<RealVec>& probes) const
 {
+    SATORI_OBS_SPAN("bo.probe");
     SATORI_ASSERT(ready());
     std::vector<double> means;
     means.reserve(probes.size());

@@ -6,6 +6,7 @@
 #include "satori/common/logging.hpp"
 #include "satori/common/math.hpp"
 #include "satori/linalg/matrix.hpp"
+#include "satori/obs/obs.hpp"
 
 namespace satori {
 namespace bo {
@@ -60,7 +61,11 @@ GaussianProcess::fit(const std::vector<RealVec>& inputs,
 void
 GaussianProcess::fitStandardized()
 {
+    SATORI_OBS_SPAN("gp.fit");
     const std::size_t n = inputs_.size();
+    SATORI_OBS_METRIC(gp_fits.inc());
+    SATORI_OBS_METRIC(
+        gp_training_size.observe(static_cast<double>(n)));
     y_mean_ = mean(y_raw_);
     y_scale_ = stddev(y_raw_);
     if (y_scale_ < 1e-12)

@@ -6,6 +6,7 @@
 #include "satori/analysis/invariants.hpp"
 #include "satori/common/logging.hpp"
 #include "satori/metrics/metrics.hpp"
+#include "satori/obs/obs.hpp"
 
 namespace satori {
 namespace core {
@@ -114,6 +115,10 @@ SatoriController::recordOnly(const sim::IntervalObservation& obs)
 Configuration
 SatoriController::decide(const sim::IntervalObservation& raw_obs)
 {
+    SATORI_OBS_SPAN("controller.decide");
+    ++decide_calls_;
+    SATORI_OBS_METRIC(controller_decisions.inc());
+
     // Telemetry validation: repair or reject the observation before
     // any of its values can reach the recorder, the weight clock, or
     // the GP. With resilience disabled this is a no-op and the method
@@ -158,6 +163,8 @@ SatoriController::decide(const sim::IntervalObservation& raw_obs)
             diagnostics_.settled = false;
             expected_config_ = equal_config_;
             has_expected_ = true;
+            SATORI_OBS_METRIC(controller_degraded.inc());
+            emitObsAudit(obs, health, equal_config_, "degraded");
             return equal_config_;
         }
     } else if (options_.resilience.degraded_after > 0 &&
@@ -168,6 +175,8 @@ SatoriController::decide(const sim::IntervalObservation& raw_obs)
         diagnostics_.settled = false;
         expected_config_ = equal_config_;
         has_expected_ = true;
+        SATORI_OBS_METRIC(controller_degraded.inc());
+        emitObsAudit(obs, health, equal_config_, "degraded");
         return equal_config_;
     }
     diagnostics_.degraded = false;
@@ -178,6 +187,8 @@ SatoriController::decide(const sim::IntervalObservation& raw_obs)
         const Configuration& hold = holdCourse();
         expected_config_ = hold;
         has_expected_ = true;
+        SATORI_OBS_METRIC(controller_holds.inc());
+        emitObsAudit(obs, health, hold, "hold");
         return hold;
     }
 
@@ -197,6 +208,9 @@ SatoriController::decide(const sim::IntervalObservation& raw_obs)
                 ++actuation_retries_;
                 ++diagnostics_.actuation_retries;
                 recordOnly(obs);
+                SATORI_OBS_METRIC(controller_retries.inc());
+                emitObsAudit(obs, health, expected_config_,
+                             "retry-actuation");
                 return expected_config_;
             }
             actuation_retries_ = 0; // give up; adopt the observed state
@@ -206,6 +220,7 @@ SatoriController::decide(const sim::IntervalObservation& raw_obs)
     const Configuration decision = decideCore(obs);
     expected_config_ = decision;
     has_expected_ = true;
+    emitObsAudit(obs, health, decision, last_outcome_);
     return decision;
 }
 
@@ -222,6 +237,8 @@ SatoriController::decideCore(const sim::IntervalObservation& obs)
     // Dynamic weights are tracked in both states so the long-term
     // 0.5-average property holds across settle/explore transitions.
     const auto [w_t, w_f] = currentWeights(goals[0], goals[1]);
+    SATORI_OBS_METRIC(controller_w_t.set(w_t));
+    SATORI_OBS_METRIC(controller_w_f.set(w_f));
 
     // Audit the interval the controller is acting on: the incoming
     // configuration must be feasible and the regenerated per-goal
@@ -243,6 +260,8 @@ SatoriController::decideCore(const sim::IntervalObservation& obs)
         diagnostics_.proxy_change_pct = 0.0;
         diagnostics_.objective_value =
             w_t * goals[0] + w_f * goals[1];
+        SATORI_OBS_METRIC(
+            controller_objective.set(diagnostics_.objective_value));
         const double balanced_now = 0.5 * goals[0] + 0.5 * goals[1];
         // Temporary prioritization acts while settled too: every
         // prioritization boundary the incumbent is re-selected under
@@ -313,8 +332,10 @@ SatoriController::decideCore(const sim::IntervalObservation& obs)
                     job_strikes_ = 0;
             }
         }
-        if (!reactivate)
+        if (!reactivate) {
+            last_outcome_ = "settled";
             return settled_config_;
+        }
         settled_ = false;
         stall_counter_ = 0;
         best_balanced_ = -1.0;
@@ -336,8 +357,12 @@ SatoriController::decideCore(const sim::IntervalObservation& obs)
         options_.objective.weightVector(w_t, w_f);
     const std::vector<double> y = recorder_.combined(weights);
     diagnostics_.objective_value = y.back();
+    SATORI_OBS_METRIC(
+        controller_objective.set(diagnostics_.objective_value));
     engine_.setSamples(recorder_.inputs(), y);
     diagnostics_.num_samples = recorder_.size();
+    SATORI_OBS_METRIC(
+        bo_samples.set(static_cast<double>(recorder_.size())));
 
     // Convergence tracking on the weight-independent balanced
     // objective: settling must not depend on the moving goal post.
@@ -369,6 +394,7 @@ SatoriController::decideCore(const sim::IntervalObservation& obs)
     // its noisy measurements.
     if (dwell_left_ > 0) {
         --dwell_left_;
+        last_outcome_ = "dwell";
         return last_decision_;
     }
 
@@ -379,6 +405,7 @@ SatoriController::decideCore(const sim::IntervalObservation& obs)
         dwell_left_ = options_.dwell_intervals > 0
                           ? options_.dwell_intervals - 1
                           : 0;
+        last_outcome_ = "seed";
         return last_decision_;
     }
 
@@ -406,6 +433,8 @@ SatoriController::decideCore(const sim::IntervalObservation& obs)
         settled_warmup_ = 0;
         cusum_.reset();
         diagnostics_.settled = true;
+        SATORI_OBS_METRIC(controller_settles.inc());
+        last_outcome_ = "settled";
         return settled_config_;
     }
 
@@ -424,6 +453,7 @@ SatoriController::decideCore(const sim::IntervalObservation& obs)
         dwell_left_ = options_.dwell_intervals > 0
                           ? options_.dwell_intervals - 1
                           : 0;
+        last_outcome_ = "exploit";
         return incumbent;
     }
     std::vector<Configuration> candidates =
@@ -468,7 +498,60 @@ SatoriController::decideCore(const sim::IntervalObservation& obs)
     dwell_left_ = options_.dwell_intervals > 0
                       ? options_.dwell_intervals - 1
                       : 0;
+    last_outcome_ = "explore";
     return last_decision_;
+}
+
+void
+SatoriController::emitObsAudit(const sim::IntervalObservation& observation,
+                               SampleHealth health,
+                               const Configuration& decision,
+                               const char* outcome) const
+{
+#if defined(SATORI_OBS_ENABLED) && SATORI_OBS_ENABLED
+    satori::obs::DecisionAuditChannel& channel =
+        satori::obs::observability().audit();
+    if (!channel.enabled())
+        return;
+    satori::obs::DecisionRecord rec;
+    rec.interval = decide_calls_ - 1;
+    rec.time = observation.time;
+    rec.policy = goalModeName(options_.mode);
+    rec.observed_ips.assign(observation.ips.begin(),
+                            observation.ips.end());
+    if (!options_.resilience.guard.enabled) {
+        rec.guard_verdict = "off";
+    } else {
+        switch (health) {
+          case SampleHealth::Healthy:
+            rec.guard_verdict = "healthy";
+            break;
+          case SampleHealth::Repaired:
+            rec.guard_verdict = "repaired";
+            break;
+          case SampleHealth::Unusable:
+            rec.guard_verdict = "unusable";
+            break;
+        }
+    }
+    rec.degraded = diagnostics_.degraded;
+    rec.settled = diagnostics_.settled;
+    rec.throughput = diagnostics_.throughput;
+    rec.fairness = diagnostics_.fairness;
+    rec.w_t = diagnostics_.weights.w_t;
+    rec.w_f = diagnostics_.weights.w_f;
+    rec.objective = diagnostics_.objective_value;
+    rec.bo_samples = diagnostics_.num_samples;
+    rec.proxy_change_pct = diagnostics_.proxy_change_pct;
+    rec.chosen_config = decision.toString();
+    rec.outcome = outcome;
+    channel.emit(std::move(rec));
+#else
+    (void)observation;
+    (void)health;
+    (void)decision;
+    (void)outcome;
+#endif
 }
 
 void
@@ -496,6 +579,8 @@ SatoriController::reset()
     healthy_streak_ = 0;
     has_expected_ = false;
     actuation_retries_ = 0;
+    decide_calls_ = 0;
+    last_outcome_ = "";
     diagnostics_ = SatoriDiagnostics{};
     engine_ = bo::BoEngine(options_.engine);
 }

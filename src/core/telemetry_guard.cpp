@@ -5,6 +5,7 @@
 
 #include "satori/common/logging.hpp"
 #include "satori/common/stats.hpp"
+#include "satori/obs/obs.hpp"
 
 namespace satori {
 namespace core {
@@ -72,6 +73,7 @@ TelemetryGuard::filter(sim::IntervalObservation& obs)
             obs.isolation_ips = last_good_iso_;
         else
             obs.isolation_ips.assign(num_jobs_, 1.0);
+        SATORI_OBS_METRIC(guard_unusable.inc());
         return SampleHealth::Unusable;
     }
 
@@ -183,9 +185,15 @@ TelemetryGuard::filter(sim::IntervalObservation& obs)
 
     if (any_unusable) {
         ++stats_.unusable_intervals;
+        SATORI_OBS_METRIC(guard_unusable.inc());
         return SampleHealth::Unusable;
     }
-    return any_repair ? SampleHealth::Repaired : SampleHealth::Healthy;
+    if (any_repair) {
+        SATORI_OBS_METRIC(guard_repaired.inc());
+        return SampleHealth::Repaired;
+    }
+    SATORI_OBS_METRIC(guard_healthy.inc());
+    return SampleHealth::Healthy;
 }
 
 void

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "satori/common/logging.hpp"
+#include "satori/obs/obs.hpp"
 
 namespace satori {
 namespace faults {
@@ -38,6 +39,7 @@ FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
 void
 FaultInjector::flag(const std::string& token)
 {
+    SATORI_OBS_METRIC(faults_injected.inc());
     if (!flags_.empty())
         flags_ += "|";
     flags_ += token;

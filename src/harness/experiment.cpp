@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "satori/common/logging.hpp"
+#include "satori/obs/obs.hpp"
 
 namespace satori {
 namespace harness {
@@ -32,6 +33,8 @@ ExperimentRunner::run(sim::SimulatedServer& server,
     std::vector<OnlineStats> per_job_speedup(server.numJobs());
 
     for (std::size_t step = 0; step < steps; ++step) {
+        SATORI_OBS_SPAN("harness.interval");
+        SATORI_OBS_METRIC(harness_intervals.inc());
         // Platform faults (crash/restart churn, core offlining) land
         // before the interval runs; announced churn refreshes the
         // isolation baseline exactly as a cluster manager would.
@@ -68,15 +71,20 @@ ExperimentRunner::run(sim::SimulatedServer& server,
         if (options_.faults != nullptr) {
             const sim::IntervalObservation seen =
                 options_.faults->perturbObservation(obs);
-            options_.faults->actuate(server, policy.decide(seen));
+            const Configuration next = policy.decide(seen);
+            SATORI_OBS_SPAN("harness.actuate");
+            options_.faults->actuate(server, next);
         } else {
-            server.setConfiguration(policy.decide(obs));
+            const Configuration next = policy.decide(obs);
+            SATORI_OBS_SPAN("harness.actuate");
+            server.setConfiguration(next);
         }
 
         if (options_.on_interval)
             options_.on_interval(obs, t_norm, f_norm);
 
         if (options_.trace) {
+            SATORI_OBS_SPAN("harness.trace");
             TraceRecord rec;
             rec.time = obs.time;
             rec.policy = policy.name();

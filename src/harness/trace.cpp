@@ -1,18 +1,37 @@
 #include "satori/harness/trace.hpp"
 
 #include <iomanip>
+#include <sstream>
 
 #include "satori/common/logging.hpp"
 
 namespace satori {
 namespace harness {
 
-TraceWriter::TraceWriter(const std::string& path, TraceFormat format)
-    : out_(path), format_(format)
+namespace {
+
+/** Format a double the way the pre-buffered writer did (10 digits). */
+std::string
+num(double value)
+{
+    std::ostringstream os;
+    os << std::setprecision(10) << value;
+    return os.str();
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string& path, TraceFormat format,
+                         std::size_t flush_every)
+    : out_(path), format_(format), flush_every_(flush_every)
 {
     if (!out_.good())
         SATORI_FATAL("cannot open trace file: " + path);
-    out_ << std::setprecision(10);
+}
+
+TraceWriter::~TraceWriter()
+{
+    flush();
 }
 
 void
@@ -31,54 +50,75 @@ TraceWriter::write(const TraceRecord& record)
         break;
     }
     ++count_;
+    ++buffered_;
+    if (flush_every_ > 0 && buffered_ >= flush_every_)
+        flush();
 }
 
 void
 TraceWriter::writeCsvHeader(const TraceRecord& record)
 {
-    out_ << "time,policy,config,throughput,fairness,w_t,w_f,settled";
+    buffer_ += "time,policy,config,throughput,fairness,w_t,w_f,settled";
     for (std::size_t j = 0; j < record.ips.size(); ++j)
-        out_ << ",ips_" << j;
+        buffer_ += ",ips_" + std::to_string(j);
     for (std::size_t j = 0; j < record.speedups.size(); ++j)
-        out_ << ",speedup_" << j;
-    out_ << ",faults\n";
+        buffer_ += ",speedup_" + std::to_string(j);
+    buffer_ += ",faults\n";
 }
 
 void
 TraceWriter::writeCsv(const TraceRecord& record)
 {
-    out_ << record.time << "," << record.policy << ",\""
-         << record.config.toString() << "\"," << record.throughput
-         << "," << record.fairness << "," << record.w_t << ","
-         << record.w_f << "," << (record.settled ? 1 : 0);
-    for (double v : record.ips)
-        out_ << "," << v;
-    for (double v : record.speedups)
-        out_ << "," << v;
-    out_ << ",\"" << record.faults << "\"\n";
+    buffer_ += num(record.time) + "," + record.policy + ",\"" +
+               record.config.toString() + "\"," +
+               num(record.throughput) + "," + num(record.fairness) +
+               "," + num(record.w_t) + "," + num(record.w_f) + "," +
+               (record.settled ? "1" : "0");
+    for (double v : record.ips) {
+        buffer_ += ",";
+        buffer_ += num(v);
+    }
+    for (double v : record.speedups) {
+        buffer_ += ",";
+        buffer_ += num(v);
+    }
+    buffer_ += ",\"" + record.faults + "\"\n";
 }
 
 void
 TraceWriter::writeJson(const TraceRecord& record)
 {
-    out_ << "{\"time\":" << record.time << ",\"policy\":\""
-         << record.policy << "\",\"config\":\""
-         << record.config.toString() << "\",\"throughput\":"
-         << record.throughput << ",\"fairness\":" << record.fairness
-         << ",\"w_t\":" << record.w_t << ",\"w_f\":" << record.w_f
-         << ",\"settled\":" << (record.settled ? "true" : "false");
-    out_ << ",\"ips\":[";
-    for (std::size_t j = 0; j < record.ips.size(); ++j)
-        out_ << (j ? "," : "") << record.ips[j];
-    out_ << "],\"speedups\":[";
-    for (std::size_t j = 0; j < record.speedups.size(); ++j)
-        out_ << (j ? "," : "") << record.speedups[j];
-    out_ << "],\"faults\":\"" << record.faults << "\"}\n";
+    buffer_ += "{\"time\":" + num(record.time) + ",\"policy\":\"" +
+               record.policy + "\",\"config\":\"" +
+               record.config.toString() +
+               "\",\"throughput\":" + num(record.throughput) +
+               ",\"fairness\":" + num(record.fairness) +
+               ",\"w_t\":" + num(record.w_t) +
+               ",\"w_f\":" + num(record.w_f) + ",\"settled\":" +
+               (record.settled ? "true" : "false");
+    buffer_ += ",\"ips\":[";
+    for (std::size_t j = 0; j < record.ips.size(); ++j) {
+        if (j > 0)
+            buffer_ += ",";
+        buffer_ += num(record.ips[j]);
+    }
+    buffer_ += "],\"speedups\":[";
+    for (std::size_t j = 0; j < record.speedups.size(); ++j) {
+        if (j > 0)
+            buffer_ += ",";
+        buffer_ += num(record.speedups[j]);
+    }
+    buffer_ += "],\"faults\":\"" + record.faults + "\"}\n";
 }
 
 void
 TraceWriter::flush()
 {
+    if (!buffer_.empty()) {
+        out_ << buffer_;
+        buffer_.clear();
+    }
+    buffered_ = 0;
     out_.flush();
 }
 

@@ -1,0 +1,93 @@
+#include "satori/obs/audit.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace obs {
+
+namespace {
+
+/** Deterministic double formatting (matches registry exports). */
+std::string
+formatNumber(double value)
+{
+    std::ostringstream out;
+    out << std::setprecision(10) << value;
+    return out.str();
+}
+
+/** Escape a free-text string for a JSON string value. */
+std::string
+escapeText(const std::string& text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+DecisionAuditChannel::emit(DecisionRecord record)
+{
+    if (!enabled_)
+        return;
+    records_.push_back(std::move(record));
+}
+
+std::string
+DecisionAuditChannel::jsonLines() const
+{
+    std::string out;
+    for (const DecisionRecord& r : records_) {
+        out += "{\"interval\":" + std::to_string(r.interval);
+        out += ",\"time\":" + formatNumber(r.time);
+        out += ",\"policy\":\"" + escapeText(r.policy) + "\"";
+        out += ",\"observed_ips\":[";
+        for (std::size_t i = 0; i < r.observed_ips.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += formatNumber(r.observed_ips[i]);
+        }
+        out += "]";
+        out += ",\"guard_verdict\":\"" + escapeText(r.guard_verdict) + "\"";
+        out += ",\"degraded\":" + std::string(r.degraded ? "true" : "false");
+        out += ",\"settled\":" + std::string(r.settled ? "true" : "false");
+        out += ",\"throughput\":" + formatNumber(r.throughput);
+        out += ",\"fairness\":" + formatNumber(r.fairness);
+        out += ",\"w_t\":" + formatNumber(r.w_t);
+        out += ",\"w_f\":" + formatNumber(r.w_f);
+        out += ",\"objective\":" + formatNumber(r.objective);
+        out += ",\"bo_samples\":" + std::to_string(r.bo_samples);
+        out += ",\"proxy_change_pct\":" + formatNumber(r.proxy_change_pct);
+        out += ",\"chosen_config\":\"" + escapeText(r.chosen_config) + "\"";
+        out += ",\"outcome\":\"" + escapeText(r.outcome) + "\"";
+        out += "}\n";
+    }
+    return out;
+}
+
+void
+DecisionAuditChannel::writeJsonl(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out.good())
+        SATORI_FATAL("cannot open audit file: " + path);
+    out << jsonLines();
+}
+
+} // namespace obs
+} // namespace satori

@@ -1,0 +1,130 @@
+#include "satori/obs/tracer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace obs {
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+Tracer::Tracer(ClockFn clock) : clock_(clock)
+{
+    SATORI_ASSERT(clock_ != nullptr);
+    events_.reserve(4096);
+    open_.reserve(32);
+}
+
+void
+Tracer::beginSpan(const char* name)
+{
+    TraceEvent event;
+    event.name = name;
+    event.depth = static_cast<std::uint32_t>(open_.size());
+    event.start_ns = clock_();
+    events_.push_back(event);
+    open_.push_back({events_.size() - 1});
+}
+
+void
+Tracer::endSpan()
+{
+    if (open_.empty())
+        SATORI_PANIC("endSpan() without a matching beginSpan()");
+    TraceEvent& event = events_[open_.back().event_index];
+    const std::uint64_t now = clock_();
+    event.duration_ns = now >= event.start_ns ? now - event.start_ns : 0;
+    open_.pop_back();
+}
+
+std::string
+Tracer::chromeTraceJson() const
+{
+    // Rebase to the first span so timestamps are small and the viewer
+    // opens at t=0. Timestamps are microseconds (the format's unit).
+    std::uint64_t base_ns = 0;
+    if (!events_.empty())
+        base_ns = events_.front().start_ns;
+
+    std::vector<bool> is_open(events_.size(), false);
+    for (const OpenSpan& o : open_)
+        is_open[o.event_index] = true;
+
+    std::ostringstream out;
+    out << std::setprecision(15);
+    out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+        const TraceEvent& e = events_[i];
+        if (is_open[i])
+            continue; // unclosed spans have no duration yet
+        if (!first)
+            out << ",";
+        first = false;
+        out << "{\"name\":\"" << e.name
+            << "\",\"cat\":\"satori\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+            << "\"ts\":"
+            << static_cast<double>(e.start_ns - base_ns) / 1e3
+            << ",\"dur\":" << static_cast<double>(e.duration_ns) / 1e3
+            << "}";
+    }
+    out << "]}\n";
+    return out.str();
+}
+
+void
+Tracer::writeChromeTrace(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out.good())
+        SATORI_FATAL("cannot open trace file: " + path);
+    out << chromeTraceJson();
+}
+
+std::vector<SpanAggregate>
+Tracer::aggregate() const
+{
+    std::map<std::string, SpanAggregate> by_name;
+    for (const TraceEvent& e : events_) {
+        SpanAggregate& agg = by_name[e.name];
+        if (agg.name.empty())
+            agg.name = e.name;
+        ++agg.count;
+        agg.total_ns += e.duration_ns;
+        agg.max_ns = std::max(agg.max_ns, e.duration_ns);
+    }
+    std::vector<SpanAggregate> rows;
+    rows.reserve(by_name.size());
+    for (const auto& [name, agg] : by_name)
+        rows.push_back(agg);
+    std::sort(rows.begin(), rows.end(),
+              [](const SpanAggregate& a, const SpanAggregate& b) {
+                  if (a.total_ns != b.total_ns)
+                      return a.total_ns > b.total_ns;
+                  return a.name < b.name;
+              });
+    return rows;
+}
+
+void
+Tracer::clear()
+{
+    events_.clear();
+    open_.clear();
+}
+
+} // namespace obs
+} // namespace satori

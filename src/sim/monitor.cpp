@@ -2,6 +2,7 @@
 
 #include "satori/analysis/invariants.hpp"
 #include "satori/common/logging.hpp"
+#include "satori/obs/obs.hpp"
 
 namespace satori {
 namespace sim {
@@ -14,6 +15,7 @@ PerfMonitor::PerfMonitor(SimulatedServer& server) : server_(server)
 IntervalObservation
 PerfMonitor::observe(Seconds dt)
 {
+    SATORI_OBS_SPAN("sim.observe");
     const Seconds prev_time = server_.now();
     (void)prev_time; // consumed only by the audit hook
     IntervalObservation obs;

@@ -4,6 +4,7 @@
 
 #include "satori/analysis/invariants.hpp"
 #include "satori/common/logging.hpp"
+#include "satori/obs/obs.hpp"
 
 namespace satori {
 namespace sim {
@@ -128,6 +129,8 @@ SimulatedServer::allocationView(const Configuration& config,
 std::vector<Ips>
 SimulatedServer::step(Seconds dt)
 {
+    SATORI_OBS_SPAN("sim.step");
+    SATORI_OBS_METRIC(sim_steps.inc());
     SATORI_ASSERT(dt > 0.0);
     std::vector<Ips> measured(jobs_.size());
     for (std::size_t j = 0; j < jobs_.size(); ++j) {

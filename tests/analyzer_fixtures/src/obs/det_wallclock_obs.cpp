@@ -1,0 +1,11 @@
+// Fixture: identical clock reads to det_wallclock_bad.cpp, but the
+// path sits under src/obs/ where the wallclock allowlist applies.
+#include <chrono>
+#include <ctime>
+
+double sampleNow()
+{
+    const auto t = std::chrono::steady_clock::now();
+    (void)t;
+    return static_cast<double>(std::time(nullptr));
+}

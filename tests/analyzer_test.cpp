@@ -93,6 +93,22 @@ TEST(AnalyzerRules, GoodFixturesAreClean)
     }
 }
 
+TEST(AnalyzerRules, WallclockAllowlistCoversObsLayerOnly)
+{
+    // The same clock-reading code analyzed twice: under src/obs/ the
+    // det-wallclock allowlist applies (span timing lives there); at
+    // any other path the rule still fires.
+    const auto inside = analyzeFixture("src/obs/det_wallclock_obs.cpp");
+    EXPECT_EQ(countActive(inside), 0u)
+        << "src/obs/ fixture should be allowlisted; first finding: "
+        << (inside.empty() ? std::string("none")
+                           : inside.front().rule + ": " +
+                                 inside.front().message);
+    const auto outside =
+        activeRules(analyzeFixture("det_wallclock_bad.cpp"));
+    EXPECT_EQ(outside, std::set<std::string>{"det-wallclock"});
+}
+
 TEST(AnalyzerRules, HeaderPackFlagsGuardMismatchAndUsingNamespace)
 {
     const auto bad = activeRules(analyzeFixture("header_guard_bad.hpp"));

@@ -93,6 +93,11 @@ struct Options
     std::vector<std::string> wallclock_allow = {
         "tools/satori_sim.cpp",
         "bench/bench_util",
+        // The observability layer is the one library component allowed
+        // to read the steady clock: span timing lives there and never
+        // feeds back into decisions.
+        "src/obs/",
+        "include/satori/obs/",
     };
 };
 

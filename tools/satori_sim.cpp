@@ -16,6 +16,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -44,6 +45,10 @@ struct CliArgs
     std::string workload_file;
     std::string trace_path;
     std::string trace_format = "csv";
+    std::string metrics_out;
+    std::string metrics_format = "prom";
+    std::string trace_out;
+    std::string audit_out;
     std::string fault_plan_file;
     std::string fault_preset;
     std::uint64_t fault_seed = 0xFA17;
@@ -85,7 +90,14 @@ printUsage()
         "  --cores N --ways N --bw N [--power N]\n\n"
         "output:\n"
         "  --trace FILE          write a per-interval trace\n"
-        "  --trace-format F      csv | jsonl (default csv)\n");
+        "  --trace-format F      csv | jsonl (default csv)\n\n"
+        "observability (GUIDE.md sec. 11; needs SATORI_OBS=ON builds):\n"
+        "  --metrics-out FILE    write the end-of-run metrics snapshot\n"
+        "  --metrics-format F    prom | jsonl (default prom)\n"
+        "  --trace-out FILE      write Chrome trace_event JSON spans\n"
+        "                        (open in chrome://tracing or Perfetto)\n"
+        "  --audit-out FILE      write per-decision audit records "
+        "(JSONL)\n");
 }
 
 std::optional<CliArgs>
@@ -186,6 +198,22 @@ parse(int argc, char** argv)
             if (!(v = need_value(i)))
                 return std::nullopt;
             args.trace_format = v;
+        } else if (flag == "--metrics-out") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.metrics_out = v;
+        } else if (flag == "--metrics-format") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.metrics_format = v;
+        } else if (flag == "--trace-out") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.trace_out = v;
+        } else if (flag == "--audit-out") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.audit_out = v;
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
             return std::nullopt;
@@ -307,6 +335,25 @@ main(int argc, char** argv)
             opt.faults = &*injector;
         }
 
+        // --- Observability (spans / metrics / decision audit) --------
+        const bool obs_wanted = !args.metrics_out.empty() ||
+                                !args.trace_out.empty() ||
+                                !args.audit_out.empty();
+        if (obs_wanted) {
+#if !(defined(SATORI_OBS_ENABLED) && SATORI_OBS_ENABLED)
+            std::fprintf(stderr,
+                         "warning: built with SATORI_OBS=OFF - "
+                         "observability outputs will be empty\n");
+#endif
+            obs::Observability& o = obs::observability();
+            if (!args.trace_out.empty())
+                o.tracer().setEnabled(true);
+            if (!args.metrics_out.empty())
+                o.setMetricsEnabled(true);
+            if (!args.audit_out.empty())
+                o.audit().setEnabled(true);
+        }
+
         std::optional<harness::TraceWriter> trace;
         if (!args.trace_path.empty()) {
             trace.emplace(args.trace_path,
@@ -369,6 +416,58 @@ main(int argc, char** argv)
             trace->flush();
             std::printf("\ntrace: %zu records -> %s\n", trace->count(),
                         args.trace_path.c_str());
+        }
+
+        // --- Observability exports + end-of-run summaries ------------
+        if (!args.trace_out.empty()) {
+            obs::Tracer& tracer = obs::observability().tracer();
+            tracer.writeChromeTrace(args.trace_out);
+            std::printf("\nspans: %zu events -> %s\n",
+                        tracer.events().size(), args.trace_out.c_str());
+            TablePrinter spans(
+                {"span", "count", "total ms", "mean us", "max us"});
+            for (const auto& agg : tracer.aggregate()) {
+                const double mean_us =
+                    agg.count > 0 ? static_cast<double>(agg.total_ns) /
+                                        static_cast<double>(agg.count) /
+                                        1e3
+                                  : 0.0;
+                char total_ms[32], mean[32], max_us[32];
+                std::snprintf(total_ms, sizeof(total_ms), "%.3f",
+                              static_cast<double>(agg.total_ns) / 1e6);
+                std::snprintf(mean, sizeof(mean), "%.2f", mean_us);
+                std::snprintf(max_us, sizeof(max_us), "%.2f",
+                              static_cast<double>(agg.max_ns) / 1e3);
+                spans.addRow({agg.name, std::to_string(agg.count),
+                              total_ms, mean, max_us});
+            }
+            spans.print();
+        }
+        if (!args.metrics_out.empty()) {
+            const obs::MetricsSnapshot snap =
+                obs::observability().metrics().snapshot();
+            std::ofstream out(args.metrics_out);
+            if (!out.good())
+                SATORI_FATAL("cannot open metrics file: " +
+                             args.metrics_out);
+            out << (args.metrics_format == "jsonl" ? snap.jsonLines()
+                                                   : snap.prometheusText());
+            std::printf("\nmetrics: %zu instruments -> %s\n",
+                        snap.counters.size() + snap.gauges.size() +
+                            snap.histograms.size(),
+                        args.metrics_out.c_str());
+            TablePrinter counters({"counter", "value"});
+            for (const auto& c : snap.counters)
+                if (c.value > 0)
+                    counters.addRow({c.name, std::to_string(c.value)});
+            counters.print();
+        }
+        if (!args.audit_out.empty()) {
+            const obs::DecisionAuditChannel& audit =
+                obs::observability().audit();
+            audit.writeJsonl(args.audit_out);
+            std::printf("\naudit: %zu decision records -> %s\n",
+                        audit.records().size(), args.audit_out.c_str());
         }
         return 0;
     } catch (const FatalError& e) {
