@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Decision-loop latency microbenchmark: per-interval proxy-model
+ * update (fit) and acquisition-maximization cost as the training set
+ * grows, measured for both engine paths:
+ *
+ *   full - the pre-optimization behavior (EngineOptions::incremental
+ *          = false: every update refactorizes from scratch, O(n^3))
+ *          with the acquisition loop predicting one candidate at a
+ *          time, exactly as suggestIndex() used to;
+ *   fast - the incremental path (rank-1 Cholesky appends, O(n^2))
+ *          with the batched suggestIndex().
+ *
+ * Both paths produce bit-identical decisions (tests/perf_path_test
+ * pins that); this bench quantifies the latency gap and emits
+ * BENCH_decision_latency.json so CI can (a) require the fast path's
+ * model update (fit) to stay >= 5x quicker than a full refit at the
+ * largest sample count - a machine-independent ratio - and (b) flag a
+ * > 2x p95 regression of the fast path against the checked-in
+ * baseline.
+ *
+ * The gated ratio is fit p95, not end-to-end p95, deliberately. The
+ * acquisition step's cost is dominated by the K* kernel evaluations
+ * (n * candidates Matern evals), which both paths must perform and
+ * which batching cannot remove, and the "full" emulation below runs
+ * inside the current build, so it inherits every shared-path speedup
+ * (inlined matrix element access, batched kernel rows) that this
+ * change also delivered. Gating end-to-end would therefore punish
+ * improvements to the shared code. The fit ratio isolates the
+ * O(n^3) -> O(n^2) algorithmic change and is stable across builds;
+ * the end-to-end ratio is still printed and recorded for context.
+ *
+ * Timing uses obs::steadyNowNs(), the library's one sanctioned
+ * steady-clock entry point; nothing measured here feeds back into
+ * decisions.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "satori/satori.hpp"
+#include "satori/obs/tracer.hpp"
+
+using namespace satori;
+
+namespace {
+
+constexpr std::size_t kDims = 10;
+constexpr std::size_t kCandidates = 64;
+const std::size_t kSampleCounts[] = {25, 50, 100, 200};
+
+struct PathStats
+{
+    std::vector<double> fit_ns;
+    std::vector<double> acq_ns;
+    std::vector<double> total_ns;
+};
+
+/** p50/p95 summary of one (path, n) cell. */
+struct Point
+{
+    std::string path;
+    std::size_t n = 0;
+    double fit_p50 = 0.0, fit_p95 = 0.0;
+    double acq_p50 = 0.0, acq_p95 = 0.0;
+    double total_p50 = 0.0, total_p95 = 0.0;
+};
+
+RealVec
+randomInput(Rng& rng)
+{
+    RealVec x(kDims);
+    for (double& v : x)
+        v = rng.uniform();
+    return x;
+}
+
+/** Smooth synthetic objective with mild observation noise. */
+double
+syntheticTarget(const RealVec& x, Rng& rng)
+{
+    double d2 = 0.0;
+    for (const double v : x)
+        d2 += (v - 0.5) * (v - 0.5);
+    return -d2 + 0.05 * rng.gaussian();
+}
+
+bo::EngineOptions
+engineOptions(bool incremental)
+{
+    bo::EngineOptions opt;
+    opt.length_scale_grid.clear(); // isolate the per-update fit cost
+    opt.incremental = incremental;
+    return opt;
+}
+
+/**
+ * One timed decision interval at sample count @p n: append the n-th
+ * sample (fit) and maximize acquisition over the candidate set. The
+ * full path emulates the pre-optimization engine exactly: full refit
+ * plus one predict() per candidate.
+ */
+void
+runTrial(bool fast, std::size_t n, std::uint64_t seed, PathStats& stats)
+{
+    Rng rng(seed);
+    std::vector<RealVec> inputs;
+    std::vector<double> targets;
+    inputs.reserve(n);
+    targets.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        inputs.push_back(randomInput(rng));
+        targets.push_back(syntheticTarget(inputs.back(), rng));
+    }
+    std::vector<RealVec> candidates;
+    candidates.reserve(kCandidates);
+    for (std::size_t c = 0; c < kCandidates; ++c)
+        candidates.push_back(randomInput(rng));
+
+    bo::BoEngine engine(engineOptions(fast));
+    std::vector<RealVec> warm(inputs.begin(), inputs.end() - 1);
+    std::vector<double> warm_y(targets.begin(), targets.end() - 1);
+    engine.setSamples(warm, warm_y);
+
+    const std::uint64_t t0 = obs::steadyNowNs();
+    engine.addSample(inputs.back(), targets.back());
+    const std::uint64_t t1 = obs::steadyNowNs();
+    std::size_t pick = 0;
+    if (fast) {
+        pick = engine.suggestIndex(candidates);
+    } else {
+        // The pre-optimization acquisition loop: one GP solve per
+        // candidate.
+        const double best = engine.bestObserved();
+        double best_score = -1e300;
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
+            const auto pred = engine.predict(candidates[c]);
+            const double score = bo::acquisition(
+                engine.options().acquisition, pred, best,
+                engine.options().xi, engine.options().ucb_beta);
+            if (score > best_score) {
+                best_score = score;
+                pick = c;
+            }
+        }
+    }
+    const std::uint64_t t2 = obs::steadyNowNs();
+    // Keep the optimizer honest about the chosen index.
+    if (pick >= candidates.size())
+        std::abort();
+
+    stats.fit_ns.push_back(static_cast<double>(t1 - t0));
+    stats.acq_ns.push_back(static_cast<double>(t2 - t1));
+    stats.total_ns.push_back(static_cast<double>(t2 - t0));
+}
+
+Point
+summarize(const std::string& path, std::size_t n, const PathStats& s)
+{
+    Point p;
+    p.path = path;
+    p.n = n;
+    p.fit_p50 = percentile(s.fit_ns, 50.0);
+    p.fit_p95 = percentile(s.fit_ns, 95.0);
+    p.acq_p50 = percentile(s.acq_ns, 50.0);
+    p.acq_p95 = percentile(s.acq_ns, 95.0);
+    p.total_p50 = percentile(s.total_ns, 50.0);
+    p.total_p95 = percentile(s.total_ns, 95.0);
+    return p;
+}
+
+void
+writeJson(const std::string& file_path, const std::vector<Point>& points,
+          double fit_speedup, double total_speedup)
+{
+    std::ofstream out(file_path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", file_path.c_str());
+        std::exit(1);
+    }
+    out << "{\n";
+    out << "  \"bench\": \"decision_latency\",\n";
+    out << "  \"dims\": " << kDims << ",\n";
+    out << "  \"candidates\": " << kCandidates << ",\n";
+    out << "  \"points\": [\n";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Point& p = points[i];
+        char line[512];
+        std::snprintf(
+            line, sizeof(line),
+            "    {\"path\": \"%s\", \"n\": %zu, "
+            "\"fit_p50_ns\": %.0f, \"fit_p95_ns\": %.0f, "
+            "\"acq_p50_ns\": %.0f, \"acq_p95_ns\": %.0f, "
+            "\"total_p50_ns\": %.0f, \"total_p95_ns\": %.0f}%s\n",
+            p.path.c_str(), p.n, p.fit_p50, p.fit_p95, p.acq_p50,
+            p.acq_p95, p.total_p50, p.total_p95,
+            i + 1 < points.size() ? "," : "");
+        out << line;
+    }
+    out << "  ],\n";
+    char tail[160];
+    std::snprintf(tail, sizeof(tail),
+                  "  \"speedup_p95_fit_at_max_n\": %.2f,\n"
+                  "  \"speedup_p95_total_at_max_n\": %.2f\n",
+                  fit_speedup, total_speedup);
+    out << tail;
+    out << "}\n";
+}
+
+/**
+ * Minimal reader for the flat JSON this bench writes: returns
+ * fast-path total_p95_ns keyed by n. No general JSON parsing - the
+ * format is one point per line with fixed key order.
+ */
+std::map<std::size_t, double>
+readBaselineFastP95(const std::string& file_path)
+{
+    std::ifstream in(file_path);
+    if (!in) {
+        std::fprintf(stderr, "cannot read baseline %s\n",
+                     file_path.c_str());
+        std::exit(1);
+    }
+    std::map<std::size_t, double> out;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find("\"path\": \"fast\"") == std::string::npos)
+            continue;
+        std::size_t n = 0;
+        double total_p95 = 0.0;
+        const std::size_t n_at = line.find("\"n\": ");
+        const std::size_t t_at = line.find("\"total_p95_ns\": ");
+        if (n_at == std::string::npos || t_at == std::string::npos)
+            continue;
+        n = static_cast<std::size_t>(
+            std::strtoul(line.c_str() + n_at + 5, nullptr, 10));
+        total_p95 = std::strtod(line.c_str() + t_at + 16, nullptr);
+        out[n] = total_p95;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool full = false;
+    std::string json_path;
+    std::string check_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) {
+            full = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--check") == 0 &&
+                   i + 1 < argc) {
+            check_path = argv[++i];
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--full] [--json PATH] [--check BASELINE]\n"
+                "  --full           more trials per point\n"
+                "  --json PATH      write the results as JSON\n"
+                "  --check BASELINE fail on >2x fast-path p95 regression\n"
+                "                   vs BASELINE or <5x fit p95 speedup\n",
+                argv[0]);
+            return 2;
+        }
+    }
+
+    const std::size_t trials = full ? 60 : 25;
+    const std::size_t warmup = 3;
+
+    std::printf("Decision-loop latency: full (O(n^3) refit + looped "
+                "acquisition)\nvs fast (rank-1 append + batched "
+                "acquisition); %zu dims, %zu candidates, %zu trials\n\n",
+                kDims, kCandidates, trials);
+
+    std::vector<Point> points;
+    for (const bool fast : {false, true}) {
+        for (const std::size_t n : kSampleCounts) {
+            PathStats stats;
+            PathStats discard;
+            for (std::size_t t = 0; t < warmup + trials; ++t)
+                runTrial(fast, n, 1000 + t,
+                         t < warmup ? discard : stats);
+            points.push_back(
+                summarize(fast ? "fast" : "full", n, stats));
+        }
+    }
+
+    TablePrinter table({"path", "n", "fit p50 us", "fit p95 us",
+                        "acq p50 us", "acq p95 us", "total p95 us"});
+    for (const Point& p : points) {
+        table.addRow({p.path, std::to_string(p.n),
+                      TablePrinter::num(p.fit_p50 / 1e3, 1),
+                      TablePrinter::num(p.fit_p95 / 1e3, 1),
+                      TablePrinter::num(p.acq_p50 / 1e3, 1),
+                      TablePrinter::num(p.acq_p95 / 1e3, 1),
+                      TablePrinter::num(p.total_p95 / 1e3, 1)});
+    }
+    table.print();
+
+    const std::size_t max_n =
+        kSampleCounts[std::size(kSampleCounts) - 1];
+    double full_fit_p95 = 0.0, fast_fit_p95 = 0.0;
+    double full_total_p95 = 0.0, fast_total_p95 = 0.0;
+    for (const Point& p : points) {
+        if (p.n != max_n)
+            continue;
+        if (p.path == "full") {
+            full_fit_p95 = p.fit_p95;
+            full_total_p95 = p.total_p95;
+        } else {
+            fast_fit_p95 = p.fit_p95;
+            fast_total_p95 = p.total_p95;
+        }
+    }
+    const double fit_speedup = full_fit_p95 / fast_fit_p95;
+    const double total_speedup = full_total_p95 / fast_total_p95;
+    std::printf("\nfit p95 speedup at n=%zu: %.1fx (target >= 5x); "
+                "end-to-end: %.1fx\n",
+                max_n, fit_speedup, total_speedup);
+
+    if (!json_path.empty()) {
+        writeJson(json_path, points, fit_speedup, total_speedup);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    bool ok = true;
+    if (!check_path.empty()) {
+        if (fit_speedup < 5.0) {
+            std::printf("CHECK FAIL: fit speedup %.1fx < 5x\n",
+                        fit_speedup);
+            ok = false;
+        }
+        const auto baseline = readBaselineFastP95(check_path);
+        for (const Point& p : points) {
+            if (p.path != "fast")
+                continue;
+            const auto it = baseline.find(p.n);
+            if (it == baseline.end())
+                continue;
+            if (p.total_p95 > 2.0 * it->second) {
+                std::printf("CHECK FAIL: fast path n=%zu total p95 "
+                            "%.0f ns > 2x baseline %.0f ns\n",
+                            p.n, p.total_p95, it->second);
+                ok = false;
+            }
+        }
+        if (ok)
+            std::printf("CHECK PASS: >= 5x fit speedup and fast-path "
+                        "p95 within 2x of baseline\n");
+    }
+    return ok ? 0 : 1;
+}

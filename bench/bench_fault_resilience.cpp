@@ -103,25 +103,44 @@ main(int argc, char** argv)
     double sum_hardened = 0.0;
     double sum_vanilla = 0.0;
 
-    for (const auto& mix : mixes) {
+    struct Row
+    {
+        const char* label;
+        const char* policy;
+    };
+    const Row rows[] = {{"SATORI (hardened)", "SATORI"},
+                        {"SATORI (vanilla)", "SATORI-vanilla"},
+                        {"Equal", "Equal"}};
+
+    // Each mix's runs are independent: compute them on the worker
+    // pool into per-mix slots, then fold and print in mix order so
+    // the report matches the serial loop exactly.
+    struct MixOutcome
+    {
+        RunScore clean[3];
+        RunScore faulted[3];
+        faults::FaultStats stats;
+    };
+    std::vector<MixOutcome> outcomes(mixes.size());
+    harness::parallelFor(mixes.size(), opt.threads, [&](std::size_t m) {
+        const auto& mix = mixes[m];
         const auto plan =
             faults::FaultPlan::escalating(mix.jobs.size(), horizon);
-
-        struct Row
-        {
-            const char* label;
-            const char* policy;
-        };
-        const Row rows[] = {{"SATORI (hardened)", "SATORI"},
-                            {"SATORI (vanilla)", "SATORI-vanilla"},
-                            {"Equal", "Equal"}};
-        faults::FaultStats stats;
-        for (const auto& row : rows) {
-            const RunScore clean = runOne(platform, mix, row.policy,
+        for (std::size_t r = 0; r < 3; ++r) {
+            outcomes[m].clean[r] = runOne(platform, mix, rows[r].policy,
                                           duration, nullptr, fault_seed);
-            const RunScore faulted =
-                runOne(platform, mix, row.policy, duration, &plan,
-                       fault_seed, &stats);
+            outcomes[m].faulted[r] =
+                runOne(platform, mix, rows[r].policy, duration, &plan,
+                       fault_seed, &outcomes[m].stats);
+        }
+    });
+
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+        const auto& mix = mixes[m];
+        for (std::size_t r = 0; r < 3; ++r) {
+            const Row& row = rows[r];
+            const RunScore& clean = outcomes[m].clean[r];
+            const RunScore& faulted = outcomes[m].faulted[r];
             const double retained =
                 faulted.balanced() / clean.balanced();
             table.addRow({mix.label, row.label,
@@ -142,7 +161,7 @@ main(int argc, char** argv)
             }
         }
         std::printf("  %s faults: %s\n", mix.label.c_str(),
-                    stats.toString().c_str());
+                    outcomes[m].stats.toString().c_str());
     }
     table.print();
 

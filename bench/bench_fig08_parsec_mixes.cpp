@@ -30,8 +30,8 @@ main(int argc, char** argv)
     const Seconds duration = opt.full ? 60.0 : 20.0;
 
     const auto policies = harness::comparisonPolicyNames();
-    const auto comps = bench::sweepComparisons(platform, mixes,
-                                               policies, duration, 42);
+    const auto comps = bench::sweepComparisons(
+        platform, mixes, policies, duration, 42, 1, opt.threads);
 
     // Sort mixes by SATORI throughput (ascending), as in the figure.
     std::vector<std::size_t> order(comps.size());

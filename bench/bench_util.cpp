@@ -16,11 +16,18 @@ parseArgs(int argc, char** argv)
             opt.full = true;
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             opt.csv = true;
+        } else if (std::strcmp(argv[i], "--threads") == 0 &&
+                   i + 1 < argc) {
+            opt.threads =
+                static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--full] [--csv]\n"
-                         "  --full  paper-scale durations and mix counts\n"
-                         "  --csv   export the data as CSV\n",
+                         "usage: %s [--full] [--csv] [--threads N]\n"
+                         "  --full       paper-scale durations and mix counts\n"
+                         "  --csv        export the data as CSV\n"
+                         "  --threads N  parallel scenario workers (0 = all\n"
+                         "               hardware threads); results are\n"
+                         "               identical at every thread count\n",
                          argv[0]);
             std::exit(2);
         }
@@ -53,16 +60,22 @@ sweepComparisons(const PlatformSpec& platform,
                  const std::vector<workloads::JobMix>& mixes,
                  const std::vector<std::string>& policies,
                  Seconds duration, std::uint64_t seed_base,
-                 std::size_t stride)
+                 std::size_t stride, std::size_t threads)
 {
     harness::ExperimentOptions opt;
     opt.duration = duration;
-    std::vector<harness::MixComparison> out;
-    for (std::size_t m = 0; m < mixes.size(); m += stride) {
-        out.push_back(harness::comparePolicies(
+    // Pre-compute the strided mix indices so each worker derives its
+    // scenario (mix + seed) and output slot purely from its index.
+    std::vector<std::size_t> selected;
+    for (std::size_t m = 0; m < mixes.size(); m += stride)
+        selected.push_back(m);
+    std::vector<harness::MixComparison> out(selected.size());
+    harness::parallelFor(selected.size(), threads, [&](std::size_t i) {
+        const std::size_t m = selected[i];
+        out[i] = harness::comparePolicies(
             platform, mixes[m], policies, opt,
-            seed_base + static_cast<std::uint64_t>(m)));
-    }
+            seed_base + static_cast<std::uint64_t>(m));
+    });
     return out;
 }
 

@@ -21,9 +21,17 @@ struct BenchOptions
 {
     bool full = false; ///< Paper-scale durations/mix counts.
     bool csv = false;  ///< Also write <bench>.csv next to the binary.
+
+    /**
+     * Worker threads for the scenario sweeps (0 = one per hardware
+     * thread). Parallelism only reorders wall-clock work; each run's
+     * seed and output slot derive from its scenario index, so the
+     * printed numbers are identical at every thread count.
+     */
+    std::size_t threads = 1;
 };
 
-/** Parse --full / --csv; anything else prints usage and exits. */
+/** Parse --full / --csv / --threads N; else print usage and exit. */
 [[nodiscard]] BenchOptions parseArgs(int argc, char** argv);
 
 /** Print the standard experiment banner. */
@@ -42,12 +50,16 @@ void banner(const std::string& experiment, const std::string& claim,
  *
  * @param duration Simulated seconds per run.
  * @param stride Evaluate every stride-th mix (1 = all).
+ * @param threads Worker threads over the mixes (0 = hardware count);
+ *   results are slot-indexed so the output order and values match the
+ *   serial sweep exactly.
  */
 [[nodiscard]] std::vector<harness::MixComparison> sweepComparisons(
     const PlatformSpec& platform,
     const std::vector<workloads::JobMix>& mixes,
     const std::vector<std::string>& policies, Seconds duration,
-    std::uint64_t seed_base = 42, std::size_t stride = 1);
+    std::uint64_t seed_base = 42, std::size_t stride = 1,
+    std::size_t threads = 1);
 
 /** "x.y%" formatting shorthand. */
 [[nodiscard]] std::string pct(double fraction);

@@ -47,6 +47,15 @@ struct EngineOptions
 
     /** Run the grid refit every this many fits (0 = never). */
     std::size_t grid_refit_period = 20;
+
+    /**
+     * Use the O(n^2) incremental GP paths (rank-1 factor appends on
+     * addSample, factor-reusing target refreshes on setSamples with
+     * unchanged inputs). Results are bit-identical to the full-refit
+     * path; false restores the pre-optimization O(n^3)-per-update
+     * behavior and exists so tests can pin that equivalence.
+     */
+    bool incremental = true;
 };
 
 /**
@@ -112,13 +121,29 @@ class BoEngine
     [[nodiscard]] const EngineOptions& options() const { return options_; }
 
   private:
-    void refit();
+    /**
+     * Refit after inputs_/targets_ changed. @p appended is the just-
+     * appended input when the change was a single addSample (enables
+     * the O(n^2) rank-1 path without a prefix re-comparison), nullptr
+     * otherwise.
+     */
+    void refit(const RealVec* appended);
+
+    /** Shared acquisition maximization (penalties may be null). */
+    [[nodiscard]] std::size_t suggestImpl(
+        const std::vector<RealVec>& candidates,
+        const std::vector<double>* penalties) const;
 
     EngineOptions options_;
     std::unique_ptr<GaussianProcess> gp_;
     std::vector<RealVec> inputs_;
     std::vector<double> targets_;
     std::size_t fits_since_grid_ = 0;
+
+    /** Acquisition scratch, reused across suggest/probe calls. Makes
+     * const scoring methods unsafe to call concurrently on the same
+     * engine; distinct engines stay independent. */
+    mutable std::vector<GpPrediction> preds_scratch_;
 };
 
 } // namespace bo

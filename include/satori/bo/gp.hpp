@@ -30,13 +30,26 @@ struct GpPrediction
 
 /**
  * Gaussian-process regression with a pluggable kernel and Gaussian
- * observation noise. fit() is a full refit (O(n^3)), matching
- * SATORI's software-based proxy-model reconstruction each iteration
- * (Sec. III-B); predictions are O(n) mean / O(n^2) variance.
+ * observation noise. fit() is a full refit (O(n^3)); the incremental
+ * paths (addObservation, fitIncremental) reuse the cached kernel
+ * matrix and extend the Cholesky factor in place, dropping the
+ * steady-state per-update cost to O(n^2) while producing results
+ * bit-identical to the full refit (the appended factor row is
+ * computed with exactly the refit's arithmetic). Predictions are
+ * O(n) mean / O(n^2) variance.
  *
  * Targets are internally standardized (zero mean, unit variance) so
  * kernel signal variance ~1 remains well-matched as the objective
- * scale changes with the dynamic weights.
+ * scale changes with the dynamic weights. The incremental paths
+ * re-standardize exactly on every update; when the target scale has
+ * drifted far from the scale at the last full factorization the
+ * update additionally refreshes the factorization from the cached
+ * kernel matrix (a numerical-hygiene backstop - the factor itself
+ * never depends on the targets, so this changes nothing observable).
+ *
+ * Thread-safety: const prediction methods reuse internal scratch
+ * buffers and are therefore NOT safe to call concurrently on the
+ * same instance; distinct instances are fully independent.
  */
 class GaussianProcess
 {
@@ -57,11 +70,52 @@ class GaussianProcess
     void fit(const std::vector<RealVec>& inputs,
              const std::vector<double>& targets);
 
+    /**
+     * Append one observation and update the fit in O(n^2): only the
+     * new cross-covariance row is computed, the Cholesky factor is
+     * extended in place, and the targets are re-standardized exactly.
+     * Falls back to a full refactorization from the cached kernel
+     * matrix when the rank-1 update hits an SPD failure (e.g. a
+     * duplicated input at zero jitter) or the target scale has
+     * drifted past the tolerance. Results are bit-identical to
+     * fit() on the extended training set either way.
+     */
+    void addObservation(const RealVec& x, double target);
+
+    /**
+     * Like fit(), but recognizes two cheap relationships between
+     * @p inputs and the currently fitted training set:
+     *  - identical inputs: only the targets changed (SATORI's
+     *    re-weighted per-interval reconstruction), so the cached
+     *    factorization is reused and only the O(n^2) standardize +
+     *    solve re-runs;
+     *  - one appended input: the rank-1 addObservation path.
+     * Anything else (trimmed window, reordered samples) takes the
+     * full O(n^3) refit. Equality is bitwise, so a false negative
+     * merely costs a full refit, never correctness.
+     */
+    void fitIncremental(const std::vector<RealVec>& inputs,
+                        const std::vector<double>& targets);
+
     /** True once fit() succeeded with at least one sample. */
     [[nodiscard]] bool isFitted() const { return fitted_; }
 
     /** Posterior mean/variance at @p x (in the original target scale). */
     [[nodiscard]] GpPrediction predict(const RealVec& x) const;
+
+    /**
+     * Posterior at every query point, batched: one cross-covariance
+     * matrix K* for all points and one blocked triangular solve,
+     * bit-identical to calling predict() per point but without the
+     * per-point allocations. Scratch is reused across calls (see the
+     * class comment on thread-safety).
+     */
+    void predictBatchInto(const std::vector<RealVec>& xs,
+                          std::vector<GpPrediction>& out) const;
+
+    /** Convenience predictBatchInto returning a fresh vector. */
+    [[nodiscard]] std::vector<GpPrediction> predictBatch(
+        const std::vector<RealVec>& xs) const;
 
     /** Log marginal likelihood of the current fit (standardized y). */
     [[nodiscard]] double logMarginalLikelihood() const;
@@ -82,7 +136,32 @@ class GaussianProcess
     [[nodiscard]] const Kernel& kernel() const { return *kernel_; }
 
   private:
+    /** Full fit of inputs_/y_raw_: rebuild the kernel cache + factor. */
     void fitStandardized();
+
+    /** Fill k_cache_ from kernel_/inputs_ (noise on the diagonal). */
+    void buildKernelCache();
+
+    /** Factorize k_cache_ from scratch and finish the fit. */
+    void refitFromCache();
+
+    /** Re-standardize y_raw_ and re-solve alpha with the current factor. */
+    void standardizeAndSolve();
+
+    /**
+     * Grow k_cache_/inputs_ by @p x and try the O(n^2) factor append;
+     * false means the factor needs a fresh jitter-escalated
+     * refactorization (refitFromCache) - the cache and inputs are
+     * extended either way.
+     */
+    [[nodiscard]] bool tryExtendFactor(const RealVec& x);
+
+    /** Target scale moved too far from the last full factorization? */
+    [[nodiscard]] bool scaleDrifted() const;
+
+    /** inputs_[0..n) bitwise-equal to other[0..n)? */
+    [[nodiscard]] bool samePrefix(const std::vector<RealVec>& other,
+                                  std::size_t n) const;
 
     std::unique_ptr<Kernel> kernel_;
     double noise_variance_;
@@ -96,6 +175,19 @@ class GaussianProcess
     std::unique_ptr<linalg::Cholesky> chol_;
     std::vector<double> alpha_;   // K^-1 y_std
     double log_marginal_ = 0.0;
+
+    /** Kernel matrix + noise diagonal (no jitter) for the current
+     * inputs_: lets incremental updates and SPD-failure fallbacks
+     * skip the O(n^2) kernel re-evaluation. */
+    linalg::Matrix k_cache_;
+
+    /** y_scale_ at the last full factorization (drift anchor). */
+    double anchor_scale_ = 1.0;
+
+    // Prediction scratch (not copied; see thread-safety note above).
+    mutable linalg::Matrix kstar_scratch_;
+    mutable linalg::Matrix v_scratch_;
+    mutable std::vector<double> vv_scratch_;
 };
 
 } // namespace bo

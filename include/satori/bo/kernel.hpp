@@ -25,6 +25,17 @@ class Kernel
     /** Covariance between inputs @p a and @p b (equal length). */
     [[nodiscard]] virtual double covariance(const RealVec& a, const RealVec& b) const = 0;
 
+    /**
+     * One covariance row: out[i] = k(x, pts[i]) for every point. Each
+     * element is computed with exactly covariance()'s arithmetic (the
+     * batching only amortizes the virtual dispatch and keeps the
+     * distance loop inlined), so results are bit-identical to calling
+     * covariance() per point. @pre out has room for pts.size() values.
+     */
+    virtual void covarianceRow(const RealVec& x,
+                               const std::vector<RealVec>& pts,
+                               double* out) const;
+
     /** k(x, x): the signal variance. */
     [[nodiscard]] virtual double variance() const = 0;
 
@@ -54,6 +65,8 @@ class Matern52Kernel final : public Kernel
                             double signal_variance = 1.0);
 
     [[nodiscard]] double covariance(const RealVec& a, const RealVec& b) const override;
+    void covarianceRow(const RealVec& x, const std::vector<RealVec>& pts,
+                       double* out) const override;
     [[nodiscard]] double variance() const override { return signal_variance_; }
     [[nodiscard]] std::unique_ptr<Kernel> withLengthScale(double ls) const override;
     [[nodiscard]] double lengthScale() const override { return length_scale_; }

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * A fixed-size thread pool for embarrassingly parallel experiment
+ * fan-out (multi-seed repeats, multi-mix benchmark sweeps).
+ *
+ * Determinism contract: parallelism here never changes results. Each
+ * work item derives everything from its index (seed, mix, output
+ * slot), writes only to its own pre-sized slot, and aggregation
+ * happens afterwards in index order on the calling thread. That makes
+ * statistics bit-identical to a serial loop at every thread count -
+ * the property tests/harness_test.cpp pins.
+ *
+ * Work items must not share mutable state. In particular the obs
+ * layer's tracer/audit sinks and ExperimentOptions' on_interval /
+ * trace / faults hooks are process- or run-shared; callers that set
+ * any of those must run serially (repeatPolicy enforces this).
+ */
+
+#ifndef SATORI_HARNESS_PARALLEL_HPP
+#define SATORI_HARNESS_PARALLEL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace satori {
+namespace harness {
+
+/**
+ * Worker count used when a caller passes threads = 0: the
+ * SATORI_THREADS environment variable when set to a positive integer,
+ * else std::thread::hardware_concurrency(), else 1.
+ */
+[[nodiscard]] std::size_t defaultThreadCount();
+
+/**
+ * A fixed-size pool that executes one batch of index-addressed work.
+ *
+ * Workers claim indices [0, count) from a shared atomic-free counter
+ * (mutex-protected; the work items dominate, not the claim). The
+ * first exception thrown by any work item is captured and rethrown
+ * from forEachIndex() on the calling thread; remaining indices are
+ * abandoned.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p workers threads (at least 1). */
+    explicit ThreadPool(std::size_t workers);
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /** Joins all workers; pending batches must have completed. */
+    ~ThreadPool();
+
+    /** Number of worker threads. */
+    [[nodiscard]] std::size_t workerCount() const { return threads_.size(); }
+
+    /**
+     * Run fn(i) for every i in [0, count), distributing indices over
+     * the workers, and block until all complete. Rethrows the first
+     * work-item exception. Not reentrant: one batch at a time.
+     */
+    void forEachIndex(std::size_t count,
+                      const std::function<void(std::size_t)>& fn);
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable work_cv_;  ///< Signals workers: batch ready/stop.
+    std::condition_variable done_cv_;  ///< Signals caller: batch drained.
+    const std::function<void(std::size_t)>* fn_ = nullptr;
+    std::size_t count_ = 0;       ///< Size of the current batch.
+    std::size_t next_ = 0;        ///< Next unclaimed index.
+    std::size_t in_flight_ = 0;   ///< Indices claimed but not finished.
+    std::uint64_t generation_ = 0; ///< Bumped per batch to wake workers.
+    std::exception_ptr first_error_;
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(i) for i in [0, count) on up to @p threads workers
+ * (0 = defaultThreadCount()). Runs inline on the calling thread when
+ * the effective worker count or @p count is <= 1, so single-threaded
+ * callers pay no thread overhead and sanitizer-free stacks stay
+ * simple. Rethrows the first work-item exception.
+ */
+void parallelFor(std::size_t count, std::size_t threads,
+                 const std::function<void(std::size_t)>& fn);
+
+} // namespace harness
+} // namespace satori
+
+#endif // SATORI_HARNESS_PARALLEL_HPP

@@ -49,13 +49,22 @@ struct RepeatedResult
 /**
  * Run @p policy_name on the scenario once per seed in
  * [seed0, seed0 + runs) and aggregate.
+ *
+ * @p threads caps the worker pool for the runs (0 = one worker per
+ * hardware thread, or SATORI_THREADS when set). Each run's seed and
+ * result slot derive from its index and the per-run statistics are
+ * folded in index order afterwards, so the aggregate is bit-identical
+ * at every thread count. Runs fall back to serial execution whenever
+ * @p options carries shared mutable sinks (trace, faults,
+ * on_interval) - those hooks are written for one run at a time.
  */
 RepeatedResult repeatPolicy(const PlatformSpec& platform,
                             const workloads::JobMix& mix,
                             const std::string& policy_name,
                             const ExperimentOptions& options,
                             std::size_t runs, std::uint64_t seed0 = 42,
-                            core::SatoriOptions satori_options = {});
+                            core::SatoriOptions satori_options = {},
+                            std::size_t threads = 1);
 
 } // namespace harness
 } // namespace satori

@@ -46,8 +46,60 @@ class Cholesky
      */
     [[nodiscard]] double conditionEstimate() const;
 
+    /**
+     * Rank-1 append: extend the factor of an n x n matrix A to the
+     * factor of the (n+1) x (n+1) matrix
+     *
+     *     [ A          cross ]
+     *     [ cross^T    diag  ]
+     *
+     * in O(n^2) via one forward-substitution pass, instead of the
+     * O(n^3) full refactorization. The appended row is computed with
+     * exactly the same arithmetic (and in the same order) as a fresh
+     * factorization at the current jitter, so on success the factor,
+     * logDet() and all solves are bit-identical to constructing
+     * Cholesky on the extended matrix - provided that fresh
+     * construction would have landed on the same jitter, which it
+     * does: a failure of the leading n x n block at a smaller jitter
+     * replays identically on the extended matrix.
+     *
+     * SPD-failure semantics mirror construction: if the new pivot is
+     * not strictly positive (or not finite) at the current jitter,
+     * the update refuses, the factor is left untouched, and false is
+     * returned - the caller must refactorize from scratch so the
+     * jitter-escalation ladder can run on the full matrix.
+     *
+     * @param cross Cross-covariances against the existing n rows.
+     * @param diag New diagonal entry (noise included, jitter not).
+     * @return true if the factor was extended.
+     */
+    [[nodiscard]] bool update(const std::vector<double>& cross, double diag);
+
     /** Solve L y = b (forward substitution). */
     [[nodiscard]] std::vector<double> solveLower(const std::vector<double>& b) const;
+
+    /**
+     * Blocked multi-RHS forward substitution: solve L y = b for every
+     * *row* of @p b (an m x n matrix of m right-hand sides), returning
+     * an m x n matrix whose rows are the solutions. Each system is
+     * solved with exactly solveLower()'s arithmetic (same subtraction
+     * order, one division per element), so results are bit-identical
+     * to m independent solveLower() calls - the batching only changes
+     * the memory layout the work runs over.
+     * @pre b.cols() == n.
+     */
+    [[nodiscard]] Matrix solveLowerMulti(const Matrix& b) const;
+
+    /**
+     * The blocked kernel behind solveLowerMulti: writes the solutions
+     * TRANSPOSED, as the *columns* of the n x m matrix @p out, reusing
+     * its storage. The transposed layout keeps all m systems adjacent
+     * in the innermost loop (one row of @p out), which is what lets
+     * the substitution vectorize across right-hand sides; per-system
+     * arithmetic order is unchanged, so out(i, c) is bit-identical to
+     * solveLower(row c of b)[i].
+     */
+    void solveLowerMultiInto(const Matrix& b, Matrix& out) const;
 
     /** Solve L^T x = b (backward substitution). */
     [[nodiscard]] std::vector<double> solveUpper(const std::vector<double>& b) const;

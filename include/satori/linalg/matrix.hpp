@@ -33,11 +33,20 @@ class Matrix
     /** Number of columns. */
     [[nodiscard]] std::size_t cols() const { return cols_; }
 
-    /** Mutable element access (no bounds check in release builds). */
-    double& operator()(std::size_t r, std::size_t c);
+    /** Mutable element access (no bounds check in release builds).
+     * Defined inline: element access dominates the factorization and
+     * triangular-solve kernels, so it must compile down to one
+     * indexed load/store rather than a function call. */
+    double& operator()(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
 
     /** Const element access. */
-    double operator()(std::size_t r, std::size_t c) const;
+    double operator()(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
 
     /** The identity matrix of size n. */
     [[nodiscard]] static Matrix identity(std::size_t n);
@@ -56,6 +65,19 @@ class Matrix
 
     /** Raw storage (row-major), mainly for tests. */
     [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+    /** Pointer to the start of row @p r. Rows are contiguous; distinct
+     * rows never overlap, which lets kernels assert no-aliasing. */
+    [[nodiscard]] double* rowPtr(std::size_t r)
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /** Const pointer to the start of row @p r. */
+    [[nodiscard]] const double* rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
 
   private:
     std::size_t rows_ = 0;

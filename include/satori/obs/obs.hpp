@@ -53,6 +53,8 @@ struct LibraryMetrics
     Counter& bo_grid_refits;         ///< Hyperparameter grid refits.
     Counter& bo_suggests;            ///< Acquisition maximizations.
     Counter& gp_fits;                ///< GP Cholesky factorizations.
+    Counter& gp_incremental_updates; ///< O(n^2) rank-1 GP appends.
+    Counter& gp_refresh_solves;      ///< Factor-reusing target refreshes.
     Counter& guard_healthy;          ///< Telemetry samples passed.
     Counter& guard_repaired;         ///< Telemetry samples repaired.
     Counter& guard_unusable;         ///< Telemetry samples rejected.

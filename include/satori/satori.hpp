@@ -81,6 +81,7 @@
 
 #include "satori/harness/experiment.hpp"
 #include "satori/harness/offline_eval.hpp"
+#include "satori/harness/parallel.hpp"
 #include "satori/harness/repeat.hpp"
 #include "satori/harness/report.hpp"
 #include "satori/harness/scenarios.hpp"

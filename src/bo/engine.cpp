@@ -27,7 +27,7 @@ BoEngine::setSamples(const std::vector<RealVec>& inputs,
         inputs, targets, __FILE__, __LINE__));
     inputs_ = inputs;
     targets_ = targets;
-    refit();
+    refit(nullptr);
 }
 
 void
@@ -35,11 +35,11 @@ BoEngine::addSample(const RealVec& input, double target)
 {
     inputs_.push_back(input);
     targets_.push_back(target);
-    refit();
+    refit(&inputs_.back());
 }
 
 void
-BoEngine::refit()
+BoEngine::refit(const RealVec* appended)
 {
     SATORI_OBS_SPAN("bo.fit");
     SATORI_OBS_METRIC(bo_fits.inc());
@@ -53,8 +53,12 @@ BoEngine::refit()
         gp_->fitWithLengthScaleGrid(inputs_, targets_,
                                     options_.length_scale_grid);
         fits_since_grid_ = 0;
-    } else {
+    } else if (!options_.incremental) {
         gp_->fit(inputs_, targets_);
+    } else if (appended != nullptr && gp_->isFitted()) {
+        gp_->addObservation(*appended, targets_.back());
+    } else {
+        gp_->fitIncremental(inputs_, targets_);
     }
 }
 
@@ -77,13 +81,20 @@ BoEngine::bestIndex() const
 std::size_t
 BoEngine::suggestIndex(const std::vector<RealVec>& candidates) const
 {
-    return suggestIndex(candidates,
-                        std::vector<double>(candidates.size(), 0.0));
+    return suggestImpl(candidates, nullptr);
 }
 
 std::size_t
 BoEngine::suggestIndex(const std::vector<RealVec>& candidates,
                        const std::vector<double>& penalties) const
+{
+    SATORI_ASSERT(penalties.size() == candidates.size());
+    return suggestImpl(candidates, &penalties);
+}
+
+std::size_t
+BoEngine::suggestImpl(const std::vector<RealVec>& candidates,
+                      const std::vector<double>* penalties) const
 {
     SATORI_OBS_SPAN("bo.acquisition");
     SATORI_OBS_METRIC(bo_suggests.inc());
@@ -91,16 +102,16 @@ BoEngine::suggestIndex(const std::vector<RealVec>& candidates,
         static_cast<double>(candidates.size())));
     SATORI_ASSERT(ready());
     SATORI_ASSERT(!candidates.empty());
-    SATORI_ASSERT(penalties.size() == candidates.size());
     const double best = bestObserved();
+    gp_->predictBatchInto(candidates, preds_scratch_);
     double best_score = -std::numeric_limits<double>::infinity();
     std::size_t best_idx = 0;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
-        const auto pred = gp_->predict(candidates[i]);
-        const double score =
-            acquisition(options_.acquisition, pred, best, options_.xi,
-                        options_.ucb_beta) -
-            penalties[i];
+        double score = acquisition(options_.acquisition,
+                                   preds_scratch_[i], best, options_.xi,
+                                   options_.ucb_beta);
+        if (penalties != nullptr)
+            score -= (*penalties)[i];
         if (score > best_score) {
             best_score = score;
             best_idx = i;
@@ -121,10 +132,11 @@ BoEngine::probeMeans(const std::vector<RealVec>& probes) const
 {
     SATORI_OBS_SPAN("bo.probe");
     SATORI_ASSERT(ready());
+    gp_->predictBatchInto(probes, preds_scratch_);
     std::vector<double> means;
     means.reserve(probes.size());
-    for (const auto& p : probes)
-        means.push_back(gp_->predict(p).mean);
+    for (const auto& pred : preds_scratch_)
+        means.push_back(pred.mean);
     return means;
 }
 

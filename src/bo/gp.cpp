@@ -1,6 +1,8 @@
 #include "satori/bo/gp.hpp"
 
 #include <cmath>
+#include <cstring>
+#include <limits>
 
 #include "satori/analysis/invariants.hpp"
 #include "satori/common/logging.hpp"
@@ -10,6 +12,20 @@
 
 namespace satori {
 namespace bo {
+
+namespace {
+
+/**
+ * How far the target scale may drift from the scale at the last full
+ * factorization before an incremental update also refreshes the
+ * factorization. The factor never depends on the targets, so this is
+ * numerical hygiene only - it changes nothing observable - but it
+ * bounds how long a factor extended purely by rank-1 appends lives
+ * while the objective magnitude moves by orders of magnitude.
+ */
+constexpr double kScaleDriftTolerance = 32.0;
+
+} // namespace
 
 double
 GpPrediction::stddev() const
@@ -27,22 +43,23 @@ GaussianProcess::GaussianProcess(std::unique_ptr<Kernel> kernel,
 
 GaussianProcess::GaussianProcess(const GaussianProcess& other)
     : kernel_(other.kernel_->clone()),
-      noise_variance_(other.noise_variance_), fitted_(false)
+      noise_variance_(other.noise_variance_), fitted_(other.fitted_),
+      inputs_(other.inputs_), y_raw_(other.y_raw_), y_std_(other.y_std_),
+      y_mean_(other.y_mean_), y_scale_(other.y_scale_),
+      chol_(other.chol_
+                ? std::make_unique<linalg::Cholesky>(*other.chol_)
+                : nullptr),
+      alpha_(other.alpha_), log_marginal_(other.log_marginal_),
+      k_cache_(other.k_cache_), anchor_scale_(other.anchor_scale_)
 {
-    if (other.fitted_)
-        fit(other.inputs_, other.y_raw_);
 }
 
 GaussianProcess&
 GaussianProcess::operator=(const GaussianProcess& other)
 {
     if (this != &other) {
-        kernel_ = other.kernel_->clone();
-        noise_variance_ = other.noise_variance_;
-        fitted_ = false;
-        chol_.reset();
-        if (other.fitted_)
-            fit(other.inputs_, other.y_raw_);
+        GaussianProcess copy(other);
+        *this = std::move(copy);
     }
     return *this;
 }
@@ -61,11 +78,47 @@ GaussianProcess::fit(const std::vector<RealVec>& inputs,
 void
 GaussianProcess::fitStandardized()
 {
+    buildKernelCache();
+    refitFromCache();
+}
+
+void
+GaussianProcess::buildKernelCache()
+{
+    const std::size_t n = inputs_.size();
+    k_cache_ = linalg::Matrix(n, n);
+    // Row-at-a-time through the batched kernel; symmetric entries are
+    // recomputed rather than mirrored, which is bitwise-identical for
+    // a stationary kernel (the distance accumulation sees the same
+    // operands) and keeps every write contiguous.
+    for (std::size_t i = 0; i < n; ++i) {
+        kernel_->covarianceRow(inputs_[i], inputs_, &k_cache_(i, 0));
+        k_cache_(i, i) += noise_variance_;
+    }
+}
+
+void
+GaussianProcess::refitFromCache()
+{
     SATORI_OBS_SPAN("gp.fit");
     const std::size_t n = inputs_.size();
     SATORI_OBS_METRIC(gp_fits.inc());
     SATORI_OBS_METRIC(
         gp_training_size.observe(static_cast<double>(n)));
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkKernelMatrix(
+        k_cache_, __FILE__, __LINE__));
+    chol_ = std::make_unique<linalg::Cholesky>(k_cache_);
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkCholesky(
+        chol_->jitter(), chol_->conditionEstimate(), n, __FILE__,
+        __LINE__));
+    standardizeAndSolve();
+    anchor_scale_ = y_scale_;
+}
+
+void
+GaussianProcess::standardizeAndSolve()
+{
+    const std::size_t n = inputs_.size();
     y_mean_ = mean(y_raw_);
     y_scale_ = stddev(y_raw_);
     if (y_scale_ < 1e-12)
@@ -73,22 +126,6 @@ GaussianProcess::fitStandardized()
     y_std_.resize(n);
     for (std::size_t i = 0; i < n; ++i)
         y_std_[i] = (y_raw_[i] - y_mean_) / y_scale_;
-
-    linalg::Matrix k(n, n);
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = i; j < n; ++j) {
-            const double v = kernel_->covariance(inputs_[i], inputs_[j]);
-            k(i, j) = v;
-            k(j, i) = v;
-        }
-        k(i, i) += noise_variance_;
-    }
-    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkKernelMatrix(
-        k, __FILE__, __LINE__));
-    chol_ = std::make_unique<linalg::Cholesky>(std::move(k));
-    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkCholesky(
-        chol_->jitter(), chol_->conditionEstimate(), n, __FILE__,
-        __LINE__));
     alpha_ = chol_->solve(y_std_);
 
     // log p(y|X) = -0.5 y^T alpha - 0.5 log|K| - n/2 log(2 pi)
@@ -98,14 +135,130 @@ GaussianProcess::fitStandardized()
     fitted_ = true;
 }
 
+bool
+GaussianProcess::tryExtendFactor(const RealVec& x)
+{
+    const std::size_t n = inputs_.size();
+    // The new row, computed exactly as a fresh kernel build would:
+    // upper-triangle order is k(existing_i, new), diagonal gets the
+    // kernel self-covariance first, then the noise added on top.
+    std::vector<double> cross(n);
+    kernel_->covarianceRow(x, inputs_, cross.data());
+    double diag = kernel_->covariance(x, x);
+    diag += noise_variance_;
+
+    linalg::Matrix grown(n + 1, n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j)
+            grown(i, j) = k_cache_(i, j);
+        grown(i, n) = cross[i];
+        grown(n, i) = cross[i];
+    }
+    grown(n, n) = diag;
+    k_cache_ = std::move(grown);
+    inputs_.push_back(x);
+    return chol_->update(cross, diag);
+}
+
+bool
+GaussianProcess::scaleDrifted() const
+{
+    return y_scale_ > anchor_scale_ * kScaleDriftTolerance ||
+           y_scale_ * kScaleDriftTolerance < anchor_scale_;
+}
+
+bool
+GaussianProcess::samePrefix(const std::vector<RealVec>& other,
+                            std::size_t n) const
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (other[i].size() != inputs_[i].size())
+            return false;
+        // Bitwise comparison on purpose: equality must mean "the
+        // cached factorization is exactly the one a refit would
+        // build"; a spurious mismatch only costs a full refit.
+        if (std::memcmp(other[i].data(), inputs_[i].data(),
+                        inputs_[i].size() * sizeof(double)) != 0)
+            return false;
+    }
+    return true;
+}
+
+void
+GaussianProcess::addObservation(const RealVec& x, double target)
+{
+    if (!fitted_) {
+        inputs_.assign(1, x);
+        y_raw_.assign(1, target);
+        fitStandardized();
+        return;
+    }
+    const bool extended = tryExtendFactor(x);
+    y_raw_.push_back(target);
+    if (!extended) {
+        // SPD failure at the current jitter (e.g. a duplicated input
+        // at jitter 0): refactorize the cached matrix from scratch so
+        // the jitter-escalation ladder replays exactly as a fresh
+        // fit's would.
+        refitFromCache();
+        return;
+    }
+    SATORI_OBS_SPAN("gp.fit.incremental");
+    SATORI_OBS_METRIC(gp_incremental_updates.inc());
+    SATORI_AUDIT_HOOK(analysis::globalAuditor().checkCholesky(
+        chol_->jitter(), chol_->conditionEstimate(), inputs_.size(),
+        __FILE__, __LINE__));
+    standardizeAndSolve();
+    if (scaleDrifted())
+        refitFromCache();
+}
+
+void
+GaussianProcess::fitIncremental(const std::vector<RealVec>& inputs,
+                                const std::vector<double>& targets)
+{
+    SATORI_ASSERT(inputs.size() == targets.size());
+    SATORI_ASSERT(!inputs.empty());
+    if (fitted_ && inputs.size() == inputs_.size() &&
+        samePrefix(inputs, inputs_.size())) {
+        // Same geometry, new targets (the re-weighted per-interval
+        // reconstruction): reuse the factor, re-solve only.
+        SATORI_OBS_SPAN("gp.fit.refresh");
+        SATORI_OBS_METRIC(gp_refresh_solves.inc());
+        y_raw_ = targets;
+        standardizeAndSolve();
+        if (scaleDrifted())
+            refitFromCache();
+        return;
+    }
+    if (fitted_ && inputs.size() == inputs_.size() + 1 &&
+        samePrefix(inputs, inputs_.size())) {
+        const bool extended = tryExtendFactor(inputs.back());
+        y_raw_ = targets;
+        if (!extended) {
+            refitFromCache();
+            return;
+        }
+        SATORI_OBS_SPAN("gp.fit.incremental");
+        SATORI_OBS_METRIC(gp_incremental_updates.inc());
+        SATORI_AUDIT_HOOK(analysis::globalAuditor().checkCholesky(
+            chol_->jitter(), chol_->conditionEstimate(), inputs_.size(),
+            __FILE__, __LINE__));
+        standardizeAndSolve();
+        if (scaleDrifted())
+            refitFromCache();
+        return;
+    }
+    fit(inputs, targets);
+}
+
 GpPrediction
 GaussianProcess::predict(const RealVec& x) const
 {
     SATORI_ASSERT(fitted_);
     const std::size_t n = inputs_.size();
     std::vector<double> kstar(n);
-    for (std::size_t i = 0; i < n; ++i)
-        kstar[i] = kernel_->covariance(x, inputs_[i]);
+    kernel_->covarianceRow(x, inputs_, kstar.data());
 
     GpPrediction pred;
     pred.mean = y_mean_ + y_scale_ * linalg::dot(kstar, alpha_);
@@ -117,6 +270,49 @@ GaussianProcess::predict(const RealVec& x) const
         var_std, kernel_->variance(), __FILE__, __LINE__));
     pred.variance = std::max(var_std, 0.0) * y_scale_ * y_scale_;
     return pred;
+}
+
+void
+GaussianProcess::predictBatchInto(const std::vector<RealVec>& xs,
+                                  std::vector<GpPrediction>& out) const
+{
+    SATORI_ASSERT(fitted_);
+    const std::size_t n = inputs_.size();
+    const std::size_t m = xs.size();
+    if (kstar_scratch_.rows() != m || kstar_scratch_.cols() != n)
+        kstar_scratch_ = linalg::Matrix(m, n);
+    for (std::size_t c = 0; c < m; ++c)
+        kernel_->covarianceRow(xs[c], inputs_, &kstar_scratch_(c, 0));
+    chol_->solveLowerMultiInto(kstar_scratch_, v_scratch_);
+    out.resize(m);
+    // v_scratch_ is transposed (solutions in columns); accumulate
+    // ||v||^2 row by row so the inner loop stays contiguous while each
+    // candidate still sums in ascending i - the exact linalg::dot
+    // order predict() uses.
+    vv_scratch_.assign(m, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t c = 0; c < m; ++c)
+            vv_scratch_[c] += v_scratch_(i, c) * v_scratch_(i, c);
+    for (std::size_t c = 0; c < m; ++c) {
+        // Same accumulation order as linalg::dot in predict().
+        double mean_std = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            mean_std += kstar_scratch_(c, i) * alpha_[i];
+        out[c].mean = y_mean_ + y_scale_ * mean_std;
+        const double var_std = kernel_->variance() - vv_scratch_[c];
+        SATORI_AUDIT_HOOK(
+            analysis::globalAuditor().checkPosteriorVariance(
+                var_std, kernel_->variance(), __FILE__, __LINE__));
+        out[c].variance = std::max(var_std, 0.0) * y_scale_ * y_scale_;
+    }
+}
+
+std::vector<GpPrediction>
+GaussianProcess::predictBatch(const std::vector<RealVec>& xs) const
+{
+    std::vector<GpPrediction> out;
+    predictBatchInto(xs, out);
+    return out;
 }
 
 double
@@ -132,18 +328,42 @@ GaussianProcess::fitWithLengthScaleGrid(const std::vector<RealVec>& inputs,
                                         const std::vector<double>& grid)
 {
     SATORI_ASSERT(!grid.empty());
+    // Keep the best candidate's full fitted state as the grid runs so
+    // the winner can be restored directly instead of paying an extra
+    // O(n^3) refit at the end.
     double best_lml = -std::numeric_limits<double>::infinity();
     std::unique_ptr<Kernel> best_kernel;
+    std::unique_ptr<linalg::Cholesky> best_chol;
+    std::vector<double> best_alpha;
+    std::vector<double> best_y_std;
+    double best_y_mean = 0.0;
+    double best_y_scale = 1.0;
+    double best_anchor = 1.0;
+    linalg::Matrix best_cache;
     for (double ls : grid) {
         kernel_ = kernel_->withLengthScale(ls);
         fit(inputs, targets);
         if (log_marginal_ > best_lml) {
             best_lml = log_marginal_;
             best_kernel = kernel_->clone();
+            best_chol = std::make_unique<linalg::Cholesky>(*chol_);
+            best_alpha = alpha_;
+            best_y_std = y_std_;
+            best_y_mean = y_mean_;
+            best_y_scale = y_scale_;
+            best_anchor = anchor_scale_;
+            best_cache = k_cache_;
         }
     }
     kernel_ = std::move(best_kernel);
-    fit(inputs, targets);
+    chol_ = std::move(best_chol);
+    alpha_ = std::move(best_alpha);
+    y_std_ = std::move(best_y_std);
+    y_mean_ = best_y_mean;
+    y_scale_ = best_y_scale;
+    anchor_scale_ = best_anchor;
+    k_cache_ = std::move(best_cache);
+    log_marginal_ = best_lml;
 }
 
 } // namespace bo

@@ -8,6 +8,14 @@
 namespace satori {
 namespace bo {
 
+void
+Kernel::covarianceRow(const RealVec& x, const std::vector<RealVec>& pts,
+                      double* out) const
+{
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        out[i] = covariance(x, pts[i]);
+}
+
 Matern52Kernel::Matern52Kernel(double length_scale, double signal_variance)
     : length_scale_(length_scale), signal_variance_(signal_variance)
 {
@@ -20,6 +28,30 @@ Matern52Kernel::covariance(const RealVec& a, const RealVec& b) const
     const double r = euclideanDistance(a, b);
     const double z = std::sqrt(5.0) * r / length_scale_;
     return signal_variance_ * (1.0 + z + z * z / 3.0) * std::exp(-z);
+}
+
+void
+Matern52Kernel::covarianceRow(const RealVec& x,
+                              const std::vector<RealVec>& pts,
+                              double* out) const
+{
+    // Element-for-element the same expressions covariance() evaluates
+    // (sqrt(5) is a compile-time constant there too); batching only
+    // keeps the distance accumulation inlined in this loop instead of
+    // paying a virtual call + two function calls per point.
+    const std::size_t dims = x.size();
+    for (std::size_t p = 0; p < pts.size(); ++p) {
+        const RealVec& b = pts[p];
+        double d2 = 0.0;
+        for (std::size_t i = 0; i < dims; ++i) {
+            const double d = x[i] - b[i];
+            d2 += d * d;
+        }
+        const double r = std::sqrt(d2);
+        const double z = std::sqrt(5.0) * r / length_scale_;
+        out[p] = signal_variance_ * (1.0 + z + z * z / 3.0) *
+                 std::exp(-z);
+    }
 }
 
 std::unique_ptr<Kernel>

@@ -1,0 +1,120 @@
+#include "satori/harness/parallel.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "satori/common/logging.hpp"
+
+namespace satori {
+namespace harness {
+
+std::size_t
+defaultThreadCount()
+{
+    if (const char* env = std::getenv("SATORI_THREADS")) {
+        char* end = nullptr;
+        const long parsed = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && parsed > 0)
+            return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<std::size_t>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    SATORI_ASSERT(workers >= 1);
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] {
+            return stopping_ || generation_ != seen_generation;
+        });
+        if (stopping_)
+            return;
+        seen_generation = generation_;
+        while (next_ < count_ && !first_error_) {
+            const std::size_t index = next_++;
+            ++in_flight_;
+            lock.unlock();
+            std::exception_ptr error;
+            try {
+                (*fn_)(index);
+            } catch (...) {
+                error = std::current_exception();
+            }
+            lock.lock();
+            --in_flight_;
+            if (error && !first_error_)
+                first_error_ = error;
+        }
+        if (next_ >= count_ || first_error_)
+            done_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::forEachIndex(std::size_t count,
+                         const std::function<void(std::size_t)>& fn)
+{
+    if (count == 0)
+        return;
+    std::unique_lock<std::mutex> lock(mutex_);
+    SATORI_ASSERT(fn_ == nullptr); // one batch at a time
+    fn_ = &fn;
+    count_ = count;
+    next_ = 0;
+    in_flight_ = 0;
+    first_error_ = nullptr;
+    ++generation_;
+    work_cv_.notify_all();
+    done_cv_.wait(lock, [&] {
+        return in_flight_ == 0 && (next_ >= count_ || first_error_);
+    });
+    fn_ = nullptr;
+    count_ = 0;
+    next_ = 0;
+    const std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+parallelFor(std::size_t count, std::size_t threads,
+            const std::function<void(std::size_t)>& fn)
+{
+    if (threads == 0)
+        threads = defaultThreadCount();
+    if (threads > count)
+        threads = count;
+    if (threads <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(threads);
+    pool.forEachIndex(count, fn);
+}
+
+} // namespace harness
+} // namespace satori

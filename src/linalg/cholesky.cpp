@@ -51,6 +51,33 @@ Cholesky::tryFactorize(const Matrix& a, double jitter)
     return true;
 }
 
+bool
+Cholesky::update(const std::vector<double>& cross, double diag)
+{
+    const std::size_t n = l_.rows();
+    SATORI_ASSERT(cross.size() == n);
+    // The appended row of L is the forward-substitution solve
+    // L row = cross - element for element the same recurrence a fresh
+    // factorization runs for its last row, in the same order.
+    const std::vector<double> row = solveLower(cross);
+    // New pivot, accumulated exactly like tryFactorize's diagonal:
+    // start from a(n, n) + jitter, subtract squares in column order.
+    double pivot = diag + jitter_;
+    for (std::size_t k = 0; k < n; ++k)
+        pivot -= row[k] * row[k];
+    if (pivot <= 0.0 || !std::isfinite(pivot))
+        return false;
+    Matrix grown(n + 1, n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j <= i; ++j)
+            grown(i, j) = l_(i, j);
+    for (std::size_t k = 0; k < n; ++k)
+        grown(n, k) = row[k];
+    grown(n, n) = std::sqrt(pivot);
+    l_ = std::move(grown);
+    return true;
+}
+
 std::vector<double>
 Cholesky::solveLower(const std::vector<double>& b) const
 {
@@ -64,6 +91,44 @@ Cholesky::solveLower(const std::vector<double>& b) const
         y[i] = sum / l_(i, i);
     }
     return y;
+}
+
+Matrix
+Cholesky::solveLowerMulti(const Matrix& b) const
+{
+    Matrix transposed;
+    solveLowerMultiInto(b, transposed);
+    return transposed.transposed();
+}
+
+void
+Cholesky::solveLowerMultiInto(const Matrix& b, Matrix& out) const
+{
+    const std::size_t n = l_.rows();
+    const std::size_t m = b.rows();
+    SATORI_ASSERT(b.cols() == n);
+    if (out.rows() != n || out.cols() != m)
+        out = Matrix(n, m);
+    // Row i of `out` holds element i of every solution, so the two
+    // inner loops stream contiguously over all m systems at once.
+    // Per system this is exactly solveLower(): seed with b, subtract
+    // l(i,k) * y[k] in ascending k, divide by the pivot once. The
+    // restrict-qualified row pointers (rows of `out` never overlap)
+    // are what let the inner loops vectorize across systems.
+    for (std::size_t i = 0; i < n; ++i) {
+        double* __restrict row_i = out.rowPtr(i);
+        for (std::size_t c = 0; c < m; ++c)
+            row_i[c] = b(c, i);
+        for (std::size_t k = 0; k < i; ++k) {
+            const double lik = l_(i, k);
+            const double* __restrict row_k = out.rowPtr(k);
+            for (std::size_t c = 0; c < m; ++c)
+                row_i[c] -= lik * row_k[c];
+        }
+        const double lii = l_(i, i);
+        for (std::size_t c = 0; c < m; ++c)
+            row_i[c] /= lii;
+    }
 }
 
 std::vector<double>

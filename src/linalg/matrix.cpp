@@ -12,18 +12,6 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
 {
 }
 
-double&
-Matrix::operator()(std::size_t r, std::size_t c)
-{
-    return data_[r * cols_ + c];
-}
-
-double
-Matrix::operator()(std::size_t r, std::size_t c) const
-{
-    return data_[r * cols_ + c];
-}
-
 Matrix
 Matrix::identity(std::size_t n)
 {

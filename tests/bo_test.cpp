@@ -131,6 +131,281 @@ TEST(GpTest, LengthScaleGridImprovesMarginalLikelihood)
     EXPECT_GT(gp.kernel().lengthScale(), 0.01);
 }
 
+/** Deterministic pseudo-random d-dim input. */
+RealVec
+randomPoint(Rng& rng, std::size_t dims)
+{
+    RealVec x(dims);
+    for (double& v : x)
+        v = rng.uniform();
+    return x;
+}
+
+TEST(GpIncrementalTest, AddObservationMatchesFullRefitBitwise)
+{
+    // Randomized sequences, including a duplicated input (SPD-failure
+    // fallback) and a large target-scale shift (drift fallback): the
+    // incremental GP must match a from-scratch fit at every step -
+    // bitwise, because decision-trace stability depends on it.
+    Rng rng(31337);
+    const std::size_t dims = 4;
+    std::vector<RealVec> xs;
+    std::vector<double> ys;
+
+    GaussianProcess incremental(std::make_unique<Matern52Kernel>(0.5),
+                                0.05);
+    std::vector<RealVec> probes;
+    for (int p = 0; p < 8; ++p)
+        probes.push_back(randomPoint(rng, dims));
+
+    for (std::size_t step = 0; step < 40; ++step) {
+        RealVec x;
+        if (step == 15) {
+            x = xs[3]; // exact duplicate
+        } else {
+            x = randomPoint(rng, dims);
+        }
+        double y = rng.gaussian();
+        if (step >= 30)
+            y *= 1e6; // violent scale shift triggers the drift refresh
+        xs.push_back(x);
+        ys.push_back(y);
+
+        if (step == 0) {
+            incremental.fit(xs, ys);
+        } else {
+            incremental.addObservation(x, y);
+        }
+
+        GaussianProcess fresh(std::make_unique<Matern52Kernel>(0.5),
+                              0.05);
+        fresh.fit(xs, ys);
+        ASSERT_EQ(incremental.numSamples(), fresh.numSamples());
+        EXPECT_EQ(incremental.logMarginalLikelihood(),
+                  fresh.logMarginalLikelihood())
+            << "step " << step;
+        for (const auto& probe : probes) {
+            const auto pi = incremental.predict(probe);
+            const auto pf = fresh.predict(probe);
+            EXPECT_EQ(pi.mean, pf.mean) << "step " << step;
+            EXPECT_EQ(pi.variance, pf.variance) << "step " << step;
+        }
+    }
+}
+
+TEST(GpIncrementalTest, NearSingularDuplicatesStillMatchFullRefit)
+{
+    // Vanishing noise + duplicated inputs: the rank-1 append either
+    // succeeds with the same pivot arithmetic a fresh factorization
+    // would run, or refuses and falls back to the jitter-escalated
+    // refactorization. Both must equal the from-scratch fit bitwise.
+    Rng rng(99);
+    GaussianProcess incremental(std::make_unique<Matern52Kernel>(0.5),
+                                1e-12);
+    std::vector<RealVec> xs{randomPoint(rng, 2)};
+    std::vector<double> ys{rng.gaussian()};
+    incremental.fit(xs, ys);
+    for (int step = 0; step < 10; ++step) {
+        // Every other step repeats an existing input exactly.
+        const RealVec x = (step % 2 == 0)
+                              ? xs[static_cast<std::size_t>(step) / 2]
+                              : randomPoint(rng, 2);
+        xs.push_back(x);
+        ys.push_back(rng.gaussian());
+        incremental.addObservation(x, ys.back());
+
+        GaussianProcess fresh(std::make_unique<Matern52Kernel>(0.5),
+                              1e-12);
+        fresh.fit(xs, ys);
+        const RealVec probe = randomPoint(rng, 2);
+        EXPECT_EQ(incremental.predict(probe).mean,
+                  fresh.predict(probe).mean)
+            << "step " << step;
+        EXPECT_EQ(incremental.predict(probe).variance,
+                  fresh.predict(probe).variance)
+            << "step " << step;
+    }
+}
+
+TEST(GpIncrementalTest, FitIncrementalRefreshesTargetsOnSameInputs)
+{
+    // SATORI's hot path: identical inputs, re-weighted targets every
+    // interval. The refresh must reuse the factor yet agree with a
+    // full fit exactly.
+    Rng rng(4242);
+    std::vector<RealVec> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 25; ++i) {
+        xs.push_back(randomPoint(rng, 3));
+        ys.push_back(rng.gaussian());
+    }
+    GaussianProcess incremental(std::make_unique<Matern52Kernel>(0.5),
+                                0.05);
+    incremental.fitIncremental(xs, ys);
+
+    for (int round = 0; round < 5; ++round) {
+        for (double& y : ys)
+            y = rng.gaussian(0.0, 1.0 + round);
+        incremental.fitIncremental(xs, ys); // same inputs, new targets
+
+        GaussianProcess fresh(std::make_unique<Matern52Kernel>(0.5),
+                              0.05);
+        fresh.fit(xs, ys);
+        for (int p = 0; p < 6; ++p) {
+            const RealVec probe = randomPoint(rng, 3);
+            const auto pi = incremental.predict(probe);
+            const auto pf = fresh.predict(probe);
+            EXPECT_EQ(pi.mean, pf.mean);
+            EXPECT_EQ(pi.variance, pf.variance);
+        }
+    }
+
+    // Appended input: the prefix+1 detection takes the rank-1 path.
+    xs.push_back(randomPoint(rng, 3));
+    ys.push_back(rng.gaussian());
+    incremental.fitIncremental(xs, ys);
+    GaussianProcess fresh(std::make_unique<Matern52Kernel>(0.5), 0.05);
+    fresh.fit(xs, ys);
+    EXPECT_EQ(incremental.logMarginalLikelihood(),
+              fresh.logMarginalLikelihood());
+
+    // A trimmed window (different inputs) silently takes the full
+    // refit and still agrees.
+    std::vector<RealVec> trimmed(xs.begin() + 5, xs.end());
+    std::vector<double> trimmed_y(ys.begin() + 5, ys.end());
+    incremental.fitIncremental(trimmed, trimmed_y);
+    GaussianProcess fresh2(std::make_unique<Matern52Kernel>(0.5), 0.05);
+    fresh2.fit(trimmed, trimmed_y);
+    const RealVec probe = randomPoint(rng, 3);
+    EXPECT_EQ(incremental.predict(probe).mean,
+              fresh2.predict(probe).mean);
+}
+
+TEST(GpIncrementalTest, PredictBatchMatchesLoopedPredict)
+{
+    Rng rng(555);
+    std::vector<RealVec> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(randomPoint(rng, 5));
+        ys.push_back(rng.gaussian());
+    }
+    GaussianProcess gp(std::make_unique<Matern52Kernel>(0.5), 0.05);
+    gp.fit(xs, ys);
+
+    std::vector<RealVec> queries;
+    for (int q = 0; q < 33; ++q)
+        queries.push_back(randomPoint(rng, 5));
+
+    const auto batch = gp.predictBatch(queries);
+    ASSERT_EQ(batch.size(), queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+        const auto single = gp.predict(queries[q]);
+        EXPECT_EQ(batch[q].mean, single.mean) << q;
+        EXPECT_EQ(batch[q].variance, single.variance) << q;
+    }
+
+    // The into-variant reuses scratch across calls without cross-talk.
+    std::vector<GpPrediction> out;
+    gp.predictBatchInto(queries, out);
+    gp.predictBatchInto(queries, out);
+    ASSERT_EQ(out.size(), queries.size());
+    for (std::size_t q = 0; q < queries.size(); ++q)
+        EXPECT_EQ(out[q].mean, batch[q].mean);
+}
+
+TEST(GpIncrementalTest, GridFitCachingMatchesDirectBestFit)
+{
+    // fitWithLengthScaleGrid now restores the best candidate's cached
+    // state instead of re-fitting; the result must equal a direct fit
+    // at the winning length scale exactly.
+    Rng rng(808);
+    std::vector<RealVec> xs;
+    std::vector<double> ys;
+    for (int i = 0; i <= 12; ++i) {
+        const double x = i / 12.0;
+        xs.push_back({x});
+        ys.push_back(std::sin(3.0 * x) + 0.01 * rng.gaussian());
+    }
+    GaussianProcess grid_gp(std::make_unique<Matern52Kernel>(0.05),
+                            1e-4);
+    grid_gp.fitWithLengthScaleGrid(xs, ys, {0.05, 0.2, 0.5, 1.0});
+    const double winner = grid_gp.kernel().lengthScale();
+
+    GaussianProcess direct(std::make_unique<Matern52Kernel>(winner),
+                           1e-4);
+    direct.fit(xs, ys);
+    EXPECT_EQ(grid_gp.logMarginalLikelihood(),
+              direct.logMarginalLikelihood());
+    for (int p = 0; p < 5; ++p) {
+        const RealVec probe = randomPoint(rng, 1);
+        EXPECT_EQ(grid_gp.predict(probe).mean,
+                  direct.predict(probe).mean);
+        EXPECT_EQ(grid_gp.predict(probe).variance,
+                  direct.predict(probe).variance);
+    }
+
+    // Copies of a grid-fitted GP keep the fit without re-fitting.
+    GaussianProcess copy(grid_gp);
+    const RealVec probe{0.4};
+    EXPECT_EQ(copy.predict(probe).mean, grid_gp.predict(probe).mean);
+
+    // The grid GP remains incrementally updatable afterwards.
+    grid_gp.addObservation({1.1}, 0.5);
+    GaussianProcess extended(std::make_unique<Matern52Kernel>(winner),
+                             1e-4);
+    auto xs2 = xs;
+    auto ys2 = ys;
+    xs2.push_back({1.1});
+    ys2.push_back(0.5);
+    extended.fit(xs2, ys2);
+    EXPECT_EQ(grid_gp.predict(probe).mean,
+              extended.predict(probe).mean);
+}
+
+TEST(EngineIncrementalTest, IncrementalToggleDoesNotChangeSuggestions)
+{
+    // The engine-level pin: same samples, same candidates, identical
+    // suggestions and predictions with the fast paths on and off.
+    Rng rng(2718);
+    bo::EngineOptions fast_opt;
+    fast_opt.incremental = true;
+    bo::EngineOptions slow_opt = fast_opt;
+    slow_opt.incremental = false;
+    BoEngine fast(fast_opt);
+    BoEngine slow(slow_opt);
+
+    std::vector<RealVec> candidates;
+    for (int c = 0; c < 24; ++c)
+        candidates.push_back(randomPoint(rng, 3));
+
+    std::vector<RealVec> xs;
+    std::vector<double> ys;
+    for (int i = 0; i < 30; ++i) {
+        xs.push_back(randomPoint(rng, 3));
+        ys.push_back(rng.gaussian());
+        if (i % 3 == 0) {
+            // Exercise the setSamples reconstruction path too.
+            fast.setSamples(xs, ys);
+            slow.setSamples(xs, ys);
+        } else {
+            fast.addSample(xs.back(), ys.back());
+            slow.addSample(xs.back(), ys.back());
+        }
+        EXPECT_EQ(fast.suggestIndex(candidates),
+                  slow.suggestIndex(candidates));
+        const auto pf = fast.predict(candidates[0]);
+        const auto ps = slow.predict(candidates[0]);
+        EXPECT_EQ(pf.mean, ps.mean);
+        EXPECT_EQ(pf.variance, ps.variance);
+    }
+
+    // And the penalty overload agrees with the zero-penalty overload.
+    const std::vector<double> zero(candidates.size(), 0.0);
+    EXPECT_EQ(fast.suggestIndex(candidates),
+              fast.suggestIndex(candidates, zero));
+}
+
 TEST(AcquisitionTest, EiZeroWhenNoImprovementPossible)
 {
     GpPrediction p;

@@ -184,6 +184,171 @@ TEST_P(CholeskyProperty, RandomSpdSystemsSolve)
 INSTANTIATE_TEST_SUITE_P(Sizes, CholeskyProperty,
                          ::testing::Values(1, 2, 5, 10, 25, 60));
 
+/** Random SPD matrix A = B B^T + ridge*I. */
+Matrix
+randomSpd(std::size_t n, Rng& rng, double ridge)
+{
+    Matrix b(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            b(r, c) = rng.uniform(-1.0, 1.0);
+    Matrix a = b.multiply(b.transposed());
+    a.addDiagonal(ridge);
+    return a;
+}
+
+TEST(CholeskyUpdateTest, AppendMatchesFreshFactorizationBitwise)
+{
+    for (const std::size_t n : {1u, 3u, 8u, 20u}) {
+        Rng rng(7000 + n);
+        const Matrix big = randomSpd(n + 1, rng, double(n) + 1.0);
+        Matrix lead(n, n);
+        std::vector<double> cross(n);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c)
+                lead(r, c) = big(r, c);
+            cross[r] = big(r, n);
+        }
+
+        Cholesky incremental(lead);
+        ASSERT_TRUE(incremental.update(cross, big(n, n)));
+        const Cholesky fresh(big);
+
+        EXPECT_EQ(incremental.jitter(), fresh.jitter());
+        // Bit-identical factor, not merely close: every fast-path
+        // guarantee downstream (GP, decision traces) rests on this.
+        for (std::size_t r = 0; r <= n; ++r)
+            for (std::size_t c = 0; c <= n; ++c)
+                EXPECT_EQ(incremental.factor()(r, c), fresh.factor()(r, c))
+                    << "n=" << n << " (" << r << "," << c << ")";
+        EXPECT_EQ(incremental.logDet(), fresh.logDet());
+
+        std::vector<double> rhs(n + 1);
+        for (auto& v : rhs)
+            v = rng.uniform(-2.0, 2.0);
+        const auto si = incremental.solve(rhs);
+        const auto sf = fresh.solve(rhs);
+        for (std::size_t i = 0; i <= n; ++i)
+            EXPECT_EQ(si[i], sf[i]);
+    }
+}
+
+TEST(CholeskyUpdateTest, RepeatedAppendsMatchFreshAtEveryStep)
+{
+    Rng rng(7777);
+    const std::size_t target = 12;
+    const Matrix big = randomSpd(target, rng, double(target));
+
+    Matrix first(1, 1);
+    first(0, 0) = big(0, 0);
+    Cholesky incremental(first);
+    for (std::size_t n = 1; n < target; ++n) {
+        std::vector<double> cross(n);
+        for (std::size_t r = 0; r < n; ++r)
+            cross[r] = big(r, n);
+        ASSERT_TRUE(incremental.update(cross, big(n, n)));
+
+        Matrix lead(n + 1, n + 1);
+        for (std::size_t r = 0; r <= n; ++r)
+            for (std::size_t c = 0; c <= n; ++c)
+                lead(r, c) = big(r, c);
+        const Cholesky fresh(lead);
+        EXPECT_EQ(incremental.jitter(), fresh.jitter());
+        EXPECT_EQ(incremental.logDet(), fresh.logDet());
+        for (std::size_t r = 0; r <= n; ++r)
+            for (std::size_t c = 0; c <= n; ++c)
+                EXPECT_EQ(incremental.factor()(r, c),
+                          fresh.factor()(r, c));
+    }
+}
+
+TEST(CholeskyUpdateTest, JitteredMatrixStillMatchesFresh)
+{
+    // Force the escalation ladder: a nearly rank-deficient matrix
+    // (duplicate rows) needs jitter, and the append must land on the
+    // same factor a fresh jittered factorization finds.
+    const std::size_t n = 4;
+    Matrix a(n + 1, n + 1);
+    for (std::size_t r = 0; r <= n; ++r)
+        for (std::size_t c = 0; c <= n; ++c)
+            a(r, c) = 1.0; // rank-1: every leading block needs jitter
+    Matrix lead(n, n, 1.0);
+    Cholesky incremental(lead);
+    ASSERT_GT(incremental.jitter(), 0.0);
+    ASSERT_TRUE(incremental.update(std::vector<double>(n, 1.0), 1.0));
+    const Cholesky fresh(a);
+    EXPECT_EQ(incremental.jitter(), fresh.jitter());
+    for (std::size_t r = 0; r <= n; ++r)
+        for (std::size_t c = 0; c <= n; ++c)
+            EXPECT_EQ(incremental.factor()(r, c), fresh.factor()(r, c));
+}
+
+TEST(CholeskyUpdateTest, SpdFailureLeavesFactorUntouched)
+{
+    Matrix a = Matrix::identity(3);
+    Cholesky chol(a);
+    const Matrix before = chol.factor();
+    const double jitter_before = chol.jitter();
+
+    // diag so small the new pivot 1e-18 - ||row||^2 goes negative.
+    const std::vector<double> cross = {0.5, 0.5, 0.5};
+    EXPECT_FALSE(chol.update(cross, 1e-18));
+    EXPECT_EQ(chol.factor().rows(), 3u);
+    EXPECT_EQ(chol.jitter(), jitter_before);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(chol.factor()(r, c), before(r, c));
+
+    // The caller's documented recovery - a fresh factorization of the
+    // extended matrix - succeeds (via jitter escalation).
+    Matrix big(4, 4);
+    for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c)
+            big(r, c) = a(r, c);
+        big(r, 3) = cross[r];
+        big(3, r) = cross[r];
+    }
+    big(3, 3) = 1e-18;
+    const Cholesky recovered(big);
+    EXPECT_EQ(recovered.factor().rows(), 4u);
+}
+
+TEST(CholeskyMultiSolveTest, MatchesLoopedSolveLowerBitwise)
+{
+    Rng rng(9090);
+    const std::size_t n = 15;
+    const std::size_t m = 7;
+    const Matrix a = randomSpd(n, rng, double(n));
+    const Cholesky chol(a);
+
+    Matrix b(m, n);
+    for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            b(r, c) = rng.uniform(-3.0, 3.0);
+
+    const Matrix multi = chol.solveLowerMulti(b);
+    ASSERT_EQ(multi.rows(), m);
+    ASSERT_EQ(multi.cols(), n);
+    for (std::size_t r = 0; r < m; ++r) {
+        std::vector<double> rhs(n);
+        for (std::size_t c = 0; c < n; ++c)
+            rhs[c] = b(r, c);
+        const auto single = chol.solveLower(rhs);
+        for (std::size_t c = 0; c < n; ++c)
+            EXPECT_EQ(multi(r, c), single[c]) << r << "," << c;
+    }
+
+    // The into-variant reuses storage and holds the same solutions
+    // transposed (columns).
+    Matrix out;
+    chol.solveLowerMultiInto(b, out);
+    ASSERT_EQ(out.rows(), n);
+    ASSERT_EQ(out.cols(), m);
+    for (std::size_t r = 0; r < m; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            EXPECT_EQ(out(c, r), multi(r, c));
+}
+
 } // namespace
 } // namespace linalg
 } // namespace satori
