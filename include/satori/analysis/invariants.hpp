@@ -19,10 +19,10 @@
 
 #include <array>
 #include <cstddef>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "satori/common/thread_annotations.hpp"
 #include "satori/common/types.hpp"
 #include "satori/config/configuration.hpp"
 #include "satori/config/platform.hpp"
@@ -197,10 +197,11 @@ class Auditor
     void clear();
 
   private:
-    mutable std::mutex mutex_;
-    std::size_t checks_run_ = 0;
-    std::size_t violation_count_ = 0;
-    std::array<ViolationStats, kNumCheckIds> stats_{};
+    mutable common::Mutex mutex_;
+    std::size_t checks_run_ SATORI_GUARDED_BY(mutex_) = 0;
+    std::size_t violation_count_ SATORI_GUARDED_BY(mutex_) = 0;
+    std::array<ViolationStats, kNumCheckIds> stats_
+        SATORI_GUARDED_BY(mutex_){};
 };
 
 /**

@@ -19,14 +19,14 @@
 #ifndef SATORI_HARNESS_PARALLEL_HPP
 #define SATORI_HARNESS_PARALLEL_HPP
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "satori/common/thread_annotations.hpp"
 
 namespace satori {
 namespace harness {
@@ -73,17 +73,22 @@ class ThreadPool
   private:
     void workerLoop();
 
-    std::vector<std::thread> threads_;
-    std::mutex mutex_;
-    std::condition_variable work_cv_;  ///< Signals workers: batch ready/stop.
-    std::condition_variable done_cv_;  ///< Signals caller: batch drained.
-    const std::function<void(std::size_t)>* fn_ = nullptr;
-    std::size_t count_ = 0;       ///< Size of the current batch.
-    std::size_t next_ = 0;        ///< Next unclaimed index.
-    std::size_t in_flight_ = 0;   ///< Indices claimed but not finished.
-    std::uint64_t generation_ = 0; ///< Bumped per batch to wake workers.
-    std::exception_ptr first_error_;
-    bool stopping_ = false;
+    std::vector<std::thread> threads_; ///< Fixed after construction.
+    common::Mutex mutex_;
+    common::CondVar work_cv_; ///< Signals workers: batch ready/stop.
+    common::CondVar done_cv_; ///< Signals caller: batch drained.
+    const std::function<void(std::size_t)>* fn_
+        SATORI_GUARDED_BY(mutex_) = nullptr;
+    /// Size of the current batch.
+    std::size_t count_ SATORI_GUARDED_BY(mutex_) = 0;
+    /// Next unclaimed index.
+    std::size_t next_ SATORI_GUARDED_BY(mutex_) = 0;
+    /// Indices claimed but not finished.
+    std::size_t in_flight_ SATORI_GUARDED_BY(mutex_) = 0;
+    /// Bumped per batch to wake workers.
+    std::uint64_t generation_ SATORI_GUARDED_BY(mutex_) = 0;
+    std::exception_ptr first_error_ SATORI_GUARDED_BY(mutex_);
+    bool stopping_ SATORI_GUARDED_BY(mutex_) = false;
 };
 
 /**

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "satori/common/thread_annotations.hpp"
+
 namespace satori {
 namespace obs {
 
@@ -58,6 +60,12 @@ struct DecisionRecord
 /**
  * Buffers DecisionRecords and exports them as JSON Lines. Disabled
  * by default; a disabled channel's emit() sites take one branch.
+ *
+ * Thread-safety: emit(), jsonLines(), and clear() are serialized by
+ * an internal mutex so concurrent controllers (one per simulated
+ * node) can share a channel. setEnabled() and the bulk records()
+ * accessor are configuration/post-run surfaces: call them while no
+ * other thread is emitting.
  */
 class DecisionAuditChannel
 {
@@ -66,7 +74,7 @@ class DecisionAuditChannel
     DecisionAuditChannel(const DecisionAuditChannel&) = delete;
     DecisionAuditChannel& operator=(const DecisionAuditChannel&) = delete;
 
-    /** Turn record buffering on or off. */
+    /** Turn record buffering on or off (configure before the run). */
     void setEnabled(bool enabled) { enabled_ = enabled; }
 
     /** True while records are being buffered. */
@@ -75,8 +83,13 @@ class DecisionAuditChannel
     /** Buffer one record (no-op while disabled). */
     void emit(DecisionRecord record);
 
-    /** Records buffered so far. */
+    /**
+     * Records buffered so far. Returns a reference into the buffer:
+     * callers must be quiesced (no concurrent emit), which is why
+     * this accessor is exempt from the lock analysis.
+     */
     [[nodiscard]] const std::vector<DecisionRecord>& records() const
+        SATORI_NO_THREAD_SAFETY_ANALYSIS
     {
         return records_;
     }
@@ -88,11 +101,12 @@ class DecisionAuditChannel
     void writeJsonl(const std::string& path) const;
 
     /** Drop all buffered records. */
-    void clear() { records_.clear(); }
+    void clear();
 
   private:
-    bool enabled_ = false;
-    std::vector<DecisionRecord> records_;
+    bool enabled_ = false; ///< Configuration-time flag (pre-run).
+    mutable common::Mutex mutex_; ///< Serializes the record buffer.
+    std::vector<DecisionRecord> records_ SATORI_GUARDED_BY(mutex_);
 };
 
 } // namespace obs

@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "satori/common/thread_annotations.hpp"
+
 namespace satori {
 namespace obs {
 
@@ -167,6 +169,15 @@ struct MetricsSnapshot
  * are never deallocated before the registry, so the returned
  * references stay valid for the registry's lifetime; reset() zeroes
  * values but keeps every registration.
+ *
+ * Thread-safety: registration, snapshot(), size(), and reset() are
+ * serialized by an internal mutex, so concurrent components (e.g.
+ * per-node controllers on a harness::ThreadPool) can register
+ * instruments safely. Updates *through a returned reference* stay
+ * lock-free by design — that is the hot-path contract above — so a
+ * snapshot taken while another thread updates an instrument sees a
+ * benign torn-free point-in-time value of each instrument, not a
+ * cross-instrument atomic cut.
  */
 class MetricsRegistry
 {
@@ -207,12 +218,14 @@ class MetricsRegistry
     };
 
     /** @throws FatalError on a bad or already-registered name. */
-    void claimName(const std::string& name);
+    void claimName(const std::string& name) SATORI_REQUIRES(mutex_);
 
-    std::vector<Entry<Counter>> counters_;
-    std::vector<Entry<Gauge>> gauges_;
-    std::vector<Entry<Histogram>> histograms_;
-    std::vector<std::string> names_; ///< All claimed names (sorted).
+    mutable common::Mutex mutex_; ///< Serializes the entry tables.
+    std::vector<Entry<Counter>> counters_ SATORI_GUARDED_BY(mutex_);
+    std::vector<Entry<Gauge>> gauges_ SATORI_GUARDED_BY(mutex_);
+    std::vector<Entry<Histogram>> histograms_ SATORI_GUARDED_BY(mutex_);
+    /// All claimed names (sorted).
+    std::vector<std::string> names_ SATORI_GUARDED_BY(mutex_);
 };
 
 } // namespace obs

@@ -15,6 +15,13 @@
  * time back out of it, so enabling tracing can never change a
  * decision (the determinism analyzer allowlists wall-clock reads for
  * exactly this layer).
+ *
+ * Thread-safety: the tracer is deliberately single-threaded — span
+ * begin/end must come from one thread (repeatPolicy falls back to
+ * serial execution whenever a tracer sink is attached). Guarding the
+ * buffer would put a lock on the one-branch disabled path, which the
+ * cost contract above forbids; see GUIDE.md §13 for the annotation
+ * policy that makes this the documented exception.
  */
 
 #ifndef SATORI_OBS_TRACER_HPP

@@ -70,7 +70,7 @@ void
 Auditor::recordViolation(CheckId id, const char* file, int line,
                          double magnitude, const std::string& detail)
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    common::MutexLock guard(mutex_);
     ViolationStats& s = stats_[static_cast<std::size_t>(id)];
     ++violation_count_;
     if (s.count == 0) {
@@ -91,7 +91,7 @@ Auditor::checkAllocation(const PlatformSpec& platform, std::size_t num_jobs,
                          int line)
 {
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        common::MutexLock guard(mutex_);
         ++checks_run_;
     }
     if (config.numResources() != platform.numResources() ||
@@ -137,7 +137,7 @@ Auditor::checkObjective(const std::vector<double>& goals,
                         bool jain_fairness, const char* file, int line)
 {
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        common::MutexLock guard(mutex_);
         ++checks_run_;
     }
     constexpr double kEps = 1e-9;
@@ -189,7 +189,7 @@ Auditor::checkPosteriorVariance(double variance, double scale,
                                 const char* file, int line)
 {
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        common::MutexLock guard(mutex_);
         ++checks_run_;
     }
     const double eps = 1e-6 * std::max(std::abs(scale), 1.0);
@@ -206,7 +206,7 @@ Auditor::checkCholesky(double jitter, double condition, std::size_t n,
                        const char* file, int line)
 {
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        common::MutexLock guard(mutex_);
         ++checks_run_;
     }
     constexpr double kJitterTolerance = 1e-6;
@@ -224,7 +224,7 @@ Auditor::checkKernelMatrix(const linalg::Matrix& k, const char* file,
                            int line)
 {
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        common::MutexLock guard(mutex_);
         ++checks_run_;
     }
     const std::size_t n = k.rows();
@@ -286,7 +286,7 @@ Auditor::checkTrainingSet(const std::vector<RealVec>& inputs,
                           const char* file, int line)
 {
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        common::MutexLock guard(mutex_);
         ++checks_run_;
     }
     if (inputs.size() != targets.size()) {
@@ -320,7 +320,7 @@ Auditor::checkMeasuredIps(const std::vector<Ips>& ips, const char* file,
                           int line)
 {
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        common::MutexLock guard(mutex_);
         ++checks_run_;
     }
     for (std::size_t j = 0; j < ips.size(); ++j) {
@@ -339,7 +339,7 @@ Auditor::checkObservation(const std::vector<Ips>& ips,
                           Seconds prev_time, const char* file, int line)
 {
     {
-        std::lock_guard<std::mutex> guard(mutex_);
+        common::MutexLock guard(mutex_);
         ++checks_run_;
     }
     if (ips.size() != expected_jobs || isolation_ips.size() != expected_jobs) {
@@ -372,28 +372,28 @@ Auditor::checkObservation(const std::vector<Ips>& ips,
 std::size_t
 Auditor::checksRun() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    common::MutexLock guard(mutex_);
     return checks_run_;
 }
 
 std::size_t
 Auditor::violationCount() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    common::MutexLock guard(mutex_);
     return violation_count_;
 }
 
 ViolationStats
 Auditor::violations(CheckId id) const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    common::MutexLock guard(mutex_);
     return stats_[static_cast<std::size_t>(id)];
 }
 
 std::string
 Auditor::renderReport() const
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    common::MutexLock guard(mutex_);
     std::ostringstream out;
     std::size_t violated_ids = 0;
     for (const auto& s : stats_)
@@ -419,7 +419,7 @@ Auditor::renderReport() const
 void
 Auditor::clear()
 {
-    std::lock_guard<std::mutex> guard(mutex_);
+    common::MutexLock guard(mutex_);
     checks_run_ = 0;
     violation_count_ = 0;
     stats_ = {};
@@ -441,6 +441,8 @@ printGlobalSummary()
 Auditor&
 globalAuditor()
 {
+    // Meyers singleton; the Auditor serializes access internally.
+    // satori-analyzer: allow(conc-global-mutable)
     static Auditor auditor;
 #if defined(SATORI_AUDIT_ENABLED) && SATORI_AUDIT_ENABLED
     // Registered after the static's construction, so the handler runs

@@ -32,7 +32,7 @@ ThreadPool::ThreadPool(std::size_t workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        common::MutexLock lock(mutex_);
         stopping_ = true;
     }
     work_cv_.notify_all();
@@ -44,21 +44,23 @@ void
 ThreadPool::workerLoop()
 {
     std::uint64_t seen_generation = 0;
+    common::MutexLock lock(mutex_);
     for (;;) {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait(lock, [&] {
-            return stopping_ || generation_ != seen_generation;
-        });
+        while (!stopping_ && generation_ == seen_generation)
+            work_cv_.wait(lock);
         if (stopping_)
             return;
         seen_generation = generation_;
         while (next_ < count_ && !first_error_) {
             const std::size_t index = next_++;
             ++in_flight_;
+            // The batch function is stable while the batch runs;
+            // snapshot it under the lock, then run the item unlocked.
+            const std::function<void(std::size_t)>* fn = fn_;
             lock.unlock();
             std::exception_ptr error;
             try {
-                (*fn_)(index);
+                (*fn)(index);
             } catch (...) {
                 error = std::current_exception();
             }
@@ -78,23 +80,25 @@ ThreadPool::forEachIndex(std::size_t count,
 {
     if (count == 0)
         return;
-    std::unique_lock<std::mutex> lock(mutex_);
-    SATORI_ASSERT(fn_ == nullptr); // one batch at a time
-    fn_ = &fn;
-    count_ = count;
-    next_ = 0;
-    in_flight_ = 0;
-    first_error_ = nullptr;
-    ++generation_;
-    work_cv_.notify_all();
-    done_cv_.wait(lock, [&] {
-        return in_flight_ == 0 && (next_ >= count_ || first_error_);
-    });
-    fn_ = nullptr;
-    count_ = 0;
-    next_ = 0;
-    const std::exception_ptr error = first_error_;
-    first_error_ = nullptr;
+    std::exception_ptr error;
+    {
+        common::MutexLock lock(mutex_);
+        SATORI_ASSERT(fn_ == nullptr); // one batch at a time
+        fn_ = &fn;
+        count_ = count;
+        next_ = 0;
+        in_flight_ = 0;
+        first_error_ = nullptr;
+        ++generation_;
+        work_cv_.notify_all();
+        while (in_flight_ != 0 || (next_ < count_ && !first_error_))
+            done_cv_.wait(lock);
+        fn_ = nullptr;
+        count_ = 0;
+        next_ = 0;
+        error = first_error_;
+        first_error_ = nullptr;
+    }
     if (error)
         std::rethrow_exception(error);
 }

@@ -45,12 +45,21 @@ DecisionAuditChannel::emit(DecisionRecord record)
 {
     if (!enabled_)
         return;
+    common::MutexLock lock(mutex_);
     records_.push_back(std::move(record));
+}
+
+void
+DecisionAuditChannel::clear()
+{
+    common::MutexLock lock(mutex_);
+    records_.clear();
 }
 
 std::string
 DecisionAuditChannel::jsonLines() const
 {
+    common::MutexLock lock(mutex_);
     std::string out;
     for (const DecisionRecord& r : records_) {
         out += "{\"interval\":" + std::to_string(r.interval);

@@ -85,6 +85,9 @@ Observability::Observability() : lib_(metrics_)
 Observability&
 Observability::instance()
 {
+    // Meyers singleton; members guard their own state (see
+    // include/satori/obs/registry.hpp).
+    // satori-analyzer: allow(conc-global-mutable)
     static Observability ctx;
     return ctx;
 }

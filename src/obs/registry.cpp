@@ -118,6 +118,7 @@ MetricsRegistry::claimName(const std::string& name)
 Counter&
 MetricsRegistry::counter(const std::string& name, const std::string& help)
 {
+    common::MutexLock lock(mutex_);
     claimName(name);
     counters_.push_back({name, help, std::make_unique<Counter>()});
     return *counters_.back().instrument;
@@ -126,6 +127,7 @@ MetricsRegistry::counter(const std::string& name, const std::string& help)
 Gauge&
 MetricsRegistry::gauge(const std::string& name, const std::string& help)
 {
+    common::MutexLock lock(mutex_);
     claimName(name);
     gauges_.push_back({name, help, std::make_unique<Gauge>()});
     return *gauges_.back().instrument;
@@ -135,6 +137,7 @@ Histogram&
 MetricsRegistry::histogram(const std::string& name, const std::string& help,
                            std::vector<double> bounds)
 {
+    common::MutexLock lock(mutex_);
     claimName(name);
     histograms_.push_back(
         {name, help, std::make_unique<Histogram>(std::move(bounds))});
@@ -144,12 +147,14 @@ MetricsRegistry::histogram(const std::string& name, const std::string& help,
 std::size_t
 MetricsRegistry::size() const
 {
+    common::MutexLock lock(mutex_);
     return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 MetricsSnapshot
 MetricsRegistry::snapshot() const
 {
+    common::MutexLock lock(mutex_);
     MetricsSnapshot snap;
     snap.counters.reserve(counters_.size());
     for (const auto& e : counters_)
@@ -174,6 +179,7 @@ MetricsRegistry::snapshot() const
 void
 MetricsRegistry::reset()
 {
+    common::MutexLock lock(mutex_);
     for (auto& e : counters_)
         e.instrument->reset();
     for (auto& e : gauges_)

@@ -1,0 +1,9 @@
+// Fixture: unguarded mutable static state.
+static int g_call_count = 0;
+
+int
+bump()
+{
+    g_call_count = g_call_count + 1;
+    return g_call_count;
+}

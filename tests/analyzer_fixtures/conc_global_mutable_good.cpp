@@ -1,0 +1,12 @@
+// Fixture: statics that are immutable or self-synchronizing pass.
+#include <atomic>
+
+static const int kLimit = 8;
+static constexpr double kScale = 0.5;
+static std::atomic<int> g_calls{0};
+
+int
+bump()
+{
+    return g_calls.fetch_add(1) + kLimit + static_cast<int>(kScale);
+}

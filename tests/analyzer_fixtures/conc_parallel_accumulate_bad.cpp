@@ -1,0 +1,16 @@
+// Fixture: cross-slot accumulation inside a parallelFor body races.
+#include <cstddef>
+#include <vector>
+
+struct Pool;
+void parallelFor(Pool& pool, std::size_t count, void (*fn)(std::size_t));
+
+void
+tally(Pool& pool, const std::vector<double>& samples)
+{
+    double sum = 0.0;
+    parallelFor(pool, samples.size(), [&](std::size_t i) {
+        sum += samples[i];
+    });
+    (void)sum;
+}

@@ -1,0 +1,24 @@
+// Fixture: the slot-write idiom — each work item owns out[i]; the
+// aggregation happens after the join, in index order.
+#include <cstddef>
+#include <vector>
+
+struct Pool;
+void parallelFor(Pool& pool, std::size_t count, void (*fn)(std::size_t));
+
+double
+tally(Pool& pool, const std::vector<double>& samples)
+{
+    std::vector<double> out(samples.size(), 0.0);
+    parallelFor(pool, samples.size(), [&](std::size_t i) {
+        double scaled = samples[i] * 2.0;
+        scaled += 1.0;
+        out[i] = scaled;
+        for (std::size_t k = 0; k < 2; ++k)
+            out[i] += static_cast<double>(k);
+    });
+    double sum = 0.0;
+    for (double v : out)
+        sum += v;
+    return sum;
+}

@@ -1,0 +1,11 @@
+// Fixture: raw std::thread construction and detach outside harness/.
+#include <thread>
+
+void work();
+
+void
+launch()
+{
+    std::thread worker(work);
+    worker.detach();
+}

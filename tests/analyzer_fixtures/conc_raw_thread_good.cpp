@@ -1,0 +1,15 @@
+// Fixture: member lookups on std::thread are not construction, and
+// pool-routed work passes.
+#include <cstddef>
+#include <thread>
+
+struct Pool;
+void parallelFor(Pool& pool, std::size_t count, void (*fn)(std::size_t));
+
+std::size_t
+launch(Pool& pool)
+{
+    const std::size_t width = std::thread::hardware_concurrency();
+    parallelFor(pool, width, [](std::size_t i) { (void)i; });
+    return width;
+}

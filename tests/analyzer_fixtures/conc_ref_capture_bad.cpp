@@ -1,0 +1,13 @@
+// Fixture: a [&] lambda handed to a deferred executor can outlive
+// the captured frame.
+struct Pool
+{
+    template <typename F> void submit(F&& f);
+};
+
+void
+schedule(Pool& pool)
+{
+    int local = 7;
+    pool.submit([&] { local = local + 1; });
+}

@@ -1,0 +1,17 @@
+// Fixture: by-value capture into a deferred executor is safe, and
+// parallelFor joins before returning so [&] is sanctioned there.
+struct Pool
+{
+    template <typename F> void submit(F&& f);
+};
+
+void parallelFor(Pool& pool, int count, void (*fn)(int));
+
+void
+schedule(Pool& pool, int* out)
+{
+    int local = 7;
+    pool.submit([local] { (void)local; });
+    parallelFor(pool, 4, +[](int i) { (void)i; });
+    (void)out;
+}

@@ -1,0 +1,37 @@
+// Fixture: one violation of each per-file conc rule, every one
+// silenced by an inline allow — the file must analyze clean.
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+struct Pool
+{
+    template <typename F> void submit(F&& f);
+};
+
+void parallelFor(Pool& pool, std::size_t count, void (*fn)(std::size_t));
+
+// satori-analyzer: allow(conc-global-mutable)
+static int g_counter = 0;
+
+// satori-analyzer: allow(conc-unannotated-mutex)
+std::mutex g_lock;
+
+void
+launch(Pool& pool, const std::vector<double>& samples)
+{
+    // satori-analyzer: allow(conc-ref-capture)
+    pool.submit([&] { g_counter = g_counter + 1; });
+
+    // satori-analyzer: allow(conc-raw-thread)
+    std::thread worker([] {});
+    worker.join();
+
+    double sum = 0.0;
+    parallelFor(pool, samples.size(), [&](std::size_t i) {
+        // satori-analyzer: allow(conc-parallel-accumulate)
+        sum += samples[i];
+    });
+    (void)sum;
+}

@@ -1,0 +1,22 @@
+// Fixture: a mutex member with no SATORI_GUARDED_BY siblings — the
+// lock exists but nothing states what it protects.
+#ifndef SATORI_CONC_UNANNOTATED_MUTEX_BAD_HPP
+#define SATORI_CONC_UNANNOTATED_MUTEX_BAD_HPP
+
+#include <mutex>
+
+namespace fixture {
+
+class Ledger
+{
+  public:
+    void record(double value);
+
+  private:
+    std::mutex mutex_;
+    double total_ = 0.0;
+};
+
+} // namespace fixture
+
+#endif // SATORI_CONC_UNANNOTATED_MUTEX_BAD_HPP

@@ -1,0 +1,21 @@
+// Fixture: the mutex declares what it protects via SATORI_GUARDED_BY.
+#ifndef SATORI_CONC_UNANNOTATED_MUTEX_GOOD_HPP
+#define SATORI_CONC_UNANNOTATED_MUTEX_GOOD_HPP
+
+#include "satori/common/thread_annotations.hpp"
+
+namespace fixture {
+
+class Ledger
+{
+  public:
+    void record(double value);
+
+  private:
+    satori::common::Mutex mutex_;
+    double total_ SATORI_GUARDED_BY(mutex_) = 0.0;
+};
+
+} // namespace fixture
+
+#endif // SATORI_CONC_UNANNOTATED_MUTEX_GOOD_HPP

@@ -1,0 +1,21 @@
+// Fixture: holds mu_b while a callee takes mu_a — the reverse of
+// forward.cpp's order, detected through the call graph.
+#include <mutex>
+
+extern std::mutex mu_a;
+extern std::mutex mu_b;
+extern int state_b SATORI_GUARDED_BY(mu_b);
+
+void
+takeA()
+{
+    std::lock_guard<std::mutex> a(mu_a);
+}
+
+void
+moveBackward()
+{
+    std::lock_guard<std::mutex> b(mu_b);
+    state_b = state_b + 1;
+    takeA();
+}

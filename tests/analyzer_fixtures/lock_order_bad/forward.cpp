@@ -1,0 +1,15 @@
+// Fixture: acquires mu_a before mu_b; the sibling file orders them
+// the other way through a callee, closing the inversion cycle.
+#include <mutex>
+
+extern std::mutex mu_a;
+extern std::mutex mu_b;
+extern int state_a SATORI_GUARDED_BY(mu_a);
+
+void
+moveForward()
+{
+    std::lock_guard<std::mutex> a(mu_a);
+    std::lock_guard<std::mutex> b(mu_b);
+    state_a = state_a + 1;
+}

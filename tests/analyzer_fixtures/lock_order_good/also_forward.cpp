@@ -1,0 +1,14 @@
+// Fixture: same global order as forward.cpp — no inversion.
+#include <mutex>
+
+extern std::mutex mu_a;
+extern std::mutex mu_b;
+extern int state_b SATORI_GUARDED_BY(mu_b);
+
+void
+alsoForward()
+{
+    std::lock_guard<std::mutex> a(mu_a);
+    std::lock_guard<std::mutex> b(mu_b);
+    state_b = state_b + 1;
+}

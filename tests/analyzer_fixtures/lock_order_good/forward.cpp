@@ -1,0 +1,14 @@
+// Fixture: both files agree on the mu_a-before-mu_b order.
+#include <mutex>
+
+extern std::mutex mu_a;
+extern std::mutex mu_b;
+extern int state_a SATORI_GUARDED_BY(mu_a);
+
+void
+moveForward()
+{
+    std::lock_guard<std::mutex> a(mu_a);
+    std::lock_guard<std::mutex> b(mu_b);
+    state_a = state_a + 1;
+}

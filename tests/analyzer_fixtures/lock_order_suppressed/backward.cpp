@@ -1,0 +1,20 @@
+// Fixture: the reverse order, as in lock_order_bad.
+#include <mutex>
+
+extern std::mutex mu_a;
+extern std::mutex mu_b;
+extern int state_b SATORI_GUARDED_BY(mu_b);
+
+void
+takeA()
+{
+    std::lock_guard<std::mutex> a(mu_a);
+}
+
+void
+moveBackward()
+{
+    std::lock_guard<std::mutex> b(mu_b);
+    state_b = state_b + 1;
+    takeA();
+}

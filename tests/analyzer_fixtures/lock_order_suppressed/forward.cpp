@@ -1,0 +1,15 @@
+// Fixture: the inversion from lock_order_bad, silenced by an inline
+// allow on the reported definition.
+#include <mutex>
+
+extern std::mutex mu_a;
+extern std::mutex mu_b;
+extern int state_a SATORI_GUARDED_BY(mu_a);
+
+// satori-analyzer: allow(conc-lock-order)
+void moveForward()
+{
+    std::lock_guard<std::mutex> a(mu_a);
+    std::lock_guard<std::mutex> b(mu_b);
+    state_a = state_a + 1;
+}

@@ -1,0 +1,16 @@
+// Fixture: the emit site never touches a clock itself; the taint
+// arrives through the call chain from source.cpp.
+unsigned workerTag();
+void emit(double value);
+
+double
+sampleValue()
+{
+    return static_cast<double>(workerTag());
+}
+
+void
+recordSample()
+{
+    emit(sampleValue());
+}

@@ -1,0 +1,13 @@
+// Fixture: a nondeterminism source no per-line rule flags — thread
+// identity — that only the cross-file taint pass can connect to an
+// emit site in the sibling file.
+#include <sstream>
+#include <thread>
+
+unsigned
+workerTag()
+{
+    std::ostringstream out;
+    out << std::this_thread::get_id();
+    return static_cast<unsigned>(out.str().size());
+}

@@ -1,0 +1,16 @@
+// Fixture: same emit chain as taint_bad, but the source is
+// deterministic — no finding.
+unsigned workerTag();
+void emit(double value);
+
+double
+sampleValue()
+{
+    return static_cast<double>(workerTag());
+}
+
+void
+recordSample()
+{
+    emit(sampleValue());
+}

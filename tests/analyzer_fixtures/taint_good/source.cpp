@@ -1,0 +1,7 @@
+// Fixture: the helper is deterministic, so the emit site downstream
+// stays clean.
+unsigned
+workerTag()
+{
+    return 7u;
+}

@@ -1,0 +1,10 @@
+// Fixture: the taint finding lands on the emit-site definition line
+// and an inline allow there silences it.
+unsigned workerTag();
+void emit(double value);
+
+// satori-analyzer: allow(det-taint-reaches-trace)
+void recordSample()
+{
+    emit(static_cast<double>(workerTag()));
+}

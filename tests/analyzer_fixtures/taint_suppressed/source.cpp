@@ -1,0 +1,12 @@
+// Fixture: same source as taint_bad; the emit site carries the
+// allow, so the tree analyzes clean.
+#include <sstream>
+#include <thread>
+
+unsigned
+workerTag()
+{
+    std::ostringstream out;
+    out << std::this_thread::get_id();
+    return static_cast<unsigned>(out.str().size());
+}

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <set>
 #include <string>
 #include <vector>
@@ -69,6 +70,16 @@ const RuleFixture kRuleFixtures[] = {
     {"api-explicit", "api_explicit_bad.hpp", "api_explicit_good.hpp"},
     {"api-raw-params", "api_raw_params_bad.hpp",
      "api_raw_params_good.hpp"},
+    {"conc-global-mutable", "conc_global_mutable_bad.cpp",
+     "conc_global_mutable_good.cpp"},
+    {"conc-ref-capture", "conc_ref_capture_bad.cpp",
+     "conc_ref_capture_good.cpp"},
+    {"conc-parallel-accumulate", "conc_parallel_accumulate_bad.cpp",
+     "conc_parallel_accumulate_good.cpp"},
+    {"conc-raw-thread", "conc_raw_thread_bad.cpp",
+     "conc_raw_thread_good.cpp"},
+    {"conc-unannotated-mutex", "conc_unannotated_mutex_bad.hpp",
+     "conc_unannotated_mutex_good.hpp"},
 };
 
 TEST(AnalyzerRules, BadFixturesFireExactlyTheirRule)
@@ -168,7 +179,240 @@ TEST(AnalyzerEngine, PackListParsesNamesAndAliases)
     EXPECT_EQ(parsePackList("det"), kPackDeterminism);
     EXPECT_EQ(parsePackList("num,api"), kPackNumeric | kPackApi);
     EXPECT_EQ(parsePackList("header"), kPackHeader);
+    EXPECT_EQ(parsePackList("conc"), kPackConcurrency);
+    EXPECT_EQ(parsePackList("concurrency"), kPackConcurrency);
     EXPECT_EQ(parsePackList("bogus"), 0u);
+}
+
+TEST(AnalyzerEngine, ConcSuppressionsSilenceEveryPerFileRule)
+{
+    const auto findings = analyzeFixture("conc_suppressed.cpp");
+    EXPECT_GE(findings.size(), 5u);
+    EXPECT_EQ(countActive(findings), 0u)
+        << "first active: "
+        << (findings.empty() ? std::string("none")
+                             : findings.front().rule);
+    std::set<std::string> suppressed;
+    for (const Finding& f : findings)
+        if (f.suppressed)
+            suppressed.insert(f.rule);
+    EXPECT_EQ(suppressed,
+              (std::set<std::string>{
+                  "conc-global-mutable", "conc-ref-capture",
+                  "conc-parallel-accumulate", "conc-raw-thread",
+                  "conc-unannotated-mutex"}));
+}
+
+// --- cross-file passes: taint and lock order -------------------------
+
+/** Analyze a fixture directory with every pack enabled. */
+AnalyzeResult
+analyzeFixtureDir(const std::string& name)
+{
+    Options options;
+    return analyzePaths({fixture(name)}, options);
+}
+
+TEST(AnalyzerCrossFile, TaintFlowsFromSourceToEmitSite)
+{
+    const AnalyzeResult result = analyzeFixtureDir("taint_bad");
+    EXPECT_EQ(result.files_scanned, 2u);
+    EXPECT_EQ(activeRules(result.findings),
+              std::set<std::string>{"det-taint-reaches-trace"});
+    const auto hit =
+        std::find_if(result.findings.begin(), result.findings.end(),
+                     [](const Finding& f) {
+                         return f.rule == "det-taint-reaches-trace";
+                     });
+    ASSERT_NE(hit, result.findings.end());
+    // The finding lands on the emit site and names the full chain
+    // down to the source.
+    EXPECT_NE(hit->file.find("emitter.cpp"), std::string::npos);
+    EXPECT_NE(hit->message.find("recordSample"), std::string::npos);
+    EXPECT_NE(hit->message.find("sampleValue"), std::string::npos);
+    EXPECT_NE(hit->message.find("workerTag"), std::string::npos);
+    EXPECT_NE(hit->message.find("thread identity"), std::string::npos);
+}
+
+TEST(AnalyzerCrossFile, DeterministicChainStaysClean)
+{
+    const AnalyzeResult result = analyzeFixtureDir("taint_good");
+    EXPECT_EQ(countActive(result.findings), 0u)
+        << "first finding: "
+        << (result.findings.empty() ? std::string("none")
+                                    : result.findings.front().message);
+}
+
+TEST(AnalyzerCrossFile, TaintFindingHonorsInlineAllow)
+{
+    const AnalyzeResult result = analyzeFixtureDir("taint_suppressed");
+    EXPECT_EQ(countActive(result.findings), 0u);
+    const auto suppressed = std::count_if(
+        result.findings.begin(), result.findings.end(),
+        [](const Finding& f) {
+            return f.suppressed && f.rule == "det-taint-reaches-trace";
+        });
+    EXPECT_EQ(suppressed, 1);
+}
+
+TEST(AnalyzerCrossFile, LockOrderInversionDetectedThroughCallGraph)
+{
+    const AnalyzeResult result = analyzeFixtureDir("lock_order_bad");
+    EXPECT_EQ(activeRules(result.findings),
+              std::set<std::string>{"conc-lock-order"});
+    const auto hit =
+        std::find_if(result.findings.begin(), result.findings.end(),
+                     [](const Finding& f) {
+                         return f.rule == "conc-lock-order";
+                     });
+    ASSERT_NE(hit, result.findings.end());
+    EXPECT_NE(hit->message.find("mu_a"), std::string::npos);
+    EXPECT_NE(hit->message.find("mu_b"), std::string::npos);
+}
+
+TEST(AnalyzerCrossFile, AgreedLockOrderStaysClean)
+{
+    const AnalyzeResult result = analyzeFixtureDir("lock_order_good");
+    EXPECT_EQ(countActive(result.findings), 0u)
+        << "first finding: "
+        << (result.findings.empty() ? std::string("none")
+                                    : result.findings.front().message);
+}
+
+TEST(AnalyzerCrossFile, LockOrderFindingHonorsInlineAllow)
+{
+    const AnalyzeResult result =
+        analyzeFixtureDir("lock_order_suppressed");
+    EXPECT_EQ(countActive(result.findings), 0u);
+    const auto suppressed = std::count_if(
+        result.findings.begin(), result.findings.end(),
+        [](const Finding& f) {
+            return f.suppressed && f.rule == "conc-lock-order";
+        });
+    EXPECT_EQ(suppressed, 1);
+}
+
+TEST(AnalyzerCrossFile, SymbolIndexFindsDefinitionsAndAttributes)
+{
+    Options options;
+    const SourceFile source = loadSourceFile(fixture("taint_bad") /
+                                             "emitter.cpp");
+    const SymbolIndex index = buildSymbolIndex({source}, options);
+    ASSERT_EQ(index.functions.size(), 2u);
+    EXPECT_EQ(index.functions[0].name, "sampleValue");
+    EXPECT_EQ(index.functions[1].name, "recordSample");
+    EXPECT_TRUE(index.functions[1].emits_trace);
+    EXPECT_FALSE(index.functions[0].emits_trace);
+    EXPECT_TRUE(index.functions[0].nondet_what.empty());
+    // Declarations (workerTag, emit) must not index as definitions.
+    EXPECT_EQ(index.by_name.count("workerTag"), 0u);
+    EXPECT_EQ(index.by_name.count("emit"), 0u);
+}
+
+TEST(AnalyzerEngine, ExplainKnowsEveryCatalogRuleAndRejectsUnknown)
+{
+    for (const RuleInfo& info : ruleCatalog()) {
+        std::string text;
+        EXPECT_TRUE(explainRule(info.id, text)) << info.id;
+        EXPECT_NE(text.find(info.id), std::string::npos);
+        EXPECT_NE(text.find("allow("), std::string::npos);
+    }
+    std::string text;
+    EXPECT_FALSE(explainRule("not-a-rule", text));
+    EXPECT_NE(text.find("unknown rule id"), std::string::npos);
+}
+
+TEST(AnalyzerEngine, CatalogCoversEveryRuleTheFixturesFire)
+{
+    std::set<std::string> known;
+    for (const RuleInfo& info : ruleCatalog())
+        known.insert(info.id);
+    for (const RuleFixture& rf : kRuleFixtures)
+        EXPECT_EQ(known.count(rf.rule), 1u)
+            << rf.rule << " missing from ruleCatalog()";
+    EXPECT_EQ(known.count("det-taint-reaches-trace"), 1u);
+    EXPECT_EQ(known.count("conc-lock-order"), 1u);
+}
+
+// --- token-helper edge cases (satellite coverage) --------------------
+
+TEST(AnalyzerTokens, RawStringsStripWithoutTerminatingOnQuotes)
+{
+    bool in_block = false;
+    // The embedded quote and backslash must not end the literal.
+    EXPECT_EQ(stripCommentsAndStrings(
+                  R"x(emit(R"(a " b \ c)") + 1;)x", in_block),
+              "emit(R) + 1;");
+    EXPECT_FALSE(in_block);
+    // Custom delimiter.
+    EXPECT_EQ(stripCommentsAndStrings(
+                  R"x(f(R"eos(x)" y)eos");)x", in_block),
+              "f(R);");
+    // An identifier ending in R is not a raw-string prefix.
+    EXPECT_EQ(stripCommentsAndStrings("VAR\"text\" + 1", in_block),
+              "VAR + 1");
+    // Unterminated raw literal strips to end of line.
+    EXPECT_EQ(stripCommentsAndStrings("auto s = R\"(open", in_block),
+              "auto s = R");
+    EXPECT_FALSE(in_block);
+}
+
+TEST(AnalyzerTokens, DigitSeparatorsAreNotCharLiterals)
+{
+    bool in_block = false;
+    EXPECT_EQ(stripCommentsAndStrings("int n = 1'000'000;", in_block),
+              "int n = 1'000'000;");
+    // A real char literal still strips.
+    EXPECT_EQ(stripCommentsAndStrings("char c = 'x'; int m = 2'000;",
+                                      in_block),
+              "char c = ; int m = 2'000;");
+}
+
+TEST(AnalyzerTokens, FindMatchingHandlesNestedTemplates)
+{
+    const std::string s = "foo<bar<int>> v;";
+    //                     0123456789012345
+    EXPECT_EQ(findMatching(s, 3, '<', '>'), 12u);
+    EXPECT_EQ(findMatching(s, 7, '<', '>'), 11u);
+    EXPECT_EQ(findMatching("map<K, vec<pair<A,B>>>", 3, '<', '>'), 21u);
+    EXPECT_EQ(findMatching("unbalanced<int", 10, '<', '>'),
+              std::string::npos);
+    EXPECT_EQ(findMatching("x", 5, '<', '>'), std::string::npos);
+}
+
+TEST(AnalyzerTokens, PrevAndNextTokenReadQualifiedChainsAndNumbers)
+{
+    const std::string s = "satori::obs::Tracer tracer(clock);";
+    EXPECT_EQ(prevTokenBefore(s, 19), "satori::obs::Tracer");
+    EXPECT_EQ(nextTokenAfter(s, 19), "tracer");
+    EXPECT_EQ(prevTokenBefore(s, 0), "");
+    EXPECT_EQ(nextTokenAfter("  1.5e-3 rest", 0), "1.5e-3");
+    EXPECT_EQ(nextTokenAfter("foo<bar<int>>", 3), "<");
+    EXPECT_EQ(prevTokenBefore("a + b", 3), "+");
+}
+
+TEST(AnalyzerTokens, PreprocessorContinuationsStayPreproc)
+{
+    // Continuation lines of a #define carry the preproc flag, so a
+    // macro body spelling a violation does not index or fire.
+    const fs::path dir = fs::temp_directory_path();
+    const fs::path path = dir / "satori_analyzer_preproc_test.cpp";
+    {
+        std::ofstream out(path);
+        out << "#define EMIT_TIME(x) \\\n"
+            << "    record(time(nullptr), (x))\n"
+            << "int keep(int v) { return v; }\n";
+    }
+    const SourceFile source = loadSourceFile(path);
+    ASSERT_EQ(source.lines.size(), 3u);
+    EXPECT_TRUE(source.lines[0].preproc);
+    EXPECT_TRUE(source.lines[1].preproc);
+    EXPECT_FALSE(source.lines[2].preproc);
+    Options options;
+    const SymbolIndex index = buildSymbolIndex({source}, options);
+    ASSERT_EQ(index.functions.size(), 1u);
+    EXPECT_EQ(index.functions[0].name, "keep");
+    fs::remove(path);
 }
 
 TEST(AnalyzerEngine, PackMaskRestrictsRules)

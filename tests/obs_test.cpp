@@ -173,6 +173,8 @@ TEST(MetricsSnapshotTest, JsonLinesGolden)
 std::uint64_t
 fakeClock()
 {
+    // Single-threaded test clock; mutation is the point.
+    // satori-analyzer: allow(conc-global-mutable)
     static std::uint64_t t = 0;
     return t += 10'000;
 }

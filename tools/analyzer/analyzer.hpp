@@ -1,11 +1,15 @@
 /**
  * @file
  * satori_analyzer: project-specific semantic static analysis for the
- * SATORI tree. One engine, four rule packs:
+ * SATORI tree. One engine, five rule packs:
  *
  *   det    - determinism: no wall clocks, no std::random_device, no
  *            emitting loops over unordered containers, no pointer-value
- *            hashing. A (plan, seed) pair must replay byte-for-byte.
+ *            hashing — per line, plus a cross-file taint pass
+ *            (det-taint-reaches-trace) that propagates nondeterminism
+ *            sources through the project call graph and flags any
+ *            trace/audit emit site that reaches one. A (plan, seed)
+ *            pair must replay byte-for-byte.
  *   num    - numeric hygiene: no floating == / !=, no C-style (int) or
  *            (long) narrowing of floating expressions, no std::abs that
  *            can bind <cstdlib>'s integer overload.
@@ -16,6 +20,12 @@
  *   header - include-guard naming, #define matching the #ifndef, and
  *            no `using namespace` at header scope (the legacy
  *            satori_lint checks, folded in as a pass).
+ *   conc   - concurrency discipline for the determinism contract:
+ *            mutable statics without a guard, by-reference captures
+ *            handed to deferred executors, non-slot accumulation
+ *            inside parallelFor bodies, raw std::thread outside the
+ *            harness, member mutexes without SATORI_GUARDED_BY
+ *            siblings, and cross-function lock-order cycles.
  *
  * Findings are reported as `file:line: [rule-id] message`. A finding
  * can be silenced inline (`// satori-analyzer: allow(rule-id)`) on the
@@ -23,8 +33,10 @@
  * baseline file (see loadBaseline() for the grammar).
  *
  * The scanner is token-heuristic, not a full parser: comments, string
- * and character literals are stripped first, then the packs work on
- * lines, declared-identifier tables, and a lightweight scope walker.
+ * and character literals are stripped first, then the per-file packs
+ * work on lines, declared-identifier tables, and a lightweight scope
+ * walker, while the cross-file passes work on a project-wide symbol
+ * index and call graph derived from the same stripped-token model.
  * False negatives are acceptable; the rule set is tuned so the real
  * tree compiles the packs with zero noise.
  */
@@ -34,6 +46,7 @@
 
 #include <cstddef>
 #include <filesystem>
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -46,13 +59,15 @@ inline constexpr unsigned kPackDeterminism = 1u << 0;
 inline constexpr unsigned kPackNumeric = 1u << 1;
 inline constexpr unsigned kPackApi = 1u << 2;
 inline constexpr unsigned kPackHeader = 1u << 3;
+inline constexpr unsigned kPackConcurrency = 1u << 4;
 inline constexpr unsigned kPackAll =
-    kPackDeterminism | kPackNumeric | kPackApi | kPackHeader;
+    kPackDeterminism | kPackNumeric | kPackApi | kPackHeader |
+    kPackConcurrency;
 
 /**
- * Parse a comma-separated pack list ("det,num", "api", "all", or the
- * legacy alias "header") into a pack mask. Returns 0 on an unknown
- * pack name (the driver reports usage).
+ * Parse a comma-separated pack list ("det,num", "api", "conc", "all",
+ * or the legacy alias "header") into a pack mask. Returns 0 on an
+ * unknown pack name (the driver reports usage).
  */
 [[nodiscard]] unsigned parsePackList(const std::string& list);
 
@@ -98,6 +113,27 @@ struct Options
         // feeds back into decisions.
         "src/obs/",
         "include/satori/obs/",
+    };
+
+    /**
+     * Call tokens that mark a function as a decision-trace/audit emit
+     * site for the cross-file det-taint-reaches-trace pass: reaching
+     * a nondeterminism source from one of these functions breaks the
+     * byte-identical replay contract.
+     */
+    std::vector<std::string> trace_emit_calls = {
+        "emit", "writeCsv", "writeCsvHeader", "writeJsonl",
+        "writeChromeTrace",
+    };
+
+    /**
+     * Path substrings where raw std::thread construction or detach is
+     * legitimate: the pool implementation itself. Everything else —
+     * tests included — goes through harness::ThreadPool/parallelFor.
+     */
+    std::vector<std::string> raw_thread_allow = {
+        "include/satori/harness/",
+        "src/harness/",
     };
 };
 
@@ -156,7 +192,10 @@ guardRelativePath(const std::filesystem::path& file,
 /**
  * Strip // and (multi-line) block comments plus string and character
  * literals; @p in_block carries block-comment state across lines.
- * Digit separators (1'000'000) are not treated as character literals.
+ * Digit separators (1'000'000) are not treated as character literals;
+ * raw strings (R"(...)") strip without terminating on embedded
+ * quotes (single-line only — an unterminated raw literal strips to
+ * end of line).
  */
 [[nodiscard]] std::string stripCommentsAndStrings(const std::string& line,
                                                   bool& in_block);
@@ -196,6 +235,87 @@ guardRelativePath(const std::filesystem::path& file,
                                    const std::string& token,
                                    std::size_t line_index);
 
+// --- project model: symbol index, call graph, dataflow ---------------
+
+/**
+ * One free or member function definition found by the symbol indexer,
+ * with the per-function attribute lattice the cross-file passes
+ * consume (direct nondeterminism use, trace-emit calls, lock
+ * acquisitions).
+ */
+struct FunctionDef
+{
+    std::string name;      ///< Unqualified name (last :: component).
+    std::string qualified; ///< Name as written (Class::name) for
+                           ///< diagnostics.
+    std::string display;   ///< Defining file (as reported).
+    int line = 0;          ///< 1-based line of the definition.
+    std::string body;      ///< Stripped body text, '\n'-joined.
+
+    /// Unqualified names of `name(` call tokens in the body.
+    std::vector<std::string> callee_names;
+
+    /// Normalized lock expressions acquired in the body, in source
+    /// order (MutexLock/lock_guard/unique_lock/scoped_lock ctor args
+    /// and `expr.lock()` receivers).
+    std::vector<std::string> locks_acquired;
+
+    /// Defined in a wallclock_allow path: a sanctioned boundary the
+    /// taint traversal neither enters nor sources from.
+    bool allowlisted = false;
+
+    /// Body calls one of Options::trace_emit_calls.
+    bool emits_trace = false;
+
+    /// Human-readable description of a direct nondeterminism source
+    /// in the body ("" when clean): wall-clock read, OS entropy,
+    /// thread-id, or pointer-value formatting.
+    std::string nondet_what;
+};
+
+/** Project-wide function table with a by-name lookup. */
+struct SymbolIndex
+{
+    std::vector<FunctionDef> functions;
+    /// Unqualified name -> indices into functions (overloads and
+    /// same-name members all resolve here; the passes are
+    /// conservative about the ambiguity).
+    std::map<std::string, std::vector<std::size_t>> by_name;
+};
+
+/** Build the index over every scanned file (heuristic, see @file). */
+[[nodiscard]] SymbolIndex
+buildSymbolIndex(const std::vector<SourceFile>& files,
+                 const Options& options);
+
+/** Call edges resolved by unqualified callee name. */
+struct CallGraph
+{
+    /// callees[i] holds indices into SymbolIndex::functions, parallel
+    /// to SymbolIndex::functions.
+    std::vector<std::vector<std::size_t>> callees;
+};
+
+[[nodiscard]] CallGraph buildCallGraph(const SymbolIndex& index);
+
+/**
+ * Per-function nondeterminism taint. A function is tainted when its
+ * own body uses a nondeterminism source directly or when it calls a
+ * tainted function; functions in allowlisted files are boundaries
+ * (never sources, never traversed into).
+ */
+struct TaintResult
+{
+    std::vector<bool> tainted; ///< Parallel to SymbolIndex::functions.
+    /// For tainted functions: the callee index one step closer to the
+    /// source (self-index when the function is itself the source);
+    /// reconstructs the offending call chain for diagnostics.
+    std::vector<std::size_t> next_toward_source;
+};
+
+[[nodiscard]] TaintResult
+propagateNondeterminism(const SymbolIndex& index, const CallGraph& graph);
+
 // --- rule passes -----------------------------------------------------
 
 void runDeterminismPack(const SourceFile& file, const Options& options,
@@ -203,6 +323,30 @@ void runDeterminismPack(const SourceFile& file, const Options& options,
 void runNumericPack(const SourceFile& file, std::vector<Finding>& findings);
 void runApiPack(const SourceFile& file, std::vector<Finding>& findings);
 void runHeaderPack(const SourceFile& file, std::vector<Finding>& findings);
+
+/** Per-file concurrency rules (conc-* except conc-lock-order). */
+void runConcurrencyPack(const SourceFile& file, const Options& options,
+                        std::vector<Finding>& findings);
+
+/**
+ * Cross-file det pass: report each non-allowlisted trace/audit emit
+ * site whose call chain reaches a nondeterminism source
+ * (det-taint-reaches-trace), with the chain in the message.
+ */
+void runTaintPass(const SymbolIndex& index, const CallGraph& graph,
+                  const TaintResult& taint,
+                  std::vector<Finding>& findings);
+
+/**
+ * Cross-file conc pass: two-lock ordering. Report when lock `a` is
+ * held while `b` is acquired on one call path and `b` is held while
+ * `a` is acquired on another (conc-lock-order). Locks are compared
+ * by normalized source expression, so distinct same-named members in
+ * unrelated classes can alias conservatively; false negatives, not
+ * false positives, on the real tree.
+ */
+void runLockOrderPass(const SymbolIndex& index, const CallGraph& graph,
+                      std::vector<Finding>& findings);
 
 // --- suppression and baseline ----------------------------------------
 
@@ -281,6 +425,28 @@ analyzePaths(const std::vector<std::filesystem::path>& targets,
 
 /** Render the full result (including silenced findings) as JSON. */
 [[nodiscard]] std::string renderJson(const AnalyzeResult& result);
+
+// --- rule catalog (--explain) ----------------------------------------
+
+/** Documentation for one rule id, rendered by `--explain <rule-id>`. */
+struct RuleInfo
+{
+    std::string id;        ///< Kebab-case rule id.
+    std::string pack;      ///< Owning pack name ("det", "conc", ...).
+    std::string rationale; ///< Why the rule exists in this tree.
+    std::string idiom;     ///< The sanctioned replacement idiom.
+};
+
+/** Every rule the packs can emit, sorted by id. */
+[[nodiscard]] const std::vector<RuleInfo>& ruleCatalog();
+
+/**
+ * Render the catalog entry for @p rule_id (rationale + sanctioned
+ * idiom). Returns false when the id is unknown, leaving @p out with a
+ * list of known ids.
+ */
+[[nodiscard]] bool explainRule(const std::string& rule_id,
+                               std::string& out);
 
 } // namespace satori_analyzer
 

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The project call graph: edges from each indexed function to every
+ * indexed function sharing an unqualified callee name. Name-based
+ * resolution is deliberately conservative — overloads and same-name
+ * members all receive an edge — because the cross-file passes only
+ * ever propagate monotone facts (taint, lock sets) where a spurious
+ * edge can at worst widen a fact that the allowlist boundaries and
+ * the reporting rules then filter.
+ */
+
+#include "analyzer/analyzer.hpp"
+
+namespace satori_analyzer {
+
+CallGraph
+buildCallGraph(const SymbolIndex& index)
+{
+    CallGraph graph;
+    graph.callees.resize(index.functions.size());
+    for (std::size_t i = 0; i < index.functions.size(); ++i) {
+        std::set<std::size_t> targets;
+        for (const std::string& name :
+             index.functions[i].callee_names) {
+            const auto it = index.by_name.find(name);
+            if (it == index.by_name.end())
+                continue;
+            for (std::size_t j : it->second)
+                if (j != i)
+                    targets.insert(j);
+        }
+        graph.callees[i].assign(targets.begin(), targets.end());
+    }
+    return graph;
+}
+
+} // namespace satori_analyzer

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The nondeterminism taint pass (det-taint-reaches-trace): direct
+ * sources — wall clocks, OS entropy, thread identity, pointer-value
+ * casts — taint their defining function, taint flows from callee to
+ * caller over the project call graph, and any non-allowlisted
+ * function that both emits a decision trace and carries taint breaks
+ * the byte-identical replay contract. Allowlisted files (the obs
+ * layer, the CLI, bench timing) are boundaries: never sources, never
+ * tainted, so sanctioned clock use cannot leak taint upward.
+ */
+
+#include "analyzer/analyzer.hpp"
+
+#include <deque>
+
+namespace satori_analyzer {
+
+TaintResult
+propagateNondeterminism(const SymbolIndex& index, const CallGraph& graph)
+{
+    const std::size_t n = index.functions.size();
+    TaintResult taint;
+    taint.tainted.assign(n, false);
+    taint.next_toward_source.assign(n, 0);
+
+    // Reverse edges: taint flows from callee to caller.
+    std::vector<std::vector<std::size_t>> callers(n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j : graph.callees[i])
+            callers[j].push_back(i);
+
+    std::deque<std::size_t> work;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (index.functions[i].allowlisted)
+            continue;
+        if (!index.functions[i].nondet_what.empty()) {
+            taint.tainted[i] = true;
+            taint.next_toward_source[i] = i; // self: the source itself
+            work.push_back(i);
+        }
+    }
+    while (!work.empty()) {
+        const std::size_t j = work.front();
+        work.pop_front();
+        for (std::size_t i : callers[j]) {
+            if (taint.tainted[i] || index.functions[i].allowlisted)
+                continue;
+            taint.tainted[i] = true;
+            taint.next_toward_source[i] = j;
+            work.push_back(i);
+        }
+    }
+    return taint;
+}
+
+void
+runTaintPass(const SymbolIndex& index, const CallGraph& graph,
+             const TaintResult& taint, std::vector<Finding>& findings)
+{
+    (void)graph;
+    for (std::size_t i = 0; i < index.functions.size(); ++i) {
+        const FunctionDef& root = index.functions[i];
+        if (!root.emits_trace || root.allowlisted || !taint.tainted[i])
+            continue;
+
+        // Reconstruct the call chain down to the source.
+        std::string chain = root.qualified;
+        std::size_t at = i;
+        for (int guard = 0; guard < 16; ++guard) {
+            const std::size_t next = taint.next_toward_source[at];
+            if (next == at)
+                break;
+            chain += " -> " + index.functions[next].qualified;
+            at = next;
+        }
+        const FunctionDef& source = index.functions[at];
+
+        Finding f;
+        f.file = root.display;
+        f.line = root.line;
+        f.rule = "det-taint-reaches-trace";
+        f.message = "trace/audit emit site `" + root.qualified +
+                    "` reaches " + source.nondet_what + " in `" +
+                    source.qualified + "` (" + chain +
+                    "); traced decisions must replay byte-for-byte — "
+                    "route the value through simulated time or a "
+                    "seeded Rng";
+        findings.push_back(std::move(f));
+    }
+}
+
+} // namespace satori_analyzer

@@ -30,6 +30,8 @@ parsePackList(const std::string& list)
             packs |= kPackApi;
         else if (item == "header" || item == "hdr")
             packs |= kPackHeader;
+        else if (item == "conc" || item == "concurrency")
+            packs |= kPackConcurrency;
         else if (item == "all")
             packs |= kPackAll;
         else
@@ -186,15 +188,10 @@ fillFingerprints(const SourceFile& file, std::vector<Finding>& findings)
     }
 }
 
-} // namespace
-
+/** Per-file packs over an already-loaded source. */
 std::vector<Finding>
-analyzeFile(const fs::path& file, const Options& options,
-            const fs::path& scan_target)
+analyzeSource(const SourceFile& source, const Options& options)
 {
-    SourceFile source = loadSourceFile(file);
-    source.guard_rel =
-        guardRelativePath(file, options.include_root, scan_target);
     std::vector<Finding> findings;
     if ((options.packs & kPackDeterminism) != 0)
         runDeterminismPack(source, options, findings);
@@ -204,9 +201,23 @@ analyzeFile(const fs::path& file, const Options& options,
         runApiPack(source, findings);
     if ((options.packs & kPackHeader) != 0)
         runHeaderPack(source, findings);
+    if ((options.packs & kPackConcurrency) != 0)
+        runConcurrencyPack(source, options, findings);
     fillFingerprints(source, findings);
     applySuppressions(source, findings);
     return findings;
+}
+
+} // namespace
+
+std::vector<Finding>
+analyzeFile(const fs::path& file, const Options& options,
+            const fs::path& scan_target)
+{
+    SourceFile source = loadSourceFile(file);
+    source.guard_rel =
+        guardRelativePath(file, options.include_root, scan_target);
+    return analyzeSource(source, options);
 }
 
 AnalyzeResult
@@ -216,6 +227,9 @@ analyzePaths(const std::vector<fs::path>& targets, const Options& options)
     std::vector<std::pair<fs::path, fs::path>> files; // (file, target)
     for (const fs::path& target : targets) {
         if (fs::is_directory(target)) {
+            const bool target_is_fixtures =
+                target.generic_string().find("fixtures") !=
+                std::string::npos;
             for (const auto& entry :
                  fs::recursive_directory_iterator(target)) {
                 if (!entry.is_regular_file())
@@ -226,6 +240,12 @@ analyzePaths(const std::vector<fs::path>& targets, const Options& options)
                 if (p.generic_string().find("/build") !=
                     std::string::npos)
                     continue;
+                // Fixture trees hold deliberate violations; they are
+                // only scanned when targeted explicitly.
+                if (!target_is_fixtures &&
+                    p.generic_string().find("fixtures") !=
+                        std::string::npos)
+                    continue;
                 files.emplace_back(p, target);
             }
         } else {
@@ -235,12 +255,39 @@ analyzePaths(const std::vector<fs::path>& targets, const Options& options)
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
+    std::vector<SourceFile> sources;
+    sources.reserve(files.size());
     for (const auto& [file, target] : files) {
-        std::vector<Finding> findings =
-            analyzeFile(file, options, target);
+        SourceFile source = loadSourceFile(file);
+        source.guard_rel =
+            guardRelativePath(file, options.include_root, target);
+        std::vector<Finding> findings = analyzeSource(source, options);
         result.findings.insert(result.findings.end(),
                                findings.begin(), findings.end());
+        sources.push_back(std::move(source));
     }
+
+    // Cross-file passes: the symbol index and call graph feed the
+    // nondeterminism taint pass (det) and lock-order pass (conc).
+    if ((options.packs & (kPackDeterminism | kPackConcurrency)) != 0) {
+        const SymbolIndex index = buildSymbolIndex(sources, options);
+        const CallGraph graph = buildCallGraph(index);
+        std::vector<Finding> cross;
+        if ((options.packs & kPackDeterminism) != 0) {
+            const TaintResult taint =
+                propagateNondeterminism(index, graph);
+            runTaintPass(index, graph, taint, cross);
+        }
+        if ((options.packs & kPackConcurrency) != 0)
+            runLockOrderPass(index, graph, cross);
+        for (const SourceFile& source : sources) {
+            fillFingerprints(source, cross);
+            applySuppressions(source, cross);
+        }
+        result.findings.insert(result.findings.end(), cross.begin(),
+                               cross.end());
+    }
+
     result.files_scanned = files.size();
     sortFindings(result.findings);
     return result;
@@ -337,6 +384,164 @@ renderJson(const AnalyzeResult& result)
     }
     out << "\n  ]\n}\n";
     return out.str();
+}
+
+const std::vector<RuleInfo>&
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = {
+        {"api-explicit", "api",
+         "A single-argument constructor without `explicit` is an "
+         "implicit conversion: a stray int silently becomes a "
+         "Configuration and the compiler says nothing.",
+         "Mark single-argument constructors `explicit`; allow "
+         "intentional conversions with a named factory instead."},
+        {"api-nodiscard", "api",
+         "A non-mutating, value-returning function whose result is "
+         "dropped is almost always a bug (the caller thought it "
+         "mutated).",
+         "Add [[nodiscard]] to non-mutating value-returning functions "
+         "in public headers."},
+        {"api-raw-params", "api",
+         "Adjacent raw int/double resource parameters (cores, ways, "
+         "bandwidth) transpose silently at call sites.",
+         "Take a Configuration/struct parameter, or strong typedefs, "
+         "so the compiler catches swapped arguments."},
+        {"conc-global-mutable", "conc",
+         "Mutable static state is shared by every thread and every "
+         "test in the process; unsynchronized writes race and leak "
+         "state across runs, breaking replay.",
+         "Make it const/constexpr/atomic, guard it with a "
+         "common::Mutex + SATORI_GUARDED_BY, or pass the state "
+         "explicitly through the call chain."},
+        {"conc-ref-capture", "conc",
+         "A [&] lambda handed to a deferred executor (std::thread, "
+         "async, submit queues) can run after the captured frame is "
+         "gone — a use-after-scope that sanitizers only catch when "
+         "the schedule cooperates.",
+         "Capture by value, or keep the work on "
+         "harness::parallelFor, which joins before returning so "
+         "reference captures cannot dangle."},
+        {"conc-parallel-accumulate", "conc",
+         "Work items in a parallelFor body run concurrently: `sum += "
+         "x` or push_back on a captured container races and makes "
+         "results depend on the schedule, breaking the byte-identical "
+         "trace contract.",
+         "Write each item's result to its own pre-sized slot "
+         "(out[i] = ...) and aggregate after the join in index "
+         "order, or use a std::atomic counter."},
+        {"conc-raw-thread", "conc",
+         "Raw std::thread scatters join/error/determinism handling "
+         "across the tree; a detached thread outliving main is "
+         "undefined behavior at shutdown.",
+         "Route parallel work through harness::ThreadPool / "
+         "parallelFor, which centralizes joins, first-error capture, "
+         "and the slot-write idiom."},
+        {"conc-unannotated-mutex", "conc",
+         "A mutex member with no SATORI_GUARDED_BY siblings protects "
+         "nothing the compiler can see, so clang -Wthread-safety "
+         "verifies nothing and lock discipline erodes silently.",
+         "Declare the mutex as common::Mutex and annotate each "
+         "protected member with SATORI_GUARDED_BY(mutex_) (see "
+         "include/satori/common/thread_annotations.hpp). The one "
+         "documented exception is obs::Tracer (GUIDE.md §13)."},
+        {"conc-lock-order", "conc",
+         "Two call paths acquiring the same two locks in opposite "
+         "orders deadlock the first time the schedules interleave — "
+         "typically in production, not in tests.",
+         "Pick one global acquisition order and keep it; release the "
+         "first lock before calling into code that takes the other."},
+        {"det-pointer-hash", "det",
+         "Pointer bits differ run to run under ASLR; hashing or "
+         "casting them into keys/traces makes output "
+         "non-reproducible.",
+         "Key on a stable id (job index, name) instead of an "
+         "address."},
+        {"det-random-device", "det",
+         "std::random_device draws OS entropy, so the run cannot be "
+         "replayed from its seed.",
+         "Seed satori::Rng explicitly from the experiment plan."},
+        {"det-taint-reaches-trace", "det",
+         "A trace/audit emit site whose call chain reaches a "
+         "nondeterminism source (wall clock, OS entropy, thread "
+         "identity, pointer bits) writes values that differ between "
+         "identical runs, breaking the byte-identical replay "
+         "contract.",
+         "Route the value through simulated time or a seeded Rng; if "
+         "the read is genuinely observability-only, move it into an "
+         "allowlisted layer (src/obs/) so the boundary is explicit."},
+        {"det-unordered-iter", "det",
+         "Iteration order of unordered containers varies across "
+         "implementations and runs; feeding it into output makes "
+         "traces unstable.",
+         "Sort the keys first, or use std::map when order reaches "
+         "output."},
+        {"det-wallclock", "det",
+         "Wall-clock reads differ every run; any decision or trace "
+         "derived from them cannot replay byte-for-byte.",
+         "Use the simulator's virtual time; only the allowlisted "
+         "harness/CLI/obs set may read real time."},
+        {"guard-define-mismatch", "header",
+         "An #ifndef whose #define spells a different macro leaves "
+         "the guard open: the header double-includes.",
+         "Make the #define repeat the #ifndef macro exactly."},
+        {"guard-mismatch", "header",
+         "Guard names that do not follow SATORI_<PATH>_HPP collide "
+         "or confuse moved files.",
+         "Derive the guard from the path: "
+         "satori/common/types.hpp -> SATORI_COMMON_TYPES_HPP."},
+        {"missing-guard", "header",
+         "A header without an include guard double-includes the "
+         "moment two translation units meet it.",
+         "Open every header with #ifndef/#define "
+         "SATORI_<PATH>_HPP and close with #endif."},
+        {"num-c-cast", "num",
+         "A C-style (int)/(long) cast of a floating expression "
+         "truncates silently and hides the intent.",
+         "Use static_cast with an explicit rounding call (floor, "
+         "round) when truncation is intended."},
+        {"num-float-eq", "num",
+         "Floating == / != compares rounded representations; results "
+         "flip with optimization level and platform.",
+         "Compare against an explicit tolerance (std::abs(a - b) < "
+         "eps) or restructure to avoid the comparison."},
+        {"num-int-abs", "num",
+         "std::abs without <cmath> can bind <cstdlib>'s integer "
+         "overload and silently truncate a double argument.",
+         "Include <cmath> and use std::fabs (or std::abs with a "
+         "visibly floating argument)."},
+        {"using-namespace", "header",
+         "`using namespace` at header scope injects names into every "
+         "includer, causing collisions that surface far from the "
+         "header.",
+         "Qualify names, or scope the using-declaration inside a "
+         "function body."},
+    };
+    return catalog;
+}
+
+bool
+explainRule(const std::string& rule_id, std::string& out)
+{
+    for (const RuleInfo& info : ruleCatalog()) {
+        if (info.id != rule_id)
+            continue;
+        std::ostringstream text;
+        text << info.id << " (pack: " << info.pack << ")\n\n"
+             << "Why:\n  " << info.rationale << "\n\n"
+             << "Instead:\n  " << info.idiom << "\n\n"
+             << "Silence a deliberate use with `// satori-analyzer: "
+                "allow("
+             << info.id << ")` on the line or the line above.\n";
+        out = text.str();
+        return true;
+    }
+    std::ostringstream text;
+    text << "unknown rule id '" << rule_id << "'. Known rules:\n";
+    for (const RuleInfo& info : ruleCatalog())
+        text << "  " << info.id << "\n";
+    out = text.str();
+    return false;
 }
 
 } // namespace satori_analyzer

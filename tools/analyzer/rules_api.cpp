@@ -431,6 +431,11 @@ ApiWalker::processDeclaration(bool opens_body)
     }
     if (ret.empty())
         return; // conversion operator or constructor-like shape
+    // `class SATORI_CAPABILITY("mutex") Mutex` parses as a call with a
+    // class-key return type; type definitions are not functions.
+    if (ret == "class" || ret == "struct" || ret == "union" ||
+        ret == "enum")
+        return;
     const bool returns_void = ret == "void";
     const bool returns_ref = ret.find('&') != std::string::npos;
     const bool is_const_member =

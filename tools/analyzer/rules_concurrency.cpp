@@ -1,0 +1,561 @@
+/**
+ * @file
+ * Concurrency rule pack: the determinism contract survives threading
+ * only while shared state is guarded and parallel work stays in the
+ * slot-write idiom (each work item writes out[i]; aggregation happens
+ * after the join, in index order). These passes ban the patterns that
+ * historically break that: unguarded mutable statics, by-reference
+ * captures handed to deferred executors, cross-slot accumulation
+ * inside parallelFor bodies, raw std::thread outside the harness,
+ * mutex members with no SATORI_GUARDED_BY siblings, and lock-order
+ * inversions across the call graph.
+ *
+ * Rules: conc-global-mutable, conc-ref-capture,
+ * conc-parallel-accumulate, conc-raw-thread, conc-unannotated-mutex
+ * (per file) and conc-lock-order (cross-file, in runLockOrderPass).
+ */
+
+#include "analyzer/analyzer.hpp"
+
+#include <cctype>
+#include <functional>
+
+namespace satori_analyzer {
+
+namespace {
+
+void
+add(std::vector<Finding>& findings, const std::string& display,
+    int line, const char* rule, std::string message)
+{
+    Finding f;
+    f.file = display;
+    f.line = line;
+    f.rule = rule;
+    f.message = std::move(message);
+    findings.push_back(std::move(f));
+}
+
+/** First non-space position at or after @p pos. */
+std::size_t
+skipSpace(const std::string& s, std::size_t pos)
+{
+    while (pos < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[pos])) != 0)
+        ++pos;
+    return pos;
+}
+
+bool
+pathMatchesAny(const std::string& display,
+               const std::vector<std::string>& allow)
+{
+    for (const std::string& substr : allow)
+        if (display.find(substr) != std::string::npos)
+            return true;
+    return false;
+}
+
+// --- conc-global-mutable ---------------------------------------------
+
+/**
+ * `static` variable declarations that are neither immutable
+ * (const/constexpr/constinit) nor self-synchronizing (atomic, a
+ * mutex/once_flag, thread_local). Function-like statics (the first
+ * interesting character after the declarator is `(`) are skipped.
+ */
+void
+scanGlobalMutable(const SourceFile& file, std::vector<Finding>& findings)
+{
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+        const std::string& code = file.lines[li].code;
+        if (!containsWord(code, "static"))
+            continue;
+        if (code.find("static_assert") != std::string::npos ||
+            code.find("static_cast") != std::string::npos)
+            continue;
+        if (containsWord(code, "const") ||
+            containsWord(code, "constexpr") ||
+            containsWord(code, "constinit") ||
+            containsWord(code, "thread_local") ||
+            code.find("atomic") != std::string::npos ||
+            code.find("once_flag") != std::string::npos ||
+            code.find("Mutex") != std::string::npos ||
+            code.find("mutex") != std::string::npos)
+            continue;
+        const std::size_t stop = code.find_first_of("=;({");
+        if (stop == std::string::npos || code[stop] == '(' ||
+            code[stop] == '{')
+            continue; // function definition/declaration or brace-init
+        add(findings, file.display, static_cast<int>(li) + 1,
+            "conc-global-mutable",
+            "mutable static state; make it const/constexpr/atomic, "
+            "guard it with a Mutex + SATORI_GUARDED_BY, or pass the "
+            "state explicitly");
+    }
+}
+
+// --- conc-ref-capture ------------------------------------------------
+
+/** Executor spellings whose work may outlive the enclosing scope. */
+const char* const kDeferredExecutors[] = {
+    "std::thread", "std::jthread", "std::async",
+    ".submit(",    ".enqueue(",    ".post(",
+    ".defer(",
+};
+
+/**
+ * A `[&]` / `[&,` capture on a line that hands a callable to a
+ * deferred executor. parallelFor/forEachIndex are exempt by design:
+ * they join before returning, so reference captures cannot dangle.
+ */
+void
+scanRefCapture(const SourceFile& file, std::vector<Finding>& findings)
+{
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+        const std::string& code = file.lines[li].code;
+        if (code.find("[&]") == std::string::npos &&
+            code.find("[&,") == std::string::npos)
+            continue;
+        for (const char* executor : kDeferredExecutors) {
+            if (code.find(executor) == std::string::npos)
+                continue;
+            add(findings, file.display, static_cast<int>(li) + 1,
+                "conc-ref-capture",
+                "by-reference capture handed to a deferred executor "
+                "(`" + std::string(executor) +
+                    "`); the lambda can outlive the captured frame — "
+                    "capture by value or keep the work on "
+                    "parallelFor, which joins before returning");
+            break;
+        }
+    }
+}
+
+// --- conc-raw-thread -------------------------------------------------
+
+/**
+ * Raw std::thread construction or detach outside the allowlisted
+ * harness paths. `std::thread::` member lookups (e.g.
+ * hardware_concurrency) are not construction and pass.
+ */
+void
+scanRawThread(const SourceFile& file, const Options& options,
+              std::vector<Finding>& findings)
+{
+    if (pathMatchesAny(file.display, options.raw_thread_allow))
+        return;
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+        const std::string& code = file.lines[li].code;
+        const int lineno = static_cast<int>(li) + 1;
+        bool hit = false;
+        for (const char* spelling : {"std::thread", "std::jthread"}) {
+            const std::string word(spelling);
+            std::size_t at = 0;
+            while ((at = code.find(word, at)) != std::string::npos) {
+                const std::size_t end = at + word.size();
+                at = end;
+                if (end < code.size() &&
+                    (isIdentChar(code[end]) || code[end] == ':'))
+                    continue; // longer name or std::thread::member
+                hit = true;
+                break;
+            }
+            if (hit)
+                break;
+        }
+        if (!hit && code.find(".detach()") != std::string::npos)
+            hit = true;
+        if (hit)
+            add(findings, file.display, lineno, "conc-raw-thread",
+                "raw std::thread outside harness/; route work through "
+                "harness::ThreadPool / parallelFor so joins, error "
+                "capture, and slot-write determinism stay in one "
+                "place");
+    }
+}
+
+// --- conc-unannotated-mutex ------------------------------------------
+
+/** Macros whose presence proves the file opted into the analysis. */
+const char* const kAnnotationMacros[] = {
+    "SATORI_GUARDED_BY", "SATORI_PT_GUARDED_BY", "SATORI_REQUIRES",
+    "SATORI_CAPABILITY", "SATORI_ACQUIRE",       "SATORI_RELEASE",
+};
+
+/**
+ * A mutex-typed member/variable declaration in a file that uses none
+ * of the thread-safety annotation macros: the lock exists but nothing
+ * states what it protects, so clang -Wthread-safety checks nothing.
+ */
+void
+scanUnannotatedMutex(const SourceFile& file,
+                     std::vector<Finding>& findings)
+{
+    bool annotated = false;
+    for (const SourceLine& line : file.lines) {
+        for (const char* macro : kAnnotationMacros)
+            if (line.code.find(macro) != std::string::npos)
+                annotated = true;
+        if (annotated)
+            break;
+    }
+    if (annotated)
+        return;
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+        const std::string& code = file.lines[li].code;
+        const int lineno = static_cast<int>(li) + 1;
+        for (const char* type :
+             {"Mutex", "std::mutex", "std::recursive_mutex",
+              "std::shared_mutex", "std::timed_mutex"}) {
+            const std::string word(type);
+            std::size_t at = 0;
+            bool hit = false;
+            while ((at = code.find(word, at)) != std::string::npos) {
+                const std::size_t start = at;
+                const std::size_t end = at + word.size();
+                at = end;
+                if (start > 0 && (isIdentChar(code[start - 1]) ||
+                                  code[start - 1] == ':'))
+                    continue;
+                if (end < code.size() && isIdentChar(code[end]))
+                    continue;
+                // Declaration shape: `<type> name;` — template
+                // arguments (lock_guard<std::mutex>) never match.
+                const std::string name = nextTokenAfter(code, end);
+                if (name.empty() || !isIdentChar(name[0]) ||
+                    std::isdigit(static_cast<unsigned char>(
+                        name[0])) != 0)
+                    continue;
+                const std::size_t after =
+                    skipSpace(code, skipSpace(code, end) + name.size());
+                if (after >= code.size() || code[after] != ';')
+                    continue;
+                hit = true;
+                break;
+            }
+            if (hit) {
+                add(findings, file.display, lineno,
+                    "conc-unannotated-mutex",
+                    "mutex member without SATORI_GUARDED_BY siblings; "
+                    "annotate the state it protects (see "
+                    "include/satori/common/thread_annotations.hpp) so "
+                    "clang -Wthread-safety can verify lock "
+                    "discipline");
+                break;
+            }
+        }
+    }
+}
+
+// --- conc-parallel-accumulate ----------------------------------------
+
+/** Type keywords whose next identifier is a body-local declaration. */
+const char* const kLocalDeclTypes[] = {
+    "auto",     "int",      "long",     "short",   "unsigned",
+    "double",   "float",    "bool",     "char",    "size_t",
+    "uint64_t", "int64_t",  "uint32_t", "int32_t", "ptrdiff_t",
+};
+
+/** Harvest identifiers declared inside @p body into @p locals. */
+void
+harvestLocals(const std::string& body, std::set<std::string>& locals)
+{
+    for (const char* kw : kLocalDeclTypes) {
+        const std::string word(kw);
+        std::size_t at = 0;
+        while ((at = body.find(word, at)) != std::string::npos) {
+            const bool left_ok = at == 0 || !isIdentChar(body[at - 1]);
+            std::size_t end = at + word.size();
+            at = end;
+            if (!left_ok || (end < body.size() && isIdentChar(body[end])))
+                continue;
+            // Skip ref/pointer declarators: `auto& x`, `double* p`.
+            end = skipSpace(body, end);
+            while (end < body.size() &&
+                   (body[end] == '&' || body[end] == '*'))
+                end = skipSpace(body, end + 1);
+            const std::string name = nextTokenAfter(body, end);
+            if (!name.empty() && isIdentChar(name[0]) &&
+                std::isdigit(static_cast<unsigned char>(name[0])) == 0)
+                locals.insert(name);
+        }
+    }
+}
+
+/** Last identifier of a parameter declaration (`std::size_t i` -> i). */
+std::string
+paramName(const std::string& param)
+{
+    std::size_t end = param.size();
+    while (end > 0 &&
+           std::isspace(static_cast<unsigned char>(param[end - 1])) != 0)
+        --end;
+    std::size_t begin = end;
+    while (begin > 0 && isIdentChar(param[begin - 1]))
+        --begin;
+    return param.substr(begin, end - begin);
+}
+
+/** The accumulation target is sanctioned: a slot write or a local. */
+bool
+targetSanctioned(const std::string& target,
+                 const std::set<std::string>& locals)
+{
+    if (target == "]")
+        return true; // subscripted: out[i] slot write
+    if (target.empty() || !isIdentChar(target[0]))
+        return false;
+    std::size_t colon = target.rfind("::");
+    const std::string base =
+        colon == std::string::npos ? target : target.substr(colon + 2);
+    return locals.count(base) != 0;
+}
+
+const char* const kAccumulateMessage =
+    "non-slot accumulation inside a parallelFor body races across "
+    "work items; write to a per-index slot (out[i] = ...) and "
+    "aggregate after the join, or use a std::atomic";
+
+/**
+ * Inspect one parallelFor/forEachIndex lambda body spanning
+ * [@p body_open+1, @p body_close) of the joined code @p all.
+ */
+void
+checkParallelBody(const SourceFile& file, const std::string& all,
+                  std::size_t body_open, std::size_t body_close,
+                  const std::set<std::string>& locals,
+                  const std::function<int(std::size_t)>& lineOf,
+                  std::vector<Finding>& findings)
+{
+    static const char* const kCompoundOps[] = {
+        "+=", "-=", "*=", "/=", "|=", "&=", "^=", "<<=", ">>=",
+    };
+    for (const char* op : kCompoundOps) {
+        const std::string spelling(op);
+        std::size_t at = body_open;
+        while ((at = all.find(spelling, at)) != std::string::npos &&
+               at < body_close) {
+            const std::string target = prevTokenBefore(all, at);
+            const std::size_t here = at;
+            at += spelling.size();
+            // `<<` would double-report `<<=`; the loop only searches
+            // the exact spellings above, so no overlap to filter.
+            if (!targetSanctioned(target, locals))
+                add(findings, file.display, lineOf(here),
+                    "conc-parallel-accumulate", kAccumulateMessage);
+        }
+    }
+    for (const char* op : {"++", "--"}) {
+        const std::string spelling(op);
+        std::size_t at = body_open;
+        while ((at = all.find(spelling, at)) != std::string::npos &&
+               at < body_close) {
+            const std::size_t here = at;
+            at += spelling.size();
+            const std::size_t after = skipSpace(all, here + 2);
+            std::string target;
+            if (after < all.size() && isIdentChar(all[after]) &&
+                std::isdigit(static_cast<unsigned char>(all[after])) ==
+                    0)
+                target = nextTokenAfter(all, here + 2); // prefix
+            else
+                target = prevTokenBefore(all, here); // postfix
+            if (!targetSanctioned(target, locals))
+                add(findings, file.display, lineOf(here),
+                    "conc-parallel-accumulate", kAccumulateMessage);
+        }
+    }
+    for (const char* method : {".push_back(", ".emplace_back("}) {
+        const std::string spelling(method);
+        std::size_t at = body_open;
+        while ((at = all.find(spelling, at)) != std::string::npos &&
+               at < body_close) {
+            const std::string recv = prevTokenBefore(all, at);
+            const std::size_t here = at;
+            at += spelling.size();
+            if (!targetSanctioned(recv, locals))
+                add(findings, file.display, lineOf(here),
+                    "conc-parallel-accumulate", kAccumulateMessage);
+        }
+    }
+}
+
+/**
+ * Find each parallelFor/forEachIndex call whose argument list holds a
+ * lambda and check the lambda body for cross-slot accumulation.
+ */
+void
+scanParallelAccumulate(const SourceFile& file,
+                       std::vector<Finding>& findings)
+{
+    std::string all;
+    std::vector<std::size_t> line_starts;
+    for (const SourceLine& line : file.lines) {
+        line_starts.push_back(all.size());
+        if (!line.preproc)
+            all += line.code;
+        all.push_back('\n');
+    }
+    const auto lineOf = [&line_starts](std::size_t offset) {
+        std::size_t lo = 0;
+        std::size_t hi = line_starts.size();
+        while (lo + 1 < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            (line_starts[mid] <= offset ? lo : hi) = mid;
+        }
+        return static_cast<int>(lo) + 1;
+    };
+
+    for (const char* entry : {"parallelFor", "forEachIndex"}) {
+        const std::string word(entry);
+        std::size_t at = 0;
+        while ((at = all.find(word, at)) != std::string::npos) {
+            const std::size_t start = at;
+            at += word.size();
+            if ((start > 0 && isIdentChar(all[start - 1])) ||
+                (at < all.size() && isIdentChar(all[at])))
+                continue;
+            const std::size_t paren = skipSpace(all, at);
+            if (paren >= all.size() || all[paren] != '(')
+                continue;
+            const std::size_t close =
+                findMatching(all, paren, '(', ')');
+            if (close == std::string::npos)
+                continue;
+            // The lambda: `[captures](params) { body }` inside the
+            // argument list.
+            const std::size_t capture = all.find('[', paren);
+            if (capture == std::string::npos || capture > close)
+                continue;
+            const std::size_t capture_end =
+                findMatching(all, capture, '[', ']');
+            if (capture_end == std::string::npos)
+                continue;
+            std::set<std::string> locals;
+            std::size_t cursor = skipSpace(all, capture_end + 1);
+            if (cursor < all.size() && all[cursor] == '(') {
+                const std::size_t params_end =
+                    findMatching(all, cursor, '(', ')');
+                if (params_end == std::string::npos)
+                    continue;
+                std::string params =
+                    all.substr(cursor + 1, params_end - cursor - 1);
+                std::string piece;
+                int depth = 0;
+                for (char c : params) {
+                    if (c == '<' || c == '(')
+                        ++depth;
+                    else if (c == '>' || c == ')')
+                        --depth;
+                    if (c == ',' && depth == 0) {
+                        locals.insert(paramName(piece));
+                        piece.clear();
+                        continue;
+                    }
+                    piece.push_back(c);
+                }
+                locals.insert(paramName(piece));
+                cursor = skipSpace(all, params_end + 1);
+            }
+            if (cursor >= all.size() || all[cursor] != '{')
+                continue;
+            const std::size_t body_close =
+                findMatching(all, cursor, '{', '}');
+            if (body_close == std::string::npos)
+                continue;
+            harvestLocals(all.substr(cursor + 1, body_close - cursor - 1),
+                          locals);
+            checkParallelBody(file, all, cursor + 1, body_close, locals,
+                              lineOf, findings);
+            at = close;
+        }
+    }
+}
+
+} // namespace
+
+void
+runConcurrencyPack(const SourceFile& file, const Options& options,
+                   std::vector<Finding>& findings)
+{
+    scanGlobalMutable(file, findings);
+    scanRefCapture(file, findings);
+    scanRawThread(file, options, findings);
+    scanUnannotatedMutex(file, findings);
+    scanParallelAccumulate(file, findings);
+}
+
+void
+runLockOrderPass(const SymbolIndex& index, const CallGraph& graph,
+                 std::vector<Finding>& findings)
+{
+    const std::size_t n = index.functions.size();
+
+    // Locks acquired anywhere in each function's callee subtree
+    // (memoized DFS; on a cycle the in-progress node contributes its
+    // own locks, which keeps the result a sound under-approximation).
+    std::vector<std::set<std::string>> below(n);
+    std::vector<int> state(n, 0); // 0 new, 1 on stack, 2 done
+    std::function<void(std::size_t)> visit = [&](std::size_t i) {
+        state[i] = 1;
+        for (std::size_t j : graph.callees[i]) {
+            if (state[j] == 0)
+                visit(j);
+            below[i].insert(index.functions[j].locks_acquired.begin(),
+                            index.functions[j].locks_acquired.end());
+            if (state[j] == 2)
+                below[i].insert(below[j].begin(), below[j].end());
+        }
+        state[i] = 2;
+    };
+    for (std::size_t i = 0; i < n; ++i)
+        if (state[i] == 0)
+            visit(i);
+
+    // Ordered acquisition pairs, each remembering the first function
+    // that establishes the order.
+    std::map<std::pair<std::string, std::string>, std::size_t> origin;
+    const auto record = [&origin](const std::string& a,
+                                  const std::string& b, std::size_t i) {
+        if (a != b)
+            origin.emplace(std::make_pair(a, b), i);
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::vector<std::string>& held =
+            index.functions[i].locks_acquired;
+        for (std::size_t a = 0; a < held.size(); ++a)
+            for (std::size_t b = a + 1; b < held.size(); ++b)
+                record(held[a], held[b], i);
+        for (const std::string& l : held)
+            for (const std::string& m : below[i])
+                record(l, m, i);
+    }
+
+    std::set<std::pair<std::string, std::string>> reported;
+    for (const auto& [pair, func] : origin) {
+        const auto reverse = origin.find({pair.second, pair.first});
+        if (reverse == origin.end())
+            continue;
+        const auto key = pair.first < pair.second
+                             ? pair
+                             : std::make_pair(pair.second, pair.first);
+        if (!reported.insert(key).second)
+            continue;
+        const FunctionDef& here = index.functions[func];
+        const FunctionDef& there = index.functions[reverse->second];
+        Finding f;
+        f.file = here.display;
+        f.line = here.line;
+        f.rule = "conc-lock-order";
+        f.message = "lock-order inversion: `" + here.qualified +
+                    "` acquires `" + pair.first + "` before `" +
+                    pair.second + "`, but `" + there.qualified + "` (" +
+                    there.display + ":" + std::to_string(there.line) +
+                    ") orders them the other way — pick one global "
+                    "order and keep it";
+        findings.push_back(std::move(f));
+    }
+}
+
+} // namespace satori_analyzer

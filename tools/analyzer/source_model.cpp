@@ -43,6 +43,25 @@ stripCommentsAndStrings(const std::string& line, bool& in_block)
                 continue;
             }
         }
+        if (line[i] == '"' && i > 0 && line[i - 1] == 'R' &&
+            (i < 2 || !isIdentChar(line[i - 2]) ||
+             line[i - 2] == 'u' || line[i - 2] == 'L' ||
+             line[i - 2] == '8')) {
+            // Raw string literal R"delim(...)delim": no escapes, and
+            // embedded quotes do not terminate it. Spanning lines is
+            // not supported; an unterminated raw literal strips to
+            // end of line.
+            const std::size_t open = line.find('(', i + 1);
+            if (open == std::string::npos)
+                break;
+            const std::string closer =
+                ")" + line.substr(i + 1, open - i - 1) + "\"";
+            const std::size_t end = line.find(closer, open + 1);
+            if (end == std::string::npos)
+                break;
+            i = end + closer.size() - 1;
+            continue;
+        }
         if (line[i] == '"' ||
             (line[i] == '\'' &&
              (i == 0 || !isIdentChar(line[i - 1])))) {

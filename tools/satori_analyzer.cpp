@@ -5,13 +5,16 @@
  * packs and GUIDE.md §10 for the workflow).
  *
  * Usage:
- *   satori_analyzer [--packs=det,num,api,header|all]
+ *   satori_analyzer [--packs=det,num,api,header,conc|all]
  *                   [--root <include-root>] [--baseline <file>]
+ *                   [--check-baseline]
  *                   [--allow-wallclock <path-substr>]... [--json]
  *                   <dir-or-file>...
+ *   satori_analyzer --explain <rule-id>
  *
  * Exit status: 0 when every finding is suppressed or baselined, 1 on
- * any active finding, 2 on usage errors.
+ * any active finding (or, under --check-baseline, any stale baseline
+ * entry), 2 on usage errors.
  */
 
 #include <cstdio>
@@ -27,12 +30,14 @@ printUsage(std::FILE* to)
 {
     std::fprintf(
         to,
-        "usage: satori_analyzer [--packs=det,num,api,header|all]\n"
+        "usage: satori_analyzer [--packs=det,num,api,header,conc|all]\n"
         "                       [--root <include-root>] [--baseline "
         "<file>]\n"
+        "                       [--check-baseline]\n"
         "                       [--allow-wallclock <path-substr>]... "
         "[--json]\n"
-        "                       <dir-or-file>...\n");
+        "                       <dir-or-file>...\n"
+        "       satori_analyzer --explain <rule-id>\n");
 }
 
 } // namespace
@@ -45,9 +50,20 @@ main(int argc, char** argv)
     std::vector<std::filesystem::path> targets;
     std::filesystem::path baseline_path;
     bool json = false;
+    bool check_baseline = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (arg == "--explain") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing rule id for --explain\n");
+                return 2;
+            }
+            std::string text;
+            const bool known = sa::explainRule(argv[i + 1], text);
+            std::fputs(text.c_str(), known ? stdout : stderr);
+            return known ? 0 : 2;
+        }
         if (arg.rfind("--packs=", 0) == 0) {
             options.packs = sa::parsePackList(arg.substr(8));
             if (options.packs == 0) {
@@ -74,6 +90,8 @@ main(int argc, char** argv)
                 return 2;
             }
             options.wallclock_allow.emplace_back(argv[++i]);
+        } else if (arg == "--check-baseline") {
+            check_baseline = true;
         } else if (arg == "--json") {
             json = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -107,9 +125,16 @@ main(int argc, char** argv)
                 options.include_root = target;
     }
 
+    if (check_baseline && baseline_path.empty()) {
+        std::fprintf(stderr,
+                     "--check-baseline requires --baseline <file>\n");
+        return 2;
+    }
+
     sa::AnalyzeResult result = sa::analyzePaths(targets, options);
 
     std::vector<sa::BaselineEntry> baseline;
+    std::size_t stale = 0;
     if (!baseline_path.empty()) {
         std::string error;
         if (!sa::loadBaseline(baseline_path, baseline, error)) {
@@ -118,14 +143,17 @@ main(int argc, char** argv)
             return 2;
         }
         sa::applyBaseline(baseline, result.findings);
-        for (const sa::BaselineEntry& entry : baseline)
-            if (!entry.used)
-                std::fprintf(stderr,
-                             "satori_analyzer: note: stale baseline "
-                             "entry at %s:%d (%s) matched nothing — "
-                             "delete it\n",
-                             baseline_path.string().c_str(),
-                             entry.source_line, entry.rule.c_str());
+        for (const sa::BaselineEntry& entry : baseline) {
+            if (entry.used)
+                continue;
+            ++stale;
+            std::fprintf(stderr,
+                         "satori_analyzer: %s: stale baseline entry "
+                         "at %s:%d (%s) matched nothing — delete it\n",
+                         check_baseline ? "error" : "note",
+                         baseline_path.string().c_str(),
+                         entry.source_line, entry.rule.c_str());
+        }
     }
 
     if (json)
@@ -133,5 +161,7 @@ main(int argc, char** argv)
     else
         std::fputs(sa::renderText(result, "satori_analyzer").c_str(),
                    stdout);
-    return sa::countActive(result.findings) == 0 ? 0 : 1;
+    if (sa::countActive(result.findings) != 0)
+        return 1;
+    return (check_baseline && stale != 0) ? 1 : 0;
 }
