@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Durability overhead (EXPERIMENTS.md sec. R3): the Fig. 7-style
+ * SATORI run timed without checkpointing, with the interval WAL only,
+ * and with WAL plus snapshots on the default 50-interval cadence.
+ *
+ * The gate is against the control loop's real-time budget: SATORI
+ * decides every 100 ms, so durability must add < 5% of that interval
+ * (5 ms) per interval. The simulator compresses a 100 ms interval
+ * into tens of microseconds of wall time, which makes raw wall-clock
+ * percentages on the compressed run meaningless as a deployment
+ * metric - a 10 us WAL append is 14% of a 70 us simulated interval
+ * but 0.01% of the real one. Both views are reported; the per-
+ * interval absolute cost is what fails the run (non-zero exit).
+ *
+ * Timing uses obs::steadyNowNs() - the steady-clock read lives in the
+ * allowlisted obs layer, not here.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "bench_util.hpp"
+#include "satori/persist/checkpoint.hpp"
+
+using namespace satori;
+
+namespace {
+
+enum class PersistMode
+{
+    Off,
+    WalOnly,
+    Full, ///< WAL + snapshots every 50 intervals.
+};
+
+const char*
+modeName(PersistMode mode)
+{
+    switch (mode) {
+      case PersistMode::Off:
+        return "no checkpointing";
+      case PersistMode::WalOnly:
+        return "WAL only";
+      case PersistMode::Full:
+        return "WAL + snapshots (every 50)";
+    }
+    return "?";
+}
+
+/** One timed SATORI run over the canonical mix; returns seconds. */
+double
+runOnce(PersistMode mode, Seconds duration, const std::string& dir)
+{
+    const PlatformSpec platform = PlatformSpec::paperTestbed();
+    const workloads::JobMix mix = bench::canonicalParsecMix();
+    sim::SimulatedServer server = harness::makeServer(platform, mix, 42);
+    auto policy = harness::makePolicy("SATORI", server);
+    harness::ExperimentOptions opt;
+    opt.duration = duration;
+
+    std::optional<persist::Checkpointer> ckpt;
+    if (mode != PersistMode::Off) {
+        persist::CheckpointOptions copt;
+        copt.dir = dir;
+        copt.every = mode == PersistMode::WalOnly ? 0 : 50;
+        ckpt.emplace(copt, "bench-persist-overhead");
+        opt.checkpoint = &*ckpt;
+    }
+
+    const std::uint64_t t0 = obs::steadyNowNs();
+    (void)harness::ExperimentRunner(opt).run(server, *policy, mix.label);
+    const std::uint64_t t1 = obs::steadyNowNs();
+    return static_cast<double>(t1 - t0) / 1e9;
+}
+
+/** Best-of-N wall time, the usual noise-robust estimator. */
+double
+bestOf(PersistMode mode, Seconds duration, int repeats,
+       const std::string& dir)
+{
+    double best = runOnce(mode, duration, dir);
+    for (int r = 1; r < repeats; ++r)
+        best = std::min(best, runOnce(mode, duration, dir));
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const auto opt = bench::parseArgs(argc, argv);
+    bench::banner(
+        "Durability overhead: SATORI run, checkpointing off vs on",
+        "Gate: WAL + snapshots must add < 5% of the 100 ms interval.",
+        opt);
+
+    const Seconds duration = opt.full ? 60.0 : 20.0;
+    const int repeats = opt.full ? 5 : 3;
+    const std::string dir = "/tmp/satori_bench_persist_overhead";
+    const double intervals = duration / kDefaultIntervalSeconds;
+
+    const double t_off = bestOf(PersistMode::Off, duration, repeats, dir);
+    const double t_wal =
+        bestOf(PersistMode::WalOnly, duration, repeats, dir);
+    const double t_full =
+        bestOf(PersistMode::Full, duration, repeats, dir);
+    std::filesystem::remove_all(dir);
+
+    // Per-interval durability cost, amortized over the run.
+    auto us_per_interval = [&](double t) {
+        return std::max(0.0, t - t_off) / intervals * 1e6;
+    };
+    // Overhead on the deployed loop, whose interval is 100 ms wall.
+    auto pct_of_budget = [&](double t) {
+        return 100.0 * (us_per_interval(t) / 1e6) /
+               kDefaultIntervalSeconds;
+    };
+
+    TablePrinter table({"mode", "best wall s", "us/interval",
+                        "% of 100 ms interval"});
+    table.addRow({modeName(PersistMode::Off),
+                  TablePrinter::num(t_off, 4), "-", "-"});
+    table.addRow({modeName(PersistMode::WalOnly),
+                  TablePrinter::num(t_wal, 4),
+                  TablePrinter::num(us_per_interval(t_wal), 2),
+                  TablePrinter::num(pct_of_budget(t_wal), 4)});
+    table.addRow({modeName(PersistMode::Full),
+                  TablePrinter::num(t_full, 4),
+                  TablePrinter::num(us_per_interval(t_full), 2),
+                  TablePrinter::num(pct_of_budget(t_full), 4)});
+    table.print();
+
+    const double overhead_pct = pct_of_budget(t_full);
+    if (overhead_pct >= 5.0) {
+        std::printf("\nFAIL: durability costs %.2f%% of the 100 ms "
+                    "control interval (>= 5%% budget)\n",
+                    overhead_pct);
+        return 1;
+    }
+    std::printf("\nOK: durability costs %.4f%% of the 100 ms control "
+                "interval (< 5%% budget)\n",
+                overhead_pct);
+    return 0;
+}

@@ -19,6 +19,12 @@
 #include "satori/common/types.hpp"
 
 namespace satori {
+
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
 namespace bo {
 
 /** Engine configuration knobs. */
@@ -119,6 +125,17 @@ class BoEngine
 
     /** The options in force. */
     [[nodiscard]] const EngineOptions& options() const { return options_; }
+
+    /**
+     * Serialize a deterministic refit recipe: the training set, the
+     * fitted kernel length scale, and the grid-refit phase. The GP
+     * factorization itself is not saved - refitting from the training
+     * set is pinned bit-identical to the incremental paths.
+     */
+    void saveState(persist::StateWriter& w) const;
+
+    /** Restore an engine saved by saveState (same options required). */
+    void restoreState(persist::StateReader& r);
 
   private:
     /**

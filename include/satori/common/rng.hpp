@@ -14,6 +14,11 @@
 
 namespace satori {
 
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
 /**
  * A small, fast, reproducible PRNG (xoshiro256**).
  *
@@ -47,6 +52,12 @@ class Rng
 
     /** Split off an independently seeded child generator. */
     Rng split();
+
+    /** Serialize the full stream state (incl. the gaussian spare). */
+    void saveState(persist::StateWriter& w) const;
+
+    /** Restore a stream saved by saveState (checkpoint recovery). */
+    void restoreState(persist::StateReader& r);
 
   private:
     std::array<std::uint64_t, 4> state_;

@@ -11,6 +11,11 @@
 
 namespace satori {
 
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
 /**
  * Online mean/variance accumulator (Welford's algorithm).
  *
@@ -40,6 +45,12 @@ class OnlineStats
 
     /** Largest observation (-inf if empty). */
     [[nodiscard]] double max() const { return max_; }
+
+    /** Serialize the accumulator (checkpoint recovery). */
+    void saveState(persist::StateWriter& w) const;
+
+    /** Restore an accumulator saved by saveState. */
+    void restoreState(persist::StateReader& r);
 
   private:
     std::size_t n_ = 0;
@@ -76,6 +87,12 @@ class TimeSeries
      * inside the window.
      */
     [[nodiscard]] double meanOver(double t0, double t1) const;
+
+    /** Serialize all points (checkpoint recovery). */
+    void saveState(persist::StateWriter& w) const;
+
+    /** Restore a series saved by saveState. */
+    void restoreState(persist::StateReader& r);
 
   private:
     std::vector<double> times_;

@@ -14,6 +14,12 @@
 #include <cstddef>
 
 namespace satori {
+
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
 namespace core {
 
 /** CUSUM tuning. */
@@ -67,6 +73,12 @@ class ChangeDetector
 
     /** The options in force. */
     [[nodiscard]] const ChangeDetectorOptions& options() const { return options_; }
+
+    /** Serialize calibration and CUSUM state (checkpoint recovery). */
+    void saveState(persist::StateWriter& w) const;
+
+    /** Restore state saved by saveState. */
+    void restoreState(persist::StateReader& r);
 
   private:
     ChangeDetectorOptions options_;

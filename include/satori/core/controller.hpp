@@ -248,6 +248,22 @@ class SatoriController final : public policies::PartitioningPolicy
     /** True while the degraded equal-partition fallback is active. */
     [[nodiscard]] bool degraded() const { return degraded_; }
 
+    /** Restored instances continue bit-identically. */
+    [[nodiscard]] bool supportsPersistence() const override { return true; }
+
+    /**
+     * Serialize every cross-interval field: the BO engine recipe, the
+     * goal records, weight clocks, RNG streams, settle/reactivation
+     * state, the telemetry guard, and the resilience counters.
+     * Construction-derived state (seeds, probes, the space) is not
+     * saved; restoreState requires an identically constructed
+     * instance.
+     */
+    void saveState(persist::StateWriter& w) const override;
+
+    /** Restore state saved by saveState. */
+    void restoreState(persist::StateReader& r) override;
+
   private:
     /** Current (w_t, w_f) per the goal mode and weight controller. */
     std::pair<double, double> currentWeights(double throughput,

@@ -19,6 +19,12 @@
 #include "satori/config/configuration.hpp"
 
 namespace satori {
+
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
 namespace core {
 
 /** One evaluated configuration with its per-goal outcomes. */
@@ -82,6 +88,16 @@ class GoalRecorder
 
     /** Drop all samples. */
     void clear();
+
+    /** Serialize the retained sample window (checkpoint recovery). */
+    void saveState(persist::StateWriter& w) const;
+
+    /**
+     * Restore a window saved by saveState.
+     * @throws FatalError if the saved per-sample goal count differs
+     *         from this recorder's.
+     */
+    void restoreState(persist::StateReader& r);
 
   private:
     std::size_t num_goals_;

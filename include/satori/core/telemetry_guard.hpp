@@ -109,6 +109,12 @@ class TelemetryGuard
     /** Forget all history (controller reset). */
     void reset();
 
+    /** Serialize all per-job history and counters. */
+    void saveState(persist::StateWriter& w) const;
+
+    /** Restore state saved by saveState (same job count required). */
+    void restoreState(persist::StateReader& r);
+
   private:
     /** Rolling per-job sample history for the Hampel gate. */
     struct JobHistory

@@ -21,6 +21,12 @@
 #include "satori/common/types.hpp"
 
 namespace satori {
+
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
 namespace core {
 
 /** The weight decomposition SATORI plots in Fig. 14(a). */
@@ -86,6 +92,12 @@ class WeightController
 
     /** The options in force. */
     [[nodiscard]] const Options& options() const { return options_; }
+
+    /** Serialize both period states (checkpoint recovery). */
+    void saveState(persist::StateWriter& w) const;
+
+    /** Restore state saved by saveState. */
+    void restoreState(persist::StateReader& r);
 
   private:
     Options options_;

@@ -31,6 +31,12 @@
 #include "satori/sim/server.hpp"
 
 namespace satori {
+
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
 namespace faults {
 
 /** Counts of every fault actually injected (after Bernoulli trials). */
@@ -109,6 +115,13 @@ class FaultInjector
 
     /** The plan being executed. */
     [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+    /** Serialize RNG, interval cursor, queues, and counters; the
+     *  plan itself is a construction input and not saved. */
+    void saveState(persist::StateWriter& w) const;
+
+    /** Restore state saved by saveState (same plan/seed required). */
+    void restoreState(persist::StateReader& r);
 
   private:
     void flag(const std::string& token);

@@ -22,6 +22,11 @@
 #include "satori/sim/monitor.hpp"
 
 namespace satori {
+
+namespace persist {
+class Checkpointer;
+} // namespace persist
+
 namespace harness {
 
 /** Experiment knobs. */
@@ -69,6 +74,19 @@ struct ExperimentOptions
      * churn re-records the isolation baseline (Algorithm 1 line 12).
      */
     faults::FaultInjector* faults = nullptr;
+
+    /**
+     * Optional durability: when set, every interval is appended to
+     * the checkpointer's WAL and controller state is snapshotted on
+     * its cadence, so a killed run can resume with --resume and
+     * produce a byte-identical decision trace. The policy must
+     * return supportsPersistence(). On resume, trace rows before the
+     * resumed snapshot are regenerated from the WAL (the on_interval
+     * hook is not re-invoked for them), and re-executed intervals are
+     * verified bitwise against the WAL's records. The checkpointer
+     * must outlive the run.
+     */
+    persist::Checkpointer* checkpoint = nullptr;
 };
 
 /** Aggregated outcome of one experiment. */

@@ -56,13 +56,20 @@ enum class TraceFormat
  * file every flush_every records (and on flush()/destruction) rather
  * than per interval, so tracing a 100 ms decision loop does not put
  * a filesystem round-trip on every control interval.
+ *
+ * Durability: records stream into "<path>.tmp"; close() (or the
+ * destructor) renames the finished file into place, so readers never
+ * observe a partially written trace and a crashed run leaves at most
+ * a stale .tmp behind. Every write is checked - a full disk or a
+ * revoked mount raises FatalError naming the file and errno instead
+ * of silently truncating the trace.
  */
 class TraceWriter
 {
   public:
     /**
-     * Open @p path for writing. @throws FatalError if the file cannot
-     * be created.
+     * Open "<path>.tmp" for writing; close() installs @p path.
+     * @throws FatalError (with errno) if the file cannot be created.
      *
      * @param flush_every Records buffered between writes to the file;
      *        0 buffers the whole run until flush()/destruction.
@@ -70,7 +77,7 @@ class TraceWriter
     TraceWriter(const std::string& path, TraceFormat format,
                 std::size_t flush_every = 256);
 
-    /** Flushes any buffered records. */
+    /** Finalizes via close(); failures are reported to stderr. */
     ~TraceWriter();
 
     TraceWriter(const TraceWriter&) = delete;
@@ -82,14 +89,23 @@ class TraceWriter
     /** Records written so far. */
     [[nodiscard]] std::size_t count() const { return count_; }
 
-    /** Write buffered records to the file and flush it. */
+    /** Write buffered records to the .tmp file and flush it. */
     void flush();
+
+    /**
+     * Flush, close the .tmp file, and atomically rename it to the
+     * final path. Idempotent; called by the destructor if the caller
+     * did not. @throws FatalError (with errno) on any failure.
+     */
+    void close();
 
   private:
     void writeCsvHeader(const TraceRecord& record);
     void writeCsv(const TraceRecord& record);
     void writeJson(const TraceRecord& record);
 
+    std::string path_;     ///< Final path installed by close().
+    std::string tmp_path_; ///< In-progress file (path_ + ".tmp").
     std::ofstream out_;
     TraceFormat format_;
     std::size_t flush_every_;
@@ -97,6 +113,7 @@ class TraceWriter
     std::size_t buffered_ = 0; ///< Records in buffer_ since last flush.
     std::size_t count_ = 0;
     bool header_written_ = false;
+    bool closed_ = false;
 };
 
 } // namespace harness

@@ -61,6 +61,9 @@ struct LibraryMetrics
     Counter& faults_injected;        ///< Fault activations flagged.
     Counter& sim_steps;              ///< Simulated server intervals.
     Counter& harness_intervals;      ///< Harness control intervals.
+    Counter& persist_wal_records;    ///< WAL records appended.
+    Counter& persist_snapshots;      ///< Snapshots installed.
+    Counter& persist_snapshot_bytes; ///< Snapshot payload bytes.
 
     Gauge& bo_samples;               ///< Current training-set size.
     Gauge& controller_w_t;           ///< Throughput weight in force.

@@ -88,6 +88,13 @@ class PhaseSequence
     /** Restart from the first phase. */
     void reset();
 
+    /**
+     * Jump to phase @p index with @p progress instructions already
+     * retired inside it (checkpoint recovery).
+     * @pre index < numPhases(); 0 <= progress < phase(index).length.
+     */
+    void seek(std::size_t index, Instructions progress);
+
   private:
     std::vector<PhaseParams> phases_;
     std::size_t index_ = 0;

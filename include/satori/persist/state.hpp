@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shared composite encoders for saveState()/restoreState() hooks:
+ * types used across many modules (Configuration, OnlineStats, Rng)
+ * get one canonical encoding here instead of per-module copies.
+ */
+
+#ifndef SATORI_PERSIST_STATE_HPP
+#define SATORI_PERSIST_STATE_HPP
+
+#include "satori/config/configuration.hpp"
+#include "satori/persist/codec.hpp"
+
+namespace satori {
+namespace persist {
+
+/** Encode @p config as resource rows of per-job unit counts. */
+void putConfiguration(StateWriter& w, const Configuration& config);
+
+/**
+ * Decode a Configuration written by putConfiguration. Shape-only
+ * decoding: feasibility against a platform is the caller's job (the
+ * simulator re-validates on setConfiguration).
+ */
+[[nodiscard]] Configuration getConfiguration(StateReader& r);
+
+} // namespace persist
+} // namespace satori
+
+#endif // SATORI_PERSIST_STATE_HPP

@@ -22,6 +22,9 @@ class EqualPartitionPolicy final : public PartitioningPolicy
     [[nodiscard]] std::string name() const override { return "Equal"; }
     Configuration decide(const sim::IntervalObservation& obs) override;
 
+    /** Stateless across intervals: the no-op hooks are exact. */
+    [[nodiscard]] bool supportsPersistence() const override { return true; }
+
   private:
     Configuration config_;
 };

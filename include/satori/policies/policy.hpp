@@ -15,6 +15,12 @@
 #include "satori/sim/monitor.hpp"
 
 namespace satori {
+
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
 namespace policies {
 
 /**
@@ -42,6 +48,24 @@ class PartitioningPolicy
      * churn for policies without built-in adaptation).
      */
     virtual void reset() {}
+
+    /**
+     * True if this policy implements saveState()/restoreState() such
+     * that a restored instance continues bit-identically. Policies
+     * that return false cannot run under --checkpoint-dir.
+     */
+    [[nodiscard]] virtual bool supportsPersistence() const { return false; }
+
+    /**
+     * Serialize all cross-interval state (checkpoint recovery). Only
+     * meaningful when supportsPersistence() is true; the default
+     * writes nothing.
+     */
+    virtual void saveState(persist::StateWriter& w) const { (void)w; }
+
+    /** Restore state saved by saveState on an identically
+     *  constructed instance. The default reads nothing. */
+    virtual void restoreState(persist::StateReader& r) { (void)r; }
 };
 
 } // namespace policies

@@ -13,6 +13,12 @@
 #include "satori/workloads/profile.hpp"
 
 namespace satori {
+
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
 namespace sim {
 
 /**
@@ -51,6 +57,12 @@ class Job
 
     /** Restart from scratch (phase 0, zero counters). */
     void reset();
+
+    /** Serialize progress state; the profile itself is not saved. */
+    void saveState(persist::StateWriter& w) const;
+
+    /** Restore progress saved by saveState onto the same profile. */
+    void restoreState(persist::StateReader& r);
 
   private:
     workloads::WorkloadProfile profile_;

@@ -67,6 +67,12 @@ class PerfMonitor
     /** The monitored server. */
     SimulatedServer& server() { return server_; }
 
+    /** Serialize the recorded isolation baseline. */
+    void saveState(persist::StateWriter& w) const;
+
+    /** Restore a baseline saved by saveState. */
+    void restoreState(persist::StateReader& r);
+
   private:
     SimulatedServer& server_;
     std::vector<Ips> baseline_;

@@ -23,6 +23,12 @@
 #include "satori/workloads/profile.hpp"
 
 namespace satori {
+
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
 namespace sim {
 
 /** Simulator construction knobs. */
@@ -161,6 +167,23 @@ class SimulatedServer
      * @p phase_index.
      */
     [[nodiscard]] Ips isolationIpsAt(std::size_t j, std::size_t phase_index) const;
+
+    /**
+     * Serialize all mutable run state: per-job progress, the active
+     * configuration, the noise RNG stream, simulated time, and the
+     * reconfiguration/throttle vectors. Platform, machine constants,
+     * and workload profiles are construction inputs and not saved.
+     */
+    void saveState(persist::StateWriter& w) const;
+
+    /**
+     * Restore state saved by saveState onto a server constructed with
+     * the same platform/mix/options.
+     *
+     * @throws FatalError if the saved shape does not match this
+     *         server (job count, configuration shape).
+     */
+    void restoreState(persist::StateReader& r);
 
     /** Map @p config to the model's AllocationView for job @p j. */
     [[nodiscard]] perfmodel::AllocationView allocationView(const Configuration& config,

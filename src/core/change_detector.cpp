@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "satori/common/logging.hpp"
+#include "satori/persist/codec.hpp"
 
 namespace satori {
 namespace core {
@@ -63,6 +64,32 @@ ChangeDetector::reset()
     calib_sq_ = 0.0;
     cusum_hi_ = 0.0;
     cusum_lo_ = 0.0;
+}
+
+void
+ChangeDetector::saveState(persist::StateWriter& w) const
+{
+    w.putBool(calibrating_);
+    w.putSize(calib_n_);
+    w.putDouble(calib_sum_);
+    w.putDouble(calib_sq_);
+    w.putDouble(mean_);
+    w.putDouble(sigma_);
+    w.putDouble(cusum_hi_);
+    w.putDouble(cusum_lo_);
+}
+
+void
+ChangeDetector::restoreState(persist::StateReader& r)
+{
+    calibrating_ = r.getBool();
+    calib_n_ = r.getSize();
+    calib_sum_ = r.getDouble();
+    calib_sq_ = r.getDouble();
+    mean_ = r.getDouble();
+    sigma_ = r.getDouble();
+    cusum_hi_ = r.getDouble();
+    cusum_lo_ = r.getDouble();
 }
 
 } // namespace core

@@ -7,6 +7,8 @@
 #include "satori/common/logging.hpp"
 #include "satori/metrics/metrics.hpp"
 #include "satori/obs/obs.hpp"
+#include "satori/persist/codec.hpp"
+#include "satori/persist/state.hpp"
 
 namespace satori {
 namespace core {
@@ -583,6 +585,128 @@ SatoriController::reset()
     last_outcome_ = "";
     diagnostics_ = SatoriDiagnostics{};
     engine_ = bo::BoEngine(options_.engine);
+}
+
+void
+SatoriController::saveState(persist::StateWriter& w) const
+{
+    engine_.saveState(w);
+    recorder_.saveState(w);
+    weight_controller_.saveState(w);
+    rng_.saveState(w);
+    w.putSize(next_seed_);
+    w.putDoubleVec(last_probe_means_);
+
+    w.putBool(settled_);
+    persist::putConfiguration(w, settled_config_);
+    w.putDouble(settled_ref_objective_);
+    w.putDoubleVec(settled_ref_ips_);
+    w.putI64(reactivate_strikes_);
+    w.putI64(job_strikes_);
+    w.putI64(settled_warmup_);
+    cusum_.saveState(w);
+    w.putDouble(best_balanced_);
+    w.putSize(stall_counter_);
+    w.putSize(explore_steps_);
+    w.putSize(burst_len_);
+    persist::putConfiguration(w, last_decision_);
+    w.putSize(dwell_left_);
+
+    guard_.saveState(w);
+    w.putBool(degraded_);
+    w.putSize(unusable_streak_);
+    w.putSize(healthy_streak_);
+    persist::putConfiguration(w, expected_config_);
+    w.putBool(has_expected_);
+    w.putSize(actuation_retries_);
+    w.putSize(decide_calls_);
+
+    const SatoriDiagnostics& d = diagnostics_;
+    w.putDouble(d.weights.w_t);
+    w.putDouble(d.weights.w_f);
+    w.putDouble(d.weights.w_te);
+    w.putDouble(d.weights.w_fe);
+    w.putDouble(d.weights.w_tp);
+    w.putDouble(d.weights.w_fp);
+    w.putDouble(d.weights.blend);
+    w.putBool(d.weights.equalization_boundary);
+    w.putBool(d.weights.prioritization_boundary);
+    w.putDouble(d.objective_value);
+    w.putDouble(d.throughput);
+    w.putDouble(d.fairness);
+    w.putDouble(d.proxy_change_pct);
+    w.putSize(d.num_samples);
+    w.putBool(d.settled);
+    w.putBool(d.degraded);
+    w.putSize(d.degraded_entries);
+    w.putSize(d.actuation_mismatches);
+    w.putSize(d.actuation_retries);
+    w.putSize(d.unusable_intervals);
+}
+
+void
+SatoriController::restoreState(persist::StateReader& r)
+{
+    engine_.restoreState(r);
+    recorder_.restoreState(r);
+    weight_controller_.restoreState(r);
+    rng_.restoreState(r);
+    next_seed_ = r.getSize();
+    if (next_seed_ > seeds_.size())
+        SATORI_FATAL("controller state seed cursor " +
+                     std::to_string(next_seed_) + " exceeds the " +
+                     std::to_string(seeds_.size()) + " seeds of this "
+                     "instance (options mismatch?)");
+    last_probe_means_ = r.getDoubleVec();
+
+    settled_ = r.getBool();
+    settled_config_ = persist::getConfiguration(r);
+    settled_ref_objective_ = r.getDouble();
+    settled_ref_ips_ = r.getDoubleVec();
+    reactivate_strikes_ = static_cast<int>(r.getI64());
+    job_strikes_ = static_cast<int>(r.getI64());
+    settled_warmup_ = static_cast<int>(r.getI64());
+    cusum_.restoreState(r);
+    best_balanced_ = r.getDouble();
+    stall_counter_ = r.getSize();
+    explore_steps_ = r.getSize();
+    burst_len_ = r.getSize();
+    last_decision_ = persist::getConfiguration(r);
+    dwell_left_ = r.getSize();
+
+    guard_.restoreState(r);
+    degraded_ = r.getBool();
+    unusable_streak_ = r.getSize();
+    healthy_streak_ = r.getSize();
+    expected_config_ = persist::getConfiguration(r);
+    has_expected_ = r.getBool();
+    actuation_retries_ = r.getSize();
+    decide_calls_ = r.getSize();
+
+    SatoriDiagnostics& d = diagnostics_;
+    d.weights.w_t = r.getDouble();
+    d.weights.w_f = r.getDouble();
+    d.weights.w_te = r.getDouble();
+    d.weights.w_fe = r.getDouble();
+    d.weights.w_tp = r.getDouble();
+    d.weights.w_fp = r.getDouble();
+    d.weights.blend = r.getDouble();
+    d.weights.equalization_boundary = r.getBool();
+    d.weights.prioritization_boundary = r.getBool();
+    d.objective_value = r.getDouble();
+    d.throughput = r.getDouble();
+    d.fairness = r.getDouble();
+    d.proxy_change_pct = r.getDouble();
+    d.num_samples = r.getSize();
+    d.settled = r.getBool();
+    d.degraded = r.getBool();
+    d.degraded_entries = r.getSize();
+    d.actuation_mismatches = r.getSize();
+    d.actuation_retries = r.getSize();
+    d.unusable_intervals = r.getSize();
+
+    // Points at string literals only; the next decide() reassigns it.
+    last_outcome_ = "";
 }
 
 } // namespace core

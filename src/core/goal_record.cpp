@@ -5,6 +5,8 @@
 #include <string>
 
 #include "satori/common/logging.hpp"
+#include "satori/persist/codec.hpp"
+#include "satori/persist/state.hpp"
 
 namespace satori {
 namespace core {
@@ -113,6 +115,42 @@ void
 GoalRecorder::clear()
 {
     samples_.clear();
+}
+
+void
+GoalRecorder::saveState(persist::StateWriter& w) const
+{
+    w.putSize(num_goals_);
+    w.putSize(samples_.size());
+    for (const auto& s : samples_) {
+        persist::putConfiguration(w, s.config);
+        w.putDoubleVec(s.x);
+        w.putDoubleVec(s.goals);
+    }
+}
+
+void
+GoalRecorder::restoreState(persist::StateReader& r)
+{
+    const std::size_t saved_goals = r.getSize();
+    if (saved_goals != num_goals_)
+        SATORI_FATAL("goal-record state has " +
+                     std::to_string(saved_goals) +
+                     " goals per sample, this recorder uses " +
+                     std::to_string(num_goals_));
+    const std::size_t n = r.getSize();
+    samples_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        GoalSample s;
+        s.config = persist::getConfiguration(r);
+        s.x = r.getDoubleVec();
+        s.goals = r.getDoubleVec();
+        if (s.goals.size() != num_goals_)
+            SATORI_FATAL("goal-record state sample " +
+                         std::to_string(i) +
+                         " has a mismatched goal vector");
+        samples_.push_back(std::move(s));
+    }
 }
 
 } // namespace core

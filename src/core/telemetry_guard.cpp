@@ -6,6 +6,8 @@
 #include "satori/common/logging.hpp"
 #include "satori/common/stats.hpp"
 #include "satori/obs/obs.hpp"
+#include "satori/persist/codec.hpp"
+#include "satori/persist/state.hpp"
 
 namespace satori {
 namespace core {
@@ -203,6 +205,65 @@ TelemetryGuard::reset()
     last_good_iso_.clear();
     has_last_config_ = false;
     stats_ = TelemetryGuardStats{};
+}
+
+void
+TelemetryGuard::saveState(persist::StateWriter& w) const
+{
+    w.putSize(num_jobs_);
+    for (const JobHistory& h : jobs_) {
+        w.putDoubleVec(h.window);
+        w.putSize(h.next);
+        w.putDouble(h.last_good);
+        w.putBool(h.has_last_good);
+        w.putDouble(h.last_raw);
+        w.putBool(h.has_last_raw);
+        w.putSize(h.freeze_count);
+        w.putSize(h.bad_streak);
+    }
+    w.putDoubleVec(last_good_iso_);
+    persist::putConfiguration(w, last_config_);
+    w.putBool(has_last_config_);
+    w.putSize(stats_.intervals);
+    w.putSize(stats_.repaired_values);
+    w.putSize(stats_.outliers_gated);
+    w.putSize(stats_.frozen_detected);
+    w.putSize(stats_.non_finite);
+    w.putSize(stats_.size_mismatches);
+    w.putSize(stats_.unusable_intervals);
+    w.putSize(stats_.regime_accepts);
+}
+
+void
+TelemetryGuard::restoreState(persist::StateReader& r)
+{
+    const std::size_t saved_jobs = r.getSize();
+    if (saved_jobs != num_jobs_)
+        SATORI_FATAL("telemetry-guard state has " +
+                     std::to_string(saved_jobs) +
+                     " jobs, this guard tracks " +
+                     std::to_string(num_jobs_));
+    for (JobHistory& h : jobs_) {
+        h.window = r.getDoubleVec();
+        h.next = r.getSize();
+        h.last_good = r.getDouble();
+        h.has_last_good = r.getBool();
+        h.last_raw = r.getDouble();
+        h.has_last_raw = r.getBool();
+        h.freeze_count = r.getSize();
+        h.bad_streak = r.getSize();
+    }
+    last_good_iso_ = r.getDoubleVec();
+    last_config_ = persist::getConfiguration(r);
+    has_last_config_ = r.getBool();
+    stats_.intervals = r.getSize();
+    stats_.repaired_values = r.getSize();
+    stats_.outliers_gated = r.getSize();
+    stats_.frozen_detected = r.getSize();
+    stats_.non_finite = r.getSize();
+    stats_.size_mismatches = r.getSize();
+    stats_.unusable_intervals = r.getSize();
+    stats_.regime_accepts = r.getSize();
 }
 
 } // namespace core

@@ -4,6 +4,7 @@
 
 #include "satori/common/logging.hpp"
 #include "satori/common/math.hpp"
+#include "satori/persist/codec.hpp"
 
 namespace satori {
 namespace core {
@@ -106,6 +107,32 @@ WeightController::resetPeriods()
     period_start_fairness_ = -1.0;
     w_tp_ = 0.5;
     w_fp_ = 0.5;
+}
+
+void
+WeightController::saveState(persist::StateWriter& w) const
+{
+    w.putSize(t_e_iters_);
+    w.putDouble(sum_wt_);
+    w.putSize(t_p_iters_);
+    w.putDouble(period_start_throughput_);
+    w.putDouble(period_start_fairness_);
+    w.putDouble(w_tp_);
+    w.putDouble(w_fp_);
+    w.putDouble(last_eq_mean_wt_);
+}
+
+void
+WeightController::restoreState(persist::StateReader& r)
+{
+    t_e_iters_ = r.getSize();
+    sum_wt_ = r.getDouble();
+    t_p_iters_ = r.getSize();
+    period_start_throughput_ = r.getDouble();
+    period_start_fairness_ = r.getDouble();
+    w_tp_ = r.getDouble();
+    w_fp_ = r.getDouble();
+    last_eq_mean_wt_ = r.getDouble();
 }
 
 } // namespace core

@@ -6,6 +6,8 @@
 
 #include "satori/common/logging.hpp"
 #include "satori/obs/obs.hpp"
+#include "satori/persist/codec.hpp"
+#include "satori/persist/state.hpp"
 
 namespace satori {
 namespace faults {
@@ -201,6 +203,55 @@ FaultInjector::actuate(sim::SimulatedServer& server,
 
     ++interval_;
     return server.configuration();
+}
+
+void
+FaultInjector::saveState(persist::StateWriter& w) const
+{
+    rng_.saveState(w);
+    w.putSize(interval_);
+    w.putDoubleVec(last_delivered_);
+    w.putSize(delayed_.size());
+    for (const DelayedActuation& d : delayed_) {
+        persist::putConfiguration(w, d.config);
+        w.putSize(d.due_interval);
+    }
+    w.putSize(stats_.samples_dropped);
+    w.putSize(stats_.samples_nan);
+    w.putSize(stats_.samples_frozen);
+    w.putSize(stats_.samples_spiked);
+    w.putSize(stats_.actuations_dropped);
+    w.putSize(stats_.actuations_delayed);
+    w.putSize(stats_.actuations_partial);
+    w.putSize(stats_.offline_intervals);
+    w.putSize(stats_.crashes);
+    w.putString(flags_);
+}
+
+void
+FaultInjector::restoreState(persist::StateReader& r)
+{
+    rng_.restoreState(r);
+    interval_ = r.getSize();
+    last_delivered_ = r.getDoubleVec();
+    const std::size_t n = r.getSize();
+    delayed_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+        DelayedActuation d;
+        d.config = persist::getConfiguration(r);
+        d.due_interval = r.getSize();
+        delayed_.push_back(std::move(d));
+    }
+    stats_.samples_dropped = r.getSize();
+    stats_.samples_nan = r.getSize();
+    stats_.samples_frozen = r.getSize();
+    stats_.samples_spiked = r.getSize();
+    stats_.actuations_dropped = r.getSize();
+    stats_.actuations_delayed = r.getSize();
+    stats_.actuations_partial = r.getSize();
+    stats_.offline_intervals = r.getSize();
+    stats_.crashes = r.getSize();
+    flags_ = r.getString();
 }
 
 } // namespace faults

@@ -1,5 +1,8 @@
 #include "satori/harness/trace.hpp"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <iomanip>
 #include <sstream>
 
@@ -19,19 +22,37 @@ num(double value)
     return os.str();
 }
 
+/** "<msg>: <path>: <strerror>" with errno captured eagerly. */
+std::string
+describeIoError(const std::string& msg, const std::string& path)
+{
+    const int err = errno;
+    return msg + ": " + path + ": " +
+           (err != 0 ? std::strerror(err) : "unknown error");
+}
+
 } // namespace
 
 TraceWriter::TraceWriter(const std::string& path, TraceFormat format,
                          std::size_t flush_every)
-    : out_(path), format_(format), flush_every_(flush_every)
+    : path_(path), tmp_path_(path + ".tmp"),
+      out_(tmp_path_, std::ios::binary | std::ios::trunc),
+      format_(format), flush_every_(flush_every)
 {
     if (!out_.good())
-        SATORI_FATAL("cannot open trace file: " + path);
+        SATORI_FATAL(describeIoError("cannot open trace file", tmp_path_));
 }
 
 TraceWriter::~TraceWriter()
 {
-    flush();
+    // Destructors must not throw: report finalization failures to
+    // stderr and leave the .tmp file behind as evidence.
+    try {
+        close();
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "satori: trace finalization failed: %s\n",
+                     e.what());
+    }
 }
 
 void
@@ -114,12 +135,33 @@ TraceWriter::writeJson(const TraceRecord& record)
 void
 TraceWriter::flush()
 {
+    SATORI_ASSERT(!closed_);
     if (!buffer_.empty()) {
         out_ << buffer_;
         buffer_.clear();
     }
     buffered_ = 0;
     out_.flush();
+    if (!out_.good())
+        SATORI_FATAL(describeIoError("write to trace file failed",
+                                     tmp_path_));
+}
+
+void
+TraceWriter::close()
+{
+    if (closed_)
+        return;
+    flush();
+    out_.close();
+    if (out_.fail())
+        SATORI_FATAL(describeIoError("closing trace file failed",
+                                     tmp_path_));
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0)
+        SATORI_FATAL(describeIoError("installing trace file '" + path_ +
+                                         "' failed",
+                                     tmp_path_));
+    closed_ = true;
 }
 
 } // namespace harness

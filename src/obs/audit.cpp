@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "satori/common/logging.hpp"
+#include "satori/persist/io.hpp"
 
 namespace satori {
 namespace obs {
@@ -92,10 +93,8 @@ DecisionAuditChannel::jsonLines() const
 void
 DecisionAuditChannel::writeJsonl(const std::string& path) const
 {
-    std::ofstream out(path);
-    if (!out.good())
-        SATORI_FATAL("cannot open audit file: " + path);
-    out << jsonLines();
+    // Atomic install: readers never observe a partially written log.
+    persist::atomicWriteFile(path, jsonLines());
 }
 
 } // namespace obs

@@ -55,6 +55,15 @@ LibraryMetrics::LibraryMetrics(MetricsRegistry& registry)
       harness_intervals(registry.counter(
           "satori.harness.intervals",
           "Control intervals executed by the experiment harness")),
+      persist_wal_records(registry.counter(
+          "satori.persist.wal_records",
+          "Interval records appended to the write-ahead log")),
+      persist_snapshots(registry.counter(
+          "satori.persist.snapshots",
+          "Controller-state snapshots installed")),
+      persist_snapshot_bytes(registry.counter(
+          "satori.persist.snapshot_bytes",
+          "Total snapshot payload bytes written")),
       bo_samples(registry.gauge(
           "satori.bo.samples",
           "Proxy-model training-set size after the last update")),

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "satori/common/logging.hpp"
+#include "satori/persist/io.hpp"
 
 namespace satori {
 namespace obs {
@@ -88,10 +89,9 @@ Tracer::chromeTraceJson() const
 void
 Tracer::writeChromeTrace(const std::string& path) const
 {
-    std::ofstream out(path);
-    if (!out.good())
-        SATORI_FATAL("cannot open trace file: " + path);
-    out << chromeTraceJson();
+    // Atomic install: a crash or full disk never leaves a truncated
+    // file that a trace viewer half-parses.
+    persist::atomicWriteFile(path, chromeTraceJson());
 }
 
 std::vector<SpanAggregate>

@@ -46,5 +46,16 @@ PhaseSequence::reset()
     progress_ = 0;
 }
 
+void
+PhaseSequence::seek(std::size_t index, Instructions progress)
+{
+    if (index >= phases_.size())
+        SATORI_FATAL("phase seek out of range");
+    if (progress < 0 || progress >= phases_[index].length)
+        SATORI_FATAL("phase seek progress out of range");
+    index_ = index;
+    progress_ = progress;
+}
+
 } // namespace perfmodel
 } // namespace satori

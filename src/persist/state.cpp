@@ -1,0 +1,28 @@
+#include "satori/persist/state.hpp"
+
+namespace satori {
+namespace persist {
+
+void
+putConfiguration(StateWriter& w, const Configuration& config)
+{
+    w.putU64(config.numResources());
+    for (std::size_t r = 0; r < config.numResources(); ++r)
+        w.putIntVec(config.resourceRow(r));
+}
+
+Configuration
+getConfiguration(StateReader& r)
+{
+    const std::size_t num_resources = r.getSize();
+    if (num_resources == 0)
+        return Configuration{};
+    std::vector<std::vector<int>> alloc;
+    alloc.reserve(num_resources);
+    for (std::size_t i = 0; i < num_resources; ++i)
+        alloc.push_back(r.getIntVec());
+    return Configuration(std::move(alloc));
+}
+
+} // namespace persist
+} // namespace satori

@@ -1,6 +1,7 @@
 #include "satori/sim/job.hpp"
 
 #include "satori/common/logging.hpp"
+#include "satori/persist/codec.hpp"
 
 namespace satori {
 namespace sim {
@@ -49,6 +50,27 @@ Job::reset()
     total_retired_ = 0;
     run_retired_ = 0;
     completed_runs_ = 0;
+}
+
+void
+Job::saveState(persist::StateWriter& w) const
+{
+    w.putSize(phases_.currentIndex());
+    w.putDouble(phases_.progressInPhase());
+    w.putDouble(total_retired_);
+    w.putDouble(run_retired_);
+    w.putU64(completed_runs_);
+}
+
+void
+Job::restoreState(persist::StateReader& r)
+{
+    const std::size_t index = r.getSize();
+    const Instructions progress = r.getDouble();
+    phases_.seek(index, progress);
+    total_retired_ = r.getDouble();
+    run_retired_ = r.getDouble();
+    completed_runs_ = r.getU64();
 }
 
 } // namespace sim

@@ -3,6 +3,7 @@
 #include "satori/analysis/invariants.hpp"
 #include "satori/common/logging.hpp"
 #include "satori/obs/obs.hpp"
+#include "satori/persist/codec.hpp"
 
 namespace satori {
 namespace sim {
@@ -34,6 +35,21 @@ void
 PerfMonitor::resetBaseline()
 {
     baseline_ = server_.isolationIpsNow();
+}
+
+void
+PerfMonitor::saveState(persist::StateWriter& w) const
+{
+    w.putDoubleVec(baseline_);
+}
+
+void
+PerfMonitor::restoreState(persist::StateReader& r)
+{
+    baseline_ = r.getDoubleVec();
+    if (baseline_.size() != server_.numJobs())
+        SATORI_FATAL("monitor state baseline does not match the job "
+                     "count");
 }
 
 } // namespace sim

@@ -5,6 +5,8 @@
 #include "satori/analysis/invariants.hpp"
 #include "satori/common/logging.hpp"
 #include "satori/obs/obs.hpp"
+#include "satori/persist/codec.hpp"
+#include "satori/persist/state.hpp"
 
 namespace satori {
 namespace sim {
@@ -269,6 +271,47 @@ SimulatedServer::isolationIpsAt(std::size_t j,
         }
     }
     return perfmodel::evaluatePhase(phase, machine_, view).ips;
+}
+
+void
+SimulatedServer::saveState(persist::StateWriter& w) const
+{
+    w.putSize(jobs_.size());
+    for (const Job& job : jobs_)
+        job.saveState(w);
+    persist::putConfiguration(w, config_);
+    rng_.saveState(w);
+    w.putDouble(now_);
+    w.putDoubleVec(reconfig_penalty_);
+    w.putDoubleVec(external_throttle_);
+}
+
+void
+SimulatedServer::restoreState(persist::StateReader& r)
+{
+    const std::size_t saved_jobs = r.getSize();
+    if (saved_jobs != jobs_.size())
+        SATORI_FATAL("server state has " + std::to_string(saved_jobs) +
+                     " jobs, this server runs " +
+                     std::to_string(jobs_.size()));
+    for (Job& job : jobs_)
+        job.restoreState(r);
+    Configuration config = persist::getConfiguration(r);
+    if (!config.isValidFor(platform_, jobs_.size()))
+        SATORI_FATAL("server state configuration " + config.toString() +
+                     " is invalid for this platform");
+    config_ = std::move(config);
+    rng_.restoreState(r);
+    now_ = r.getDouble();
+    reconfig_penalty_ = r.getDoubleVec();
+    if (reconfig_penalty_.size() != jobs_.size())
+        SATORI_FATAL("server state reconfiguration transients do not "
+                     "match the job count");
+    external_throttle_ = r.getDoubleVec();
+    if (!external_throttle_.empty() &&
+        external_throttle_.size() != jobs_.size())
+        SATORI_FATAL("server state external throttle does not match "
+                     "the job count");
 }
 
 } // namespace sim

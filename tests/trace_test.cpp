@@ -104,12 +104,15 @@ TEST(TraceWriterTest, RunnerIntegrationWritesOneRecordPerInterval)
     policies::EqualPartitionPolicy policy(p, 2);
 
     const std::string path = "/tmp/satori_trace_runner.csv";
+    std::remove(path.c_str());
     TraceWriter trace(path, TraceFormat::Csv);
     ExperimentOptions opt;
     opt.duration = 2.0;
     opt.trace = &trace;
     (void)ExperimentRunner(opt).run(server, policy, "");
-    trace.flush();
+    // The final file only appears once the writer is closed (records
+    // stream into "<path>.tmp" until then).
+    trace.close();
 
     EXPECT_EQ(trace.count(), 20u);
     const auto lines = linesOf(path);

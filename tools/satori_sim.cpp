@@ -23,6 +23,8 @@
 #include <vector>
 
 #include "satori/satori.hpp"
+#include "satori/persist/checkpoint.hpp"
+#include "satori/persist/io.hpp"
 
 using namespace satori;
 
@@ -52,6 +54,11 @@ struct CliArgs
     std::string fault_plan_file;
     std::string fault_preset;
     std::uint64_t fault_seed = 0xFA17;
+    std::string checkpoint_dir;
+    std::size_t checkpoint_every = 50;
+    bool resume = false;
+    std::size_t kill_at = persist::CheckpointOptions::kNoKill;
+    bool kill_torn = false;
     bool vanilla = false;
     bool compare_oracle = false;
     bool list_workloads = false;
@@ -91,6 +98,18 @@ printUsage()
         "output:\n"
         "  --trace FILE          write a per-interval trace\n"
         "  --trace-format F      csv | jsonl (default csv)\n\n"
+        "durability (GUIDE.md sec. 14):\n"
+        "  --checkpoint-dir DIR  persist controller state: an interval\n"
+        "                        WAL plus periodic snapshots in DIR\n"
+        "  --checkpoint-every N  intervals between snapshots "
+        "(default 50)\n"
+        "  --resume              resume a killed run from DIR; the\n"
+        "                        finished trace is byte-identical to an\n"
+        "                        uninterrupted run's\n"
+        "  --kill-at N           crash-test hook: die with exit 137\n"
+        "                        right after interval N's WAL append\n"
+        "  --kill-torn           with --kill-at: die mid-append,\n"
+        "                        leaving a torn WAL tail\n\n"
         "observability (GUIDE.md sec. 11; needs SATORI_OBS=ON builds):\n"
         "  --metrics-out FILE    write the end-of-run metrics snapshot\n"
         "  --metrics-format F    prom | jsonl (default prom)\n"
@@ -184,6 +203,23 @@ parse(int argc, char** argv)
             if (!(v = need_value(i)))
                 return std::nullopt;
             args.fault_seed = static_cast<std::uint64_t>(std::atoll(v));
+        } else if (flag == "--checkpoint-dir") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.checkpoint_dir = v;
+        } else if (flag == "--checkpoint-every") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.checkpoint_every =
+                static_cast<std::size_t>(std::atoll(v));
+        } else if (flag == "--resume") {
+            args.resume = true;
+        } else if (flag == "--kill-at") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.kill_at = static_cast<std::size_t>(std::atoll(v));
+        } else if (flag == "--kill-torn") {
+            args.kill_torn = true;
         } else if (flag == "--vanilla") {
             args.vanilla = true;
         } else if (flag == "--workload-file") {
@@ -251,8 +287,44 @@ main(int argc, char** argv)
         listWorkloads();
         return 0;
     }
+    if (args.checkpoint_dir.empty() &&
+        (args.resume ||
+         args.kill_at != persist::CheckpointOptions::kNoKill ||
+         args.kill_torn)) {
+        std::fprintf(stderr, "--resume/--kill-at/--kill-torn require "
+                             "--checkpoint-dir\n");
+        return 2;
+    }
+    if (args.kill_torn &&
+        args.kill_at == persist::CheckpointOptions::kNoKill) {
+        std::fprintf(stderr, "--kill-torn requires --kill-at\n");
+        return 2;
+    }
+    if (!args.checkpoint_dir.empty() && args.compare_oracle) {
+        // The oracle run would re-enter the same checkpoint directory
+        // with a different policy's decision stream.
+        std::fprintf(stderr,
+                     "--compare-oracle cannot be combined with "
+                     "--checkpoint-dir\n");
+        return 2;
+    }
 
     try {
+        // Fail on unusable output paths before the experiment runs,
+        // not 30 simulated seconds into it.
+        if (!args.trace_path.empty())
+            persist::validateOutputFile("--trace", args.trace_path);
+        if (!args.metrics_out.empty())
+            persist::validateOutputFile("--metrics-out",
+                                        args.metrics_out);
+        if (!args.trace_out.empty())
+            persist::validateOutputFile("--trace-out", args.trace_out);
+        if (!args.audit_out.empty())
+            persist::validateOutputFile("--audit-out", args.audit_out);
+        if (!args.checkpoint_dir.empty())
+            persist::validateOutputDir("--checkpoint-dir",
+                                       args.checkpoint_dir);
+
         // --- Resolve the mix ---------------------------------------
         std::vector<workloads::WorkloadProfile> custom;
         if (!args.workload_file.empty())
@@ -363,6 +435,38 @@ main(int argc, char** argv)
             opt.trace = &*trace;
         }
 
+        // --- Durability (snapshots + WAL; GUIDE.md sec. 14) ----------
+        std::optional<persist::Checkpointer> checkpointer;
+        if (!args.checkpoint_dir.empty()) {
+            if (!policy->supportsPersistence()) {
+                std::fprintf(stderr,
+                             "--checkpoint-dir: policy %s does not "
+                             "support checkpointing\n",
+                             policy->name().c_str());
+                return 2;
+            }
+            // Everything that shapes the deterministic decision
+            // stream - but not the duration, so a resumed run may
+            // extend a shorter one.
+            std::ostringstream fp;
+            fp << "mix=" << mix.label << " policy=" << policy_name
+               << " seed=" << args.seed << " noise=" << args.noise
+               << " cores=" << args.cores << " ways=" << args.ways
+               << " bw=" << args.bw << " power=" << args.power
+               << " fault-plan=" << args.fault_plan_file
+               << " fault-preset=" << args.fault_preset
+               << " fault-seed=" << args.fault_seed
+               << " vanilla=" << (args.vanilla ? 1 : 0);
+            persist::CheckpointOptions copt;
+            copt.dir = args.checkpoint_dir;
+            copt.every = args.checkpoint_every;
+            copt.resume = args.resume;
+            copt.kill_at = args.kill_at;
+            copt.kill_torn = args.kill_torn;
+            checkpointer.emplace(copt, fp.str());
+            opt.checkpoint = &*checkpointer;
+        }
+
         const harness::ExperimentRunner runner(opt);
         const auto result = runner.run(server, *policy, mix.label);
 
@@ -413,7 +517,7 @@ main(int argc, char** argv)
             }
         }
         if (trace) {
-            trace->flush();
+            trace->close();
             std::printf("\ntrace: %zu records -> %s\n", trace->count(),
                         args.trace_path.c_str());
         }
@@ -446,12 +550,10 @@ main(int argc, char** argv)
         if (!args.metrics_out.empty()) {
             const obs::MetricsSnapshot snap =
                 obs::observability().metrics().snapshot();
-            std::ofstream out(args.metrics_out);
-            if (!out.good())
-                SATORI_FATAL("cannot open metrics file: " +
-                             args.metrics_out);
-            out << (args.metrics_format == "jsonl" ? snap.jsonLines()
-                                                   : snap.prometheusText());
+            persist::atomicWriteFile(args.metrics_out,
+                                     args.metrics_format == "jsonl"
+                                         ? snap.jsonLines()
+                                         : snap.prometheusText());
             std::printf("\nmetrics: %zu instruments -> %s\n",
                         snap.counters.size() + snap.gauges.size() +
                             snap.histograms.size(),
