@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The per-interval observation record shared by the whole control
+ * plane: everything a partitioning policy may base decisions on.
+ *
+ * The type lives in the config layer (pure data over Configuration
+ * and the common scalar types) so that core, policies, and sim can
+ * all speak it without any of them including the others — the
+ * architecture DAG forbids core → sim, and this record is exactly
+ * the seam that edge used to smuggle through.
+ */
+
+#ifndef SATORI_CONFIG_OBSERVATION_HPP
+#define SATORI_CONFIG_OBSERVATION_HPP
+
+#include <vector>
+
+#include "satori/common/types.hpp"
+#include "satori/config/configuration.hpp"
+
+namespace satori {
+
+/**
+ * Everything a partitioning policy sees about one controller
+ * interval. Policies must base decisions only on these observables
+ * (the oracle, which peeks at the model, is constructed with
+ * privileged access instead).
+ */
+struct IntervalObservation
+{
+    /** Simulated time at the *end* of the interval. */
+    Seconds time = 0.0;
+
+    /** Interval length. */
+    Seconds dt = kDefaultIntervalSeconds;
+
+    /** The configuration that was in force during the interval. */
+    Configuration config;
+
+    /** Measured per-job IPS over the interval. */
+    std::vector<Ips> ips;
+
+    /** Isolation-baseline IPS per job (last recorded baseline). */
+    std::vector<Ips> isolation_ips;
+};
+
+// The record predates the layering split, when it lived next to
+// PerfMonitor in sim/monitor.hpp; sim-side and policy code still
+// name it sim::IntervalObservation.
+namespace sim {
+using satori::IntervalObservation;
+} // namespace sim
+
+} // namespace satori
+
+#endif // SATORI_CONFIG_OBSERVATION_HPP

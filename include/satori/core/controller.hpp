@@ -20,7 +20,7 @@
 #include "satori/core/objective.hpp"
 #include "satori/core/telemetry_guard.hpp"
 #include "satori/core/weights.hpp"
-#include "satori/policies/policy.hpp"
+#include "satori/core/policy.hpp"
 
 namespace satori {
 namespace core {
@@ -217,7 +217,7 @@ struct SatoriDiagnostics
  * the GP proxy model, maximize the acquisition function over a
  * candidate set, and return the next configuration to run.
  */
-class SatoriController final : public policies::PartitioningPolicy
+class SatoriController final : public PartitioningPolicy
 {
   public:
     /**
@@ -230,7 +230,7 @@ class SatoriController final : public policies::PartitioningPolicy
                      SatoriOptions options = {});
 
     [[nodiscard]] std::string name() const override;
-    Configuration decide(const sim::IntervalObservation& obs) override;
+    Configuration decide(const IntervalObservation& obs) override;
     void reset() override;
 
     /** Diagnostics of the most recent iteration. */
@@ -270,16 +270,16 @@ class SatoriController final : public policies::PartitioningPolicy
                                              double fairness);
 
     /** Algorithm 1 proper, fed only guard-approved observations. */
-    Configuration decideCore(const sim::IntervalObservation& obs);
+    Configuration decideCore(const IntervalObservation& obs);
 
     /** Record a sample and advance the weight clock (retry paths). */
-    void recordOnly(const sim::IntervalObservation& obs);
+    void recordOnly(const IntervalObservation& obs);
 
     /**
      * Emit one decision-audit record (observability only; gated on
      * the channel being enabled, no-op in SATORI_OBS=OFF builds).
      */
-    void emitObsAudit(const sim::IntervalObservation& observation,
+    void emitObsAudit(const IntervalObservation& observation,
                       SampleHealth health, const Configuration& decision,
                       const char* outcome) const;
 

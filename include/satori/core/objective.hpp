@@ -15,8 +15,8 @@
 #include <vector>
 
 #include "satori/common/types.hpp"
+#include "satori/config/observation.hpp"
 #include "satori/metrics/metrics.hpp"
-#include "satori/sim/monitor.hpp"
 
 namespace satori {
 namespace core {
@@ -38,7 +38,7 @@ struct ExtraGoal
      * Evaluator mapping an interval observation to a normalized
      * [0, 1] goal value (1 = best).
      */
-    std::function<double(const sim::IntervalObservation&)> evaluator;
+    std::function<double(const IntervalObservation&)> evaluator;
 };
 
 /**
@@ -66,7 +66,7 @@ class ObjectiveSpec
      * index 0 = throughput, 1 = fairness, 2.. = extras.
      */
     [[nodiscard]] std::vector<double> goalValues(
-        const sim::IntervalObservation& obs) const;
+        const IntervalObservation& obs) const;
 
     /**
      * Full weight vector given the dynamic throughput weight

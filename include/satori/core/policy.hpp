@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The interface every resource-partitioning policy implements:
+ * observe one controller interval, return the configuration for the
+ * next interval. SATORI, the baselines, and the oracles all plug in
+ * here, so the experiment harness treats them uniformly.
+ *
+ * The interface lives in core (not satori::policies) so the SATORI
+ * controller can implement it without core depending on the
+ * policies subsystem, which sits above core in the architecture DAG
+ * and is free to include sim for its privileged baselines.
+ */
+
+#ifndef SATORI_CORE_POLICY_HPP
+#define SATORI_CORE_POLICY_HPP
+
+#include <string>
+
+#include "satori/config/configuration.hpp"
+#include "satori/config/observation.hpp"
+
+namespace satori {
+
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+
+namespace core {
+
+/**
+ * A dynamic resource-partitioning policy.
+ *
+ * The harness calls decide() once per controller interval (100 ms by
+ * default) with the measurements of the interval that just elapsed;
+ * the returned configuration is applied for the next interval -
+ * matching the paper's deployment model where jobs keep running on
+ * the previous allocation while the controller deliberates.
+ */
+class PartitioningPolicy
+{
+  public:
+    virtual ~PartitioningPolicy();
+
+    /** Short policy name used in result tables ("SATORI", "dCAT"...). */
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /** Choose the configuration for the next interval. */
+    virtual Configuration decide(const IntervalObservation& obs) = 0;
+
+    /**
+     * Forget learned state (called between experiments and on job
+     * churn for policies without built-in adaptation).
+     */
+    virtual void reset() {}
+
+    /**
+     * True if this policy implements saveState()/restoreState() such
+     * that a restored instance continues bit-identically. Policies
+     * that return false cannot run under --checkpoint-dir.
+     */
+    [[nodiscard]] virtual bool supportsPersistence() const { return false; }
+
+    /**
+     * Serialize all cross-interval state (checkpoint recovery). Only
+     * meaningful when supportsPersistence() is true; the default
+     * writes nothing.
+     */
+    virtual void saveState(persist::StateWriter& w) const { (void)w; }
+
+    /** Restore state saved by saveState on an identically
+     *  constructed instance. The default reads nothing. */
+    virtual void restoreState(persist::StateReader& r) { (void)r; }
+};
+
+} // namespace core
+
+// Concrete policies live in satori::policies; the interface keeps
+// its historical name there too.
+namespace policies {
+using core::PartitioningPolicy;
+} // namespace policies
+
+} // namespace satori
+
+#endif // SATORI_CORE_POLICY_HPP

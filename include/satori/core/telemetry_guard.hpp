@@ -30,7 +30,14 @@
 #include <vector>
 
 #include "satori/common/types.hpp"
-#include "satori/sim/monitor.hpp"
+#include "satori/config/observation.hpp"
+
+namespace satori {
+namespace persist {
+class StateWriter;
+class StateReader;
+} // namespace persist
+} // namespace satori
 
 namespace satori {
 namespace core {
@@ -98,7 +105,7 @@ class TelemetryGuard
      * lasts. With the guard disabled, always returns Healthy and
      * leaves @p obs untouched.
      */
-    SampleHealth filter(sim::IntervalObservation& obs);
+    SampleHealth filter(IntervalObservation& obs);
 
     /** Cumulative activity counters. */
     [[nodiscard]] const TelemetryGuardStats& stats() const { return stats_; }

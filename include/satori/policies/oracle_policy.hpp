@@ -12,7 +12,7 @@
 
 #include <memory>
 
-#include "satori/harness/offline_eval.hpp"
+#include "satori/sim/offline_eval.hpp"
 #include "satori/policies/policy.hpp"
 
 namespace satori {

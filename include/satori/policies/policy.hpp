@@ -1,74 +1,16 @@
 /**
  * @file
- * The interface every resource-partitioning policy implements:
- * observe one controller interval, return the configuration for the
- * next interval. SATORI, the baselines, and the oracles all plug in
- * here, so the experiment harness treats them uniformly.
+ * Historical home of the PartitioningPolicy interface. The interface
+ * moved down to satori/core/policy.hpp so the SATORI controller can
+ * implement it without core depending on this subsystem (which may
+ * include sim); this header remains so concrete policies and
+ * downstream code keep their include path and the
+ * satori::policies::PartitioningPolicy spelling.
  */
 
 #ifndef SATORI_POLICIES_POLICY_HPP
 #define SATORI_POLICIES_POLICY_HPP
 
-#include <string>
-
-#include "satori/config/configuration.hpp"
-#include "satori/sim/monitor.hpp"
-
-namespace satori {
-
-namespace persist {
-class StateWriter;
-class StateReader;
-} // namespace persist
-
-namespace policies {
-
-/**
- * A dynamic resource-partitioning policy.
- *
- * The harness calls decide() once per controller interval (100 ms by
- * default) with the measurements of the interval that just elapsed;
- * the returned configuration is applied for the next interval -
- * matching the paper's deployment model where jobs keep running on
- * the previous allocation while the controller deliberates.
- */
-class PartitioningPolicy
-{
-  public:
-    virtual ~PartitioningPolicy();
-
-    /** Short policy name used in result tables ("SATORI", "dCAT"...). */
-    [[nodiscard]] virtual std::string name() const = 0;
-
-    /** Choose the configuration for the next interval. */
-    virtual Configuration decide(const sim::IntervalObservation& obs) = 0;
-
-    /**
-     * Forget learned state (called between experiments and on job
-     * churn for policies without built-in adaptation).
-     */
-    virtual void reset() {}
-
-    /**
-     * True if this policy implements saveState()/restoreState() such
-     * that a restored instance continues bit-identically. Policies
-     * that return false cannot run under --checkpoint-dir.
-     */
-    [[nodiscard]] virtual bool supportsPersistence() const { return false; }
-
-    /**
-     * Serialize all cross-interval state (checkpoint recovery). Only
-     * meaningful when supportsPersistence() is true; the default
-     * writes nothing.
-     */
-    virtual void saveState(persist::StateWriter& w) const { (void)w; }
-
-    /** Restore state saved by saveState on an identically
-     *  constructed instance. The default reads nothing. */
-    virtual void restoreState(persist::StateReader& r) { (void)r; }
-};
-
-} // namespace policies
-} // namespace satori
+#include "satori/core/policy.hpp" // IWYU pragma: export
 
 #endif // SATORI_POLICIES_POLICY_HPP

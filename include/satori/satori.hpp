@@ -80,7 +80,7 @@
 #include "satori/obs/tracer.hpp"
 
 #include "satori/harness/experiment.hpp"
-#include "satori/harness/offline_eval.hpp"
+#include "satori/sim/offline_eval.hpp"
 #include "satori/harness/parallel.hpp"
 #include "satori/harness/repeat.hpp"
 #include "satori/harness/report.hpp"

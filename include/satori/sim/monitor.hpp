@@ -11,34 +11,11 @@
 
 #include "satori/common/types.hpp"
 #include "satori/config/configuration.hpp"
+#include "satori/config/observation.hpp"
 #include "satori/sim/server.hpp"
 
 namespace satori {
 namespace sim {
-
-/**
- * Everything a partitioning policy sees about one controller
- * interval. Policies must base decisions only on these observables
- * (the oracle, which peeks at the model, is constructed with
- * privileged access instead).
- */
-struct IntervalObservation
-{
-    /** Simulated time at the *end* of the interval. */
-    Seconds time = 0.0;
-
-    /** Interval length. */
-    Seconds dt = kDefaultIntervalSeconds;
-
-    /** The configuration that was in force during the interval. */
-    Configuration config;
-
-    /** Measured per-job IPS over the interval. */
-    std::vector<Ips> ips;
-
-    /** Isolation-baseline IPS per job (last recorded baseline). */
-    std::vector<Ips> isolation_ips;
-};
 
 /**
  * Steps the server one controller interval at a time and packages

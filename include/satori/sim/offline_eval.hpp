@@ -11,8 +11,8 @@
  * deterministic given the phases.
  */
 
-#ifndef SATORI_HARNESS_OFFLINE_EVAL_HPP
-#define SATORI_HARNESS_OFFLINE_EVAL_HPP
+#ifndef SATORI_SIM_OFFLINE_EVAL_HPP
+#define SATORI_SIM_OFFLINE_EVAL_HPP
 
 #include <cstdint>
 #include <map>
@@ -23,7 +23,7 @@
 #include "satori/sim/server.hpp"
 
 namespace satori {
-namespace harness {
+namespace sim {
 
 /** Result of an exhaustive search for one phase signature. */
 struct OracleResult
@@ -60,7 +60,7 @@ class OfflineEvaluator
     using Options = OfflineEvalOptions;
 
     /** Attach to a server (read-only; never mutates it). */
-    explicit OfflineEvaluator(const sim::SimulatedServer& server,
+    explicit OfflineEvaluator(const SimulatedServer& server,
                               Options options = {});
 
     /**
@@ -92,7 +92,7 @@ class OfflineEvaluator
     [[nodiscard]] IpsTables buildTables(
         const std::vector<std::size_t>& phase_signature) const;
 
-    const sim::SimulatedServer& server_;
+    const SimulatedServer& server_;
     Options options_;
     ConfigurationSpace space_;
 
@@ -102,7 +102,16 @@ class OfflineEvaluator
     std::size_t searches_ = 0;
 };
 
+} // namespace sim
+
+// The evaluator began life in the harness subsystem; harness-side
+// code and the tests still use the old spelling.
+namespace harness {
+using sim::OfflineEvalOptions;
+using sim::OfflineEvaluator;
+using sim::OracleResult;
 } // namespace harness
+
 } // namespace satori
 
-#endif // SATORI_HARNESS_OFFLINE_EVAL_HPP
+#endif // SATORI_SIM_OFFLINE_EVAL_HPP

@@ -1,4 +1,4 @@
-#include "satori/persist/io.hpp"
+#include "satori/common/io.hpp"
 
 #include <cerrno>
 #include <cstdio>
@@ -16,7 +16,6 @@
 #include "satori/common/logging.hpp"
 
 namespace satori {
-namespace persist {
 
 namespace {
 
@@ -145,5 +144,4 @@ validateOutputDir(const std::string& flag, const std::string& path)
         SATORI_FATAL(flag + ": directory '" + path + "' is not writable");
 }
 
-} // namespace persist
 } // namespace satori

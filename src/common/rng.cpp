@@ -3,7 +3,6 @@
 #include <cmath>
 
 #include "satori/common/logging.hpp"
-#include "satori/persist/codec.hpp"
 
 namespace satori {
 namespace {
@@ -100,24 +99,6 @@ Rng
 Rng::split()
 {
     return Rng(next() ^ 0xD1B54A32D192ED03ull);
-}
-
-void
-Rng::saveState(persist::StateWriter& w) const
-{
-    for (const std::uint64_t word : state_)
-        w.putU64(word);
-    w.putBool(hasSpare_);
-    w.putDouble(spare_);
-}
-
-void
-Rng::restoreState(persist::StateReader& r)
-{
-    for (auto& word : state_)
-        word = r.getU64();
-    hasSpare_ = r.getBool();
-    spare_ = r.getDouble();
 }
 
 } // namespace satori

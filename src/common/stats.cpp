@@ -5,7 +5,6 @@
 #include <limits>
 
 #include "satori/common/logging.hpp"
-#include "satori/persist/codec.hpp"
 
 namespace satori {
 
@@ -40,50 +39,10 @@ OnlineStats::stddev() const
 }
 
 void
-OnlineStats::saveState(persist::StateWriter& w) const
-{
-    w.putSize(n_);
-    w.putDouble(mean_);
-    w.putDouble(m2_);
-    // min_/max_ are uninitialized until the first add(); write zeros
-    // so an empty accumulator still has a fixed encoding.
-    w.putDouble(n_ > 0 ? min_ : 0.0);
-    w.putDouble(n_ > 0 ? max_ : 0.0);
-}
-
-void
-OnlineStats::restoreState(persist::StateReader& r)
-{
-    n_ = r.getSize();
-    mean_ = r.getDouble();
-    m2_ = r.getDouble();
-    const double mn = r.getDouble();
-    const double mx = r.getDouble();
-    if (n_ > 0) {
-        min_ = mn;
-        max_ = mx;
-    }
-}
-
-void
 TimeSeries::add(double t, double v)
 {
     times_.push_back(t);
     values_.push_back(v);
-}
-
-void
-TimeSeries::saveState(persist::StateWriter& w) const
-{
-    w.putDoubleVec(times_);
-    w.putDoubleVec(values_);
-}
-
-void
-TimeSeries::restoreState(persist::StateReader& r)
-{
-    times_ = r.getDoubleVec();
-    values_ = r.getDoubleVec();
 }
 
 double

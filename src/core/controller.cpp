@@ -103,7 +103,7 @@ SatoriController::holdCourse() const
 }
 
 void
-SatoriController::recordOnly(const sim::IntervalObservation& obs)
+SatoriController::recordOnly(const IntervalObservation& obs)
 {
     const std::vector<double> goals = options_.objective.goalValues(obs);
     recorder_.add(obs.config, goals);
@@ -115,7 +115,7 @@ SatoriController::recordOnly(const sim::IntervalObservation& obs)
 }
 
 Configuration
-SatoriController::decide(const sim::IntervalObservation& raw_obs)
+SatoriController::decide(const IntervalObservation& raw_obs)
 {
     SATORI_OBS_SPAN("controller.decide");
     ++decide_calls_;
@@ -125,7 +125,7 @@ SatoriController::decide(const sim::IntervalObservation& raw_obs)
     // any of its values can reach the recorder, the weight clock, or
     // the GP. With resilience disabled this is a no-op and the method
     // reduces to Algorithm 1 exactly.
-    sim::IntervalObservation obs = raw_obs;
+    IntervalObservation obs = raw_obs;
     const SampleHealth health = guard_.filter(obs);
     if (health == SampleHealth::Unusable) {
         ++unusable_streak_;
@@ -227,7 +227,7 @@ SatoriController::decide(const sim::IntervalObservation& raw_obs)
 }
 
 Configuration
-SatoriController::decideCore(const sim::IntervalObservation& obs)
+SatoriController::decideCore(const IntervalObservation& obs)
 {
     // (1) Record the outcome of the configuration that just ran,
     // keeping each goal's value separately (Sec. III-B).
@@ -505,7 +505,7 @@ SatoriController::decideCore(const sim::IntervalObservation& obs)
 }
 
 void
-SatoriController::emitObsAudit(const sim::IntervalObservation& observation,
+SatoriController::emitObsAudit(const IntervalObservation& observation,
                                SampleHealth health,
                                const Configuration& decision,
                                const char* outcome) const

@@ -23,7 +23,7 @@ ObjectiveSpec::ObjectiveSpec(ThroughputMetric tmetric,
 }
 
 std::vector<double>
-ObjectiveSpec::goalValues(const sim::IntervalObservation& obs) const
+ObjectiveSpec::goalValues(const IntervalObservation& obs) const
 {
     std::vector<double> out;
     out.reserve(numGoals());

@@ -1,0 +1,10 @@
+#include "satori/core/policy.hpp"
+
+namespace satori {
+namespace core {
+
+// Anchor the interface's vtable in the core library.
+PartitioningPolicy::~PartitioningPolicy() = default;
+
+} // namespace core
+} // namespace satori

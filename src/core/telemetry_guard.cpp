@@ -55,7 +55,7 @@ TelemetryGuard::accept(JobHistory& h, double value)
 }
 
 SampleHealth
-TelemetryGuard::filter(sim::IntervalObservation& obs)
+TelemetryGuard::filter(IntervalObservation& obs)
 {
     if (!options_.enabled)
         return SampleHealth::Healthy;

@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "satori/common/logging.hpp"
-#include "satori/persist/io.hpp"
+#include "satori/common/io.hpp"
 
 namespace satori {
 namespace obs {
@@ -94,7 +94,7 @@ void
 DecisionAuditChannel::writeJsonl(const std::string& path) const
 {
     // Atomic install: readers never observe a partially written log.
-    persist::atomicWriteFile(path, jsonLines());
+    satori::atomicWriteFile(path, jsonLines());
 }
 
 } // namespace obs

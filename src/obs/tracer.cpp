@@ -8,7 +8,7 @@
 #include <sstream>
 
 #include "satori/common/logging.hpp"
-#include "satori/persist/io.hpp"
+#include "satori/common/io.hpp"
 
 namespace satori {
 namespace obs {
@@ -91,7 +91,7 @@ Tracer::writeChromeTrace(const std::string& path) const
 {
     // Atomic install: a crash or full disk never leaves a truncated
     // file that a trace viewer half-parses.
-    persist::atomicWriteFile(path, chromeTraceJson());
+    satori::atomicWriteFile(path, chromeTraceJson());
 }
 
 std::vector<SpanAggregate>

@@ -1,5 +1,9 @@
 #include "satori/persist/state.hpp"
 
+#include "satori/common/rng.hpp"
+#include "satori/common/stats.hpp"
+#include "satori/persist/codec.hpp"
+
 namespace satori {
 namespace persist {
 
@@ -25,4 +29,68 @@ getConfiguration(StateReader& r)
 }
 
 } // namespace persist
+
+// The common-layer value types (Rng, OnlineStats, TimeSeries) declare
+// saveState/restoreState against forward-declared codec types; the
+// definitions live here so common never includes persist headers and
+// the architecture DAG stays acyclic (persist -> common only).
+
+void
+Rng::saveState(persist::StateWriter& w) const
+{
+    for (const std::uint64_t word : state_)
+        w.putU64(word);
+    w.putBool(hasSpare_);
+    w.putDouble(spare_);
+}
+
+void
+Rng::restoreState(persist::StateReader& r)
+{
+    for (auto& word : state_)
+        word = r.getU64();
+    hasSpare_ = r.getBool();
+    spare_ = r.getDouble();
+}
+
+void
+OnlineStats::saveState(persist::StateWriter& w) const
+{
+    w.putSize(n_);
+    w.putDouble(mean_);
+    w.putDouble(m2_);
+    // min_/max_ are uninitialized until the first add(); write zeros
+    // so an empty accumulator still has a fixed encoding.
+    w.putDouble(n_ > 0 ? min_ : 0.0);
+    w.putDouble(n_ > 0 ? max_ : 0.0);
+}
+
+void
+OnlineStats::restoreState(persist::StateReader& r)
+{
+    n_ = r.getSize();
+    mean_ = r.getDouble();
+    m2_ = r.getDouble();
+    const double mn = r.getDouble();
+    const double mx = r.getDouble();
+    if (n_ > 0) {
+        min_ = mn;
+        max_ = mx;
+    }
+}
+
+void
+TimeSeries::saveState(persist::StateWriter& w) const
+{
+    w.putDoubleVec(times_);
+    w.putDoubleVec(values_);
+}
+
+void
+TimeSeries::restoreState(persist::StateReader& r)
+{
+    times_ = r.getDoubleVec();
+    values_ = r.getDoubleVec();
+}
+
 } // namespace satori

@@ -1,11 +1,11 @@
-#include "satori/harness/offline_eval.hpp"
+#include "satori/sim/offline_eval.hpp"
 
 #include <cmath>
 
 #include "satori/common/logging.hpp"
 
 namespace satori {
-namespace harness {
+namespace sim {
 
 struct OfflineEvaluator::IpsTables
 {
@@ -16,7 +16,7 @@ struct OfflineEvaluator::IpsTables
     double isolation_sum = 0.0;
 };
 
-OfflineEvaluator::OfflineEvaluator(const sim::SimulatedServer& server,
+OfflineEvaluator::OfflineEvaluator(const SimulatedServer& server,
                                    Options options)
     : server_(server), options_(options),
       space_(server.platform(), server.numJobs())
@@ -182,5 +182,5 @@ OfflineEvaluator::bestFor(const std::vector<std::size_t>& phase_signature,
     return memo_.emplace(key, std::move(best)).first->second;
 }
 
-} // namespace harness
+} // namespace sim
 } // namespace satori

@@ -280,7 +280,9 @@ TEST(AnalysisAuditorIntegration, CleanRunReportsZeroViolations)
     harness::ExperimentOptions options;
     options.duration = 8.0;
     harness::ExperimentRunner runner(options);
-    runner.run(server, controller, mix.label);
+    const harness::ExperimentResult result =
+        runner.run(server, controller, mix.label);
+    EXPECT_EQ(result.mix_label, mix.label);
     EXPECT_GT(analysis::globalAuditor().checksRun(), 0u);
     EXPECT_EQ(analysis::globalAuditor().violationCount(), 0u)
         << analysis::globalAuditor().renderReport();

@@ -1,0 +1,12 @@
+// Deliberate fixture: alpha and beta include each other.
+#include "beta.cpp"
+
+namespace fixture {
+
+int
+alphaValue()
+{
+    return 1;
+}
+
+} // namespace fixture

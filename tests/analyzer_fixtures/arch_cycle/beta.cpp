@@ -1,0 +1,12 @@
+// Deliberate fixture: the other half of the alpha <-> beta cycle.
+#include "alpha.cpp"
+
+namespace fixture {
+
+int
+betaValue()
+{
+    return 2;
+}
+
+} // namespace fixture

@@ -1,0 +1,13 @@
+// Deliberate fixture: a common-layer file reaching up into bo, which
+// the layering DAG forbids (common depends on nothing).
+#include "satori/bo/engine.hpp"
+
+namespace fixture {
+
+int
+placeholder()
+{
+    return 1;
+}
+
+} // namespace fixture

@@ -1,0 +1,12 @@
+// Deliberate fixture: src/gadgets/ names a subsystem the layering
+// DAG has never heard of.
+
+namespace fixture {
+
+int
+widget()
+{
+    return 2;
+}
+
+} // namespace fixture

@@ -1,0 +1,24 @@
+// Call-graph resolution fixture: Alpha::refresh shares its name with
+// Beta::refresh (beta.cpp); an unqualified call inside a member must
+// resolve to the caller's own class, and an unqualified call in a
+// free function must resolve to the free definition only.
+
+namespace fixture {
+
+class Alpha
+{
+public:
+    void refresh() { marks_ = marks_ + 1; }
+    void tick() { refresh(); }
+
+private:
+    int marks_ = 0;
+};
+
+void
+pokeAudit()
+{
+    audit();
+}
+
+} // namespace fixture

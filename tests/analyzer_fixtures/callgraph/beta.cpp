@@ -1,0 +1,29 @@
+// Call-graph resolution fixture: Beta::refresh plus a typed-receiver
+// call site that must prune the same-named Alpha::refresh
+// (alpha.cpp), and the free audit() that alpha.cpp's free caller
+// resolves to.
+
+namespace fixture {
+
+class Beta
+{
+public:
+    void refresh() { beats_ = beats_ + 1; }
+    void audit() { beats_ = 0; }
+
+private:
+    int beats_ = 0;
+};
+
+void
+audit()
+{
+}
+
+void
+driveBeta(Beta& b)
+{
+    b.refresh();
+}
+
+} // namespace fixture

@@ -1,0 +1,17 @@
+// Deliberate fixture: a statement only reachable by falling through
+// std::abort(), which never returns.
+#include <cstdlib>
+
+namespace fixture {
+
+int
+checkedDivide(int num, int den)
+{
+    if (den == 0) {
+        std::abort();
+        num = 0;
+    }
+    return num / den;
+}
+
+} // namespace fixture

@@ -1,0 +1,14 @@
+// Clean twin: the fatal call is the last statement on its path.
+#include <cstdlib>
+
+namespace fixture {
+
+int
+checkedDivide(int num, int den)
+{
+    if (den == 0)
+        std::abort();
+    return num / den;
+}
+
+} // namespace fixture

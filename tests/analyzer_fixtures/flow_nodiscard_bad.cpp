@@ -1,0 +1,24 @@
+// Deliberate fixture: the result of a [[nodiscard]] member call is
+// dropped on the floor as a whole expression statement.
+
+namespace fixture {
+
+class Budget
+{
+public:
+    [[nodiscard]] int remaining() const { return left_; }
+    void spend(int amount) { left_ -= amount; }
+
+private:
+    int left_ = 100;
+};
+
+int
+drain(Budget& budget)
+{
+    budget.remaining();
+    budget.spend(10);
+    return budget.remaining();
+}
+
+} // namespace fixture

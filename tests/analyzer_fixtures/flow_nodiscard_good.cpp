@@ -1,0 +1,23 @@
+// Clean twin: every [[nodiscard]] result is consumed.
+
+namespace fixture {
+
+class Budget
+{
+public:
+    [[nodiscard]] int remaining() const { return left_; }
+    void spend(int amount) { left_ -= amount; }
+
+private:
+    int left_ = 100;
+};
+
+int
+drain(Budget& budget)
+{
+    const int before = budget.remaining();
+    budget.spend(before / 2);
+    return budget.remaining();
+}
+
+} // namespace fixture

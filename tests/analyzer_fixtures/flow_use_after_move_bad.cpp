@@ -1,0 +1,15 @@
+// Deliberate fixture: `items` is read after std::move consumed it.
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+std::vector<int>
+consume(std::vector<int> items)
+{
+    std::vector<int> sink = std::move(items);
+    sink.push_back(1);
+    return items;
+}
+
+} // namespace fixture

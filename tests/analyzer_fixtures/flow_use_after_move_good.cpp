@@ -1,0 +1,18 @@
+// Clean twin: the moved-from vector is re-established (clear) before
+// any further use, which is the sanctioned reuse idiom.
+#include <utility>
+#include <vector>
+
+namespace fixture {
+
+std::vector<int>
+consume(std::vector<int> items)
+{
+    std::vector<int> sink = std::move(items);
+    sink.push_back(1);
+    items.clear();
+    items.push_back(2);
+    return items;
+}
+
+} // namespace fixture

@@ -1,0 +1,40 @@
+// Deliberate fixture: restoreState reads the codec ops in a
+// different order than saveState wrote them.
+
+namespace fixture {
+
+class StateWriter
+{
+public:
+    void putU64(unsigned long long v);
+    void putDouble(double v);
+};
+
+class StateReader
+{
+public:
+    unsigned long long getU64();
+    double getDouble();
+};
+
+class Counter
+{
+public:
+    void saveState(StateWriter& w) const
+    {
+        w.putU64(count_);
+        w.putDouble(mean_);
+    }
+
+    void restoreState(StateReader& r)
+    {
+        mean_ = r.getDouble();
+        count_ = r.getU64();
+    }
+
+private:
+    unsigned long long count_ = 0;
+    double mean_ = 0.0;
+};
+
+} // namespace fixture

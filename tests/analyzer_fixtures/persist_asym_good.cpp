@@ -1,0 +1,39 @@
+// Clean twin: the get sequence mirrors the put sequence exactly.
+
+namespace fixture {
+
+class StateWriter
+{
+public:
+    void putU64(unsigned long long v);
+    void putDouble(double v);
+};
+
+class StateReader
+{
+public:
+    unsigned long long getU64();
+    double getDouble();
+};
+
+class Counter
+{
+public:
+    void saveState(StateWriter& w) const
+    {
+        w.putU64(count_);
+        w.putDouble(mean_);
+    }
+
+    void restoreState(StateReader& r)
+    {
+        count_ = r.getU64();
+        mean_ = r.getDouble();
+    }
+
+private:
+    unsigned long long count_ = 0;
+    double mean_ = 0.0;
+};
+
+} // namespace fixture

@@ -1,0 +1,43 @@
+// Deliberate fixture: Counter's op sequence gained a putDouble but
+// the checked-in manifest (schema.txt) still records the old
+// sequence under the same, un-bumped format version.
+
+namespace fixture {
+
+constexpr unsigned kSnapshotFormatVersion = 1;
+
+class StateWriter
+{
+public:
+    void putU64(unsigned long long v);
+    void putDouble(double v);
+};
+
+class StateReader
+{
+public:
+    unsigned long long getU64();
+    double getDouble();
+};
+
+class Counter
+{
+public:
+    void saveState(StateWriter& w) const
+    {
+        w.putU64(count_);
+        w.putDouble(mean_);
+    }
+
+    void restoreState(StateReader& r)
+    {
+        count_ = r.getU64();
+        mean_ = r.getDouble();
+    }
+
+private:
+    unsigned long long count_ = 0;
+    double mean_ = 0.0;
+};
+
+} // namespace fixture

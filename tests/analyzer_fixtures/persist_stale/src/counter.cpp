@@ -1,0 +1,31 @@
+// Deliberate fixture: the source bumped kSnapshotFormatVersion to 2
+// but the manifest (schema.txt) was not regenerated and still says
+// version 1.
+
+namespace fixture {
+
+constexpr unsigned kSnapshotFormatVersion = 2;
+
+class StateWriter
+{
+public:
+    void putU64(unsigned long long v);
+};
+
+class StateReader
+{
+public:
+    unsigned long long getU64();
+};
+
+class Counter
+{
+public:
+    void saveState(StateWriter& w) const { w.putU64(count_); }
+    void restoreState(StateReader& r) { count_ = r.getU64(); }
+
+private:
+    unsigned long long count_ = 0;
+};
+
+} // namespace fixture

@@ -80,6 +80,14 @@ const RuleFixture kRuleFixtures[] = {
      "conc_raw_thread_good.cpp"},
     {"conc-unannotated-mutex", "conc_unannotated_mutex_bad.hpp",
      "conc_unannotated_mutex_good.hpp"},
+    {"flow-use-after-move", "flow_use_after_move_bad.cpp",
+     "flow_use_after_move_good.cpp"},
+    {"flow-discarded-nodiscard", "flow_nodiscard_bad.cpp",
+     "flow_nodiscard_good.cpp"},
+    {"flow-dead-after-fatal", "flow_dead_fatal_bad.cpp",
+     "flow_dead_fatal_good.cpp"},
+    {"persist-asymmetric-state", "persist_asym_bad.cpp",
+     "persist_asym_good.cpp"},
 };
 
 TEST(AnalyzerRules, BadFixturesFireExactlyTheirRule)
@@ -181,6 +189,11 @@ TEST(AnalyzerEngine, PackListParsesNamesAndAliases)
     EXPECT_EQ(parsePackList("header"), kPackHeader);
     EXPECT_EQ(parsePackList("conc"), kPackConcurrency);
     EXPECT_EQ(parsePackList("concurrency"), kPackConcurrency);
+    EXPECT_EQ(parsePackList("persist"), kPackPersist);
+    EXPECT_EQ(parsePackList("arch"), kPackArch);
+    EXPECT_EQ(parsePackList("flow"), kPackFlow);
+    EXPECT_EQ(parsePackList("persist,arch,flow"),
+              kPackPersist | kPackArch | kPackFlow);
     EXPECT_EQ(parsePackList("bogus"), 0u);
 }
 
@@ -292,6 +305,207 @@ TEST(AnalyzerCrossFile, LockOrderFindingHonorsInlineAllow)
     EXPECT_EQ(suppressed, 1);
 }
 
+// --- persist pack: manifest drift and staleness ----------------------
+
+TEST(AnalyzerPersist, UnbumpedSchemaChangeIsDrift)
+{
+    Options options;
+    options.persist_schema = fixture("persist_drift") / "schema.txt";
+    const AnalyzeResult result =
+        analyzePaths({fixture("persist_drift")}, options);
+    EXPECT_EQ(activeRules(result.findings),
+              std::set<std::string>{"persist-schema-drift"});
+    const auto hit =
+        std::find_if(result.findings.begin(), result.findings.end(),
+                     [](const Finding& f) {
+                         return f.rule == "persist-schema-drift";
+                     });
+    ASSERT_NE(hit, result.findings.end());
+    // Anchored at the drifted saveState, naming both sequences.
+    EXPECT_NE(hit->file.find("counter.cpp"), std::string::npos);
+    EXPECT_NE(hit->message.find("[u64 double]"), std::string::npos);
+    EXPECT_NE(hit->message.find("[u64]"), std::string::npos);
+    EXPECT_NE(hit->message.find("kSnapshotFormatVersion"),
+              std::string::npos);
+}
+
+TEST(AnalyzerPersist, VersionSkewIsStaleManifest)
+{
+    Options options;
+    options.persist_schema = fixture("persist_stale") / "schema.txt";
+    const AnalyzeResult result =
+        analyzePaths({fixture("persist_stale")}, options);
+    EXPECT_EQ(activeRules(result.findings),
+              std::set<std::string>{"persist-manifest-stale"});
+    const auto hit =
+        std::find_if(result.findings.begin(), result.findings.end(),
+                     [](const Finding& f) {
+                         return f.rule == "persist-manifest-stale";
+                     });
+    ASSERT_NE(hit, result.findings.end());
+    // Anchored at the manifest's version line, with the fix spelled.
+    EXPECT_NE(hit->file.find("schema.txt"), std::string::npos);
+    EXPECT_NE(hit->message.find("--write-persist-schema"),
+              std::string::npos);
+}
+
+TEST(AnalyzerPersist, MatchingManifestIsClean)
+{
+    // The drift fixture's true schema, rendered by the engine, must
+    // round-trip: diffing sources against their own rendered manifest
+    // yields nothing.
+    Options options;
+    const std::vector<SourceFile> sources =
+        loadSourceTree({fixture("persist_drift")}, options);
+    const SymbolIndex index = buildSymbolIndex(sources, options);
+    const std::string manifest = renderPersistSchema(sources, index);
+    EXPECT_NE(manifest.find("version 1"), std::string::npos);
+    EXPECT_NE(manifest.find("Counter: u64 double"), std::string::npos);
+
+    const fs::path path = fs::temp_directory_path() /
+                          "satori_analyzer_schema_roundtrip.txt";
+    {
+        std::ofstream out(path);
+        out << manifest;
+    }
+    options.persist_schema = path;
+    const AnalyzeResult result =
+        analyzePaths({fixture("persist_drift")}, options);
+    EXPECT_EQ(countActive(result.findings), 0u)
+        << "first finding: "
+        << (result.findings.empty() ? std::string("none")
+                                    : result.findings.front().message);
+    fs::remove(path);
+}
+
+// --- arch pack: layering over the include graph ----------------------
+
+TEST(AnalyzerArch, ForbiddenEdgeReportsShortestChain)
+{
+    const AnalyzeResult result = analyzeFixtureDir("arch_forbidden");
+    EXPECT_EQ(activeRules(result.findings),
+              std::set<std::string>{"arch-forbidden-include"});
+    const auto hit =
+        std::find_if(result.findings.begin(), result.findings.end(),
+                     [](const Finding& f) {
+                         return f.rule == "arch-forbidden-include";
+                     });
+    ASSERT_NE(hit, result.findings.end());
+    EXPECT_NE(hit->message.find("`common`"), std::string::npos);
+    EXPECT_NE(hit->message.find("`bo`"), std::string::npos);
+    EXPECT_NE(hit->message.find("include chain: "), std::string::npos);
+    EXPECT_NE(hit->message.find(" -> satori/bo/engine.hpp"),
+              std::string::npos);
+}
+
+TEST(AnalyzerArch, IncludeCycleIsReportedOnce)
+{
+    const AnalyzeResult result = analyzeFixtureDir("arch_cycle");
+    EXPECT_EQ(activeRules(result.findings),
+              std::set<std::string>{"arch-include-cycle"});
+    const auto cycles = std::count_if(
+        result.findings.begin(), result.findings.end(),
+        [](const Finding& f) { return f.rule == "arch-include-cycle"; });
+    EXPECT_EQ(cycles, 1) << "each cycle should be reported exactly once";
+}
+
+TEST(AnalyzerArch, UnknownSubsystemDirectoryIsFlagged)
+{
+    const AnalyzeResult result = analyzeFixtureDir("arch_unknown");
+    EXPECT_EQ(activeRules(result.findings),
+              std::set<std::string>{"arch-unknown-subsystem"});
+    EXPECT_NE(result.findings.front().message.find("gadgets"),
+              std::string::npos);
+}
+
+// --- call graph: qualified resolution of same-named callees ----------
+
+TEST(AnalyzerCallGraph, ReceiverAndOwnerPruneSameNamedMethods)
+{
+    Options options;
+    const std::vector<SourceFile> sources =
+        loadSourceTree({fixture("callgraph")}, options);
+    const SymbolIndex index = buildSymbolIndex(sources, options);
+    const CallGraph graph = buildCallGraph(index);
+
+    const auto find = [&index](const std::string& owner,
+                               const std::string& name) {
+        for (std::size_t i = 0; i < index.functions.size(); ++i)
+            if (index.functions[i].owner == owner &&
+                index.functions[i].name == name)
+                return i;
+        return index.functions.size();
+    };
+    const auto calls = [&graph](std::size_t caller,
+                                std::size_t callee) {
+        const auto& out = graph.callees[caller];
+        return std::find(out.begin(), out.end(), callee) != out.end();
+    };
+
+    const std::size_t tick = find("Alpha", "tick");
+    const std::size_t alpha_refresh = find("Alpha", "refresh");
+    const std::size_t beta_refresh = find("Beta", "refresh");
+    const std::size_t drive = find("", "driveBeta");
+    ASSERT_LT(tick, index.functions.size());
+    ASSERT_LT(alpha_refresh, index.functions.size());
+    ASSERT_LT(beta_refresh, index.functions.size());
+    ASSERT_LT(drive, index.functions.size());
+
+    // Unqualified call inside a member: the caller's own class wins
+    // over the same-named method on an unrelated class.
+    EXPECT_TRUE(calls(tick, alpha_refresh));
+    EXPECT_FALSE(calls(tick, beta_refresh));
+
+    // Typed receiver: b.refresh() goes to Beta only.
+    EXPECT_TRUE(calls(drive, beta_refresh));
+    EXPECT_FALSE(calls(drive, alpha_refresh));
+
+    // Unqualified call in a free function resolves to the free
+    // definition, not the same-named member.
+    const std::size_t poke = find("", "pokeAudit");
+    const std::size_t free_audit = find("", "audit");
+    const std::size_t beta_audit = find("Beta", "audit");
+    ASSERT_LT(poke, index.functions.size());
+    ASSERT_LT(free_audit, index.functions.size());
+    ASSERT_LT(beta_audit, index.functions.size());
+    EXPECT_TRUE(calls(poke, free_audit));
+    EXPECT_FALSE(calls(poke, beta_audit));
+}
+
+// --- parallel scan and SARIF rendering -------------------------------
+
+TEST(AnalyzerEngine, ParallelScanMatchesSerialByteForByte)
+{
+    Options serial;
+    serial.jobs = 1;
+    Options parallel;
+    parallel.jobs = 4;
+    const AnalyzeResult a = analyzePaths({fixture("")}, serial);
+    const AnalyzeResult b = analyzePaths({fixture("")}, parallel);
+    EXPECT_EQ(a.files_scanned, b.files_scanned);
+    EXPECT_EQ(renderText(a, "x"), renderText(b, "x"));
+    EXPECT_EQ(renderJson(a), renderJson(b));
+}
+
+TEST(AnalyzerEngine, RenderSarifEmitsCatalogRulesAndActiveResults)
+{
+    Options options;
+    const AnalyzeResult result =
+        analyzePaths({fixture("num_float_eq_bad.cpp")}, options);
+    const std::string sarif = renderSarif(result, "satori_analyzer");
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"satori_analyzer\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"num-float-eq\""),
+              std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": "), std::string::npos);
+    // Rule metadata for every catalog rule rides along.
+    for (const RuleInfo& info : ruleCatalog())
+        EXPECT_NE(sarif.find("\"id\": \"" + info.id + "\""),
+                  std::string::npos)
+            << info.id;
+}
+
 TEST(AnalyzerCrossFile, SymbolIndexFindsDefinitionsAndAttributes)
 {
     Options options;
@@ -332,6 +546,11 @@ TEST(AnalyzerEngine, CatalogCoversEveryRuleTheFixturesFire)
             << rf.rule << " missing from ruleCatalog()";
     EXPECT_EQ(known.count("det-taint-reaches-trace"), 1u);
     EXPECT_EQ(known.count("conc-lock-order"), 1u);
+    EXPECT_EQ(known.count("persist-schema-drift"), 1u);
+    EXPECT_EQ(known.count("persist-manifest-stale"), 1u);
+    EXPECT_EQ(known.count("arch-forbidden-include"), 1u);
+    EXPECT_EQ(known.count("arch-include-cycle"), 1u);
+    EXPECT_EQ(known.count("arch-unknown-subsystem"), 1u);
 }
 
 // --- token-helper edge cases (satellite coverage) --------------------

@@ -7,7 +7,7 @@
 
 #include <gtest/gtest.h>
 
-#include "satori/harness/offline_eval.hpp"
+#include "satori/sim/offline_eval.hpp"
 #include "satori/harness/scenarios.hpp"
 #include "satori/workloads/mixes.hpp"
 

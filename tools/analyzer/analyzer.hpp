@@ -1,7 +1,7 @@
 /**
  * @file
  * satori_analyzer: project-specific semantic static analysis for the
- * SATORI tree. One engine, five rule packs:
+ * SATORI tree. One engine, eight rule packs:
  *
  *   det    - determinism: no wall clocks, no std::random_device, no
  *            emitting loops over unordered containers, no pointer-value
@@ -26,6 +26,18 @@
  *            inside parallelFor bodies, raw std::thread outside the
  *            harness, member mutexes without SATORI_GUARDED_BY
  *            siblings, and cross-function lock-order cycles.
+ *   persist - saveState/restoreState symmetry: the StateWriter put
+ *            sequence of every persistent type must mirror its
+ *            StateReader get sequence tag for tag, and the extracted
+ *            schema must match the checked-in tools/persist_schema.txt
+ *            manifest unless kSnapshotFormatVersion was bumped.
+ *   arch   - subsystem layering: every `#include "satori/..."` edge
+ *            checked against the declared dependency DAG (core must
+ *            not reach sim, common depends on nothing, ...), with
+ *            include-cycle detection and shortest-chain reports.
+ *   flow   - CFG-based intra-procedural dataflow: use-after-move on
+ *            some path, discarded [[nodiscard]] results, statements
+ *            only reachable by falling through a fatal call.
  *
  * Findings are reported as `file:line: [rule-id] message`. A finding
  * can be silenced inline (`// satori-analyzer: allow(rule-id)`) on the
@@ -60,9 +72,12 @@ inline constexpr unsigned kPackNumeric = 1u << 1;
 inline constexpr unsigned kPackApi = 1u << 2;
 inline constexpr unsigned kPackHeader = 1u << 3;
 inline constexpr unsigned kPackConcurrency = 1u << 4;
+inline constexpr unsigned kPackPersist = 1u << 5;
+inline constexpr unsigned kPackArch = 1u << 6;
+inline constexpr unsigned kPackFlow = 1u << 7;
 inline constexpr unsigned kPackAll =
     kPackDeterminism | kPackNumeric | kPackApi | kPackHeader |
-    kPackConcurrency;
+    kPackConcurrency | kPackPersist | kPackArch | kPackFlow;
 
 /**
  * Parse a comma-separated pack list ("det,num", "api", "conc", "all",
@@ -107,6 +122,9 @@ struct Options
      */
     std::vector<std::string> wallclock_allow = {
         "tools/satori_sim.cpp",
+        // The analyzer driver times its own scan for --stats; the
+        // reading never reaches a simulation artifact.
+        "tools/satori_analyzer.cpp",
         "bench/bench_util",
         // The observability layer is the one library component allowed
         // to read the steady clock: span timing lives there and never
@@ -134,7 +152,25 @@ struct Options
     std::vector<std::string> raw_thread_allow = {
         "include/satori/harness/",
         "src/harness/",
+        // The analyzer's own tree scan claims files from a small
+        // worker pool; it cannot depend on the satori library.
+        "tools/analyzer/engine.cpp",
     };
+
+    /**
+     * Persist-schema manifest (tools/persist_schema.txt) to diff the
+     * extracted saveState sequences against. Empty disables the
+     * manifest rules (persist-schema-drift / persist-manifest-stale);
+     * the asymmetry rule runs regardless.
+     */
+    std::filesystem::path persist_schema;
+
+    /**
+     * Worker threads for the per-file scan phase: 0 picks a value
+     * from the hardware, 1 forces the serial path. Output is
+     * path-sorted and byte-identical at every setting.
+     */
+    unsigned jobs = 0;
 };
 
 // --- source model ----------------------------------------------------
@@ -238,6 +274,20 @@ guardRelativePath(const std::filesystem::path& file,
 // --- project model: symbol index, call graph, dataflow ---------------
 
 /**
+ * One call site inside a function body, with whatever qualification
+ * the token stream offers: an explicit `X::` scope, a receiver
+ * expression (`recv.name(...)` / `recv->name(...)` / `this->`), or
+ * nothing. The call graph uses it to prune same-name false edges.
+ */
+struct CalleeRef
+{
+    std::string name;      ///< Unqualified callee name.
+    std::string qualifier; ///< `X` from `X::name(` calls, else "".
+    std::string receiver;  ///< Receiver token ("this" for this->),
+                           ///< else "".
+};
+
+/**
  * One free or member function definition found by the symbol indexer,
  * with the per-function attribute lattice the cross-file passes
  * consume (direct nondeterminism use, trace-emit calls, lock
@@ -250,10 +300,28 @@ struct FunctionDef
                            ///< diagnostics.
     std::string display;   ///< Defining file (as reported).
     int line = 0;          ///< 1-based line of the definition.
+    int body_line = 0;     ///< 1-based line of the first body char
+                           ///< (after the opening `{`).
     std::string body;      ///< Stripped body text, '\n'-joined.
+    std::string params;    ///< Raw text inside the parameter parens.
+
+    /// Enclosing class/struct, from the in-class scope or the
+    /// `Class::` prefix of an out-of-line definition; "" for free
+    /// functions.
+    std::string owner;
+
+    /// Parameter names, left to right ("" for unnamed).
+    std::vector<std::string> param_names;
+
+    /// Declared parameter/local name -> normalized type key (last
+    /// `::` component, smart-pointer wrappers unwrapped).
+    std::map<std::string, std::string> var_types;
 
     /// Unqualified names of `name(` call tokens in the body.
     std::vector<std::string> callee_names;
+
+    /// The same call sites with qualification context preserved.
+    std::vector<CalleeRef> callees;
 
     /// Normalized lock expressions acquired in the body, in source
     /// order (MutexLock/lock_guard/unique_lock/scoped_lock ctor args
@@ -281,6 +349,16 @@ struct SymbolIndex
     /// same-name members all resolve here; the passes are
     /// conservative about the ambiguity).
     std::map<std::string, std::vector<std::size_t>> by_name;
+
+    /// Class name -> member field name -> normalized type key,
+    /// harvested from in-class declarations (receiver-type
+    /// resolution for call-edge pruning).
+    std::map<std::string, std::map<std::string, std::string>>
+        class_fields;
+
+    /// Qualified names declared [[nodiscard]] anywhere in the scanned
+    /// set: "Owner::name" for members, "::name" for free functions.
+    std::set<std::string> nodiscard_qualified;
 };
 
 /** Build the index over every scanned file (heuristic, see @file). */
@@ -288,7 +366,16 @@ struct SymbolIndex
 buildSymbolIndex(const std::vector<SourceFile>& files,
                  const Options& options);
 
-/** Call edges resolved by unqualified callee name. */
+/**
+ * Call edges resolved by callee name, pruned by qualification: an
+ * explicit `X::` scope, a receiver whose type resolves through the
+ * caller's parameter/local table or its class's field table, or the
+ * caller's own class for unqualified/this-> calls restricts a
+ * same-name candidate set to the matching owners. When nothing
+ * resolves, every candidate keeps its edge (conservative — the
+ * cross-file passes propagate monotone facts where a spurious edge
+ * at worst widens a fact the reporting rules then filter).
+ */
 struct CallGraph
 {
     /// callees[i] holds indices into SymbolIndex::functions, parallel
@@ -297,6 +384,35 @@ struct CallGraph
 };
 
 [[nodiscard]] CallGraph buildCallGraph(const SymbolIndex& index);
+
+// --- control-flow graphs ---------------------------------------------
+
+/**
+ * One CFG node: a statement or a branch/loop condition. Nodes with no
+ * successors terminate the function (return/throw/fatal or the last
+ * statement).
+ */
+struct CfgNode
+{
+    std::string text; ///< Stripped statement text, trimmed.
+    int line = 0;     ///< 1-based source line of the first token.
+    std::vector<std::size_t> succ; ///< Indices into Cfg::nodes.
+};
+
+/**
+ * Intra-procedural control-flow graph over the stripped statement
+ * stream of one function body: if/else, while/for/do, switch with
+ * case fallthrough, break/continue, and return/throw terminators are
+ * modeled; goto is not (the tree has none). Nodes appear in source
+ * order; entry is node 0 when any node exists.
+ */
+struct Cfg
+{
+    std::vector<CfgNode> nodes;
+};
+
+/** Build the CFG for @p def's body. */
+[[nodiscard]] Cfg buildCfg(const FunctionDef& def);
 
 /**
  * Per-function nondeterminism taint. A function is tainted when its
@@ -348,6 +464,53 @@ void runTaintPass(const SymbolIndex& index, const CallGraph& graph,
 void runLockOrderPass(const SymbolIndex& index, const CallGraph& graph,
                       std::vector<Finding>& findings);
 
+/**
+ * CFG-based flow pack over every function @p index found in @p file:
+ * locals/parameters used after std::move on some path without an
+ * intervening reassignment (flow-use-after-move), discarded calls to
+ * [[nodiscard]] functions (flow-discarded-nodiscard), and statements
+ * that can only be reached by falling through a SATORI_FATAL /
+ * SATORI_PANIC / abort / exit call (flow-dead-after-fatal).
+ */
+void runFlowPack(const SourceFile& file, const SymbolIndex& index,
+                 std::vector<Finding>& findings);
+
+/**
+ * Persist pack: for every type with saveState/restoreState members,
+ * extract the StateWriter put-sequence and StateReader get-sequence
+ * as codec type tags (`u64`, `double`, `state(member)`, ... with `*`
+ * for in-loop and `?` for conditional ops) and report divergence with
+ * both locations (persist-asymmetric-state). With a manifest in
+ * Options::persist_schema, additionally diff the extracted schema of
+ * every include/- or src/-resident type against it: a sequence change
+ * while the manifest still matches the source kSnapshotFormatVersion
+ * is persist-schema-drift; version skew or dead manifest entries are
+ * persist-manifest-stale.
+ */
+void runPersistPack(const std::vector<SourceFile>& sources,
+                    const SymbolIndex& index, const Options& options,
+                    std::vector<Finding>& findings);
+
+/**
+ * Render the extracted persist schema in manifest form (`version N`
+ * header plus one `Class: tag tag ...` line per type), for
+ * --write-persist-schema. Covers include/- and src/-resident types.
+ */
+[[nodiscard]] std::string
+renderPersistSchema(const std::vector<SourceFile>& sources,
+                    const SymbolIndex& index);
+
+/**
+ * Arch pack: check every `#include "satori/..."` edge against the
+ * declared subsystem layering DAG (closure of the direct-dependency
+ * table in rules_arch.cpp). Reports arch-forbidden-include with the
+ * shortest offending include chain, arch-include-cycle on file-level
+ * include cycles, and arch-unknown-subsystem for directories missing
+ * from the DAG.
+ */
+void runArchPack(const std::vector<SourceFile>& sources,
+                 std::vector<Finding>& findings);
+
 // --- suppression and baseline ----------------------------------------
 
 /**
@@ -396,6 +559,7 @@ struct AnalyzeResult
 {
     std::vector<Finding> findings; ///< Sorted by (file, line, rule).
     std::size_t files_scanned = 0;
+    unsigned jobs_used = 1; ///< Worker threads the tree scan ran on.
 };
 
 /**
@@ -408,9 +572,23 @@ analyzeFile(const std::filesystem::path& file, const Options& options,
             const std::filesystem::path& scan_target);
 
 /**
+ * Load every .hpp/.cpp under @p targets (files or directories,
+ * recursively; paths containing "/build" are skipped, fixture trees
+ * only when targeted explicitly), path-sorted and deduplicated, with
+ * guard_rel derived per file. The per-file loads run on
+ * Options::jobs workers; the returned order is identical at any job
+ * count.
+ */
+[[nodiscard]] std::vector<SourceFile>
+loadSourceTree(const std::vector<std::filesystem::path>& targets,
+               const Options& options);
+
+/**
  * Analyze every .hpp/.cpp under @p targets (files or directories,
  * recursively; paths containing "/build" are skipped) and return the
- * sorted findings.
+ * sorted findings. The per-file packs run in parallel across
+ * Options::jobs workers; findings are merged in path order, so the
+ * output is byte-identical to a serial scan.
  */
 [[nodiscard]] AnalyzeResult
 analyzePaths(const std::vector<std::filesystem::path>& targets,
@@ -425,6 +603,13 @@ analyzePaths(const std::vector<std::filesystem::path>& targets,
 
 /** Render the full result (including silenced findings) as JSON. */
 [[nodiscard]] std::string renderJson(const AnalyzeResult& result);
+
+/**
+ * Render the active findings as a SARIF 2.1.0 log (one run, rule
+ * metadata from the catalog) so CI can annotate PR diffs.
+ */
+[[nodiscard]] std::string renderSarif(const AnalyzeResult& result,
+                                      const std::string& tool_name);
 
 // --- rule catalog (--explain) ----------------------------------------
 

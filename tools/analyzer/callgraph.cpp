@@ -1,17 +1,118 @@
 /**
  * @file
- * The project call graph: edges from each indexed function to every
- * indexed function sharing an unqualified callee name. Name-based
- * resolution is deliberately conservative — overloads and same-name
- * members all receive an edge — because the cross-file passes only
- * ever propagate monotone facts (taint, lock sets) where a spurious
- * edge can at worst widen a fact that the allowlist boundaries and
- * the reporting rules then filter.
+ * The project call graph, with qualified edge resolution: a callee
+ * name shared by several definitions (the many saveState overloads,
+ * same-named methods on unrelated types) is pruned to the candidates
+ * the call site's context supports before conservative fallback.
+ *
+ * Resolution order per call site:
+ *   1. explicit `X::name(...)` — candidates owned by X;
+ *   2. `recv.name(...)` / `recv->name(...)` — recv's type resolved
+ *      through the caller's parameter/local table, then the caller's
+ *      class field table; candidates owned by that type;
+ *   3. `this->name(...)` or unqualified `name(...)` inside a member —
+ *      candidates owned by the caller's class, plus free functions
+ *      for the unqualified case;
+ *   4. unqualified `name(...)` in a free function — free candidates.
+ *
+ * A step only prunes when it matches at least one candidate;
+ * otherwise every candidate keeps its edge, because the cross-file
+ * passes propagate monotone facts (taint, lock sets) where a missing
+ * edge hides a real defect but a spurious one at worst widens a fact
+ * the allowlist boundaries and reporting rules then filter.
  */
 
 #include "analyzer/analyzer.hpp"
 
+#include <algorithm>
+
 namespace satori_analyzer {
+
+namespace {
+
+/** Indices in @p candidates whose definition is owned by @p owner. */
+std::vector<std::size_t>
+ownedBy(const SymbolIndex& index,
+        const std::vector<std::size_t>& candidates,
+        const std::string& owner)
+{
+    std::vector<std::size_t> out;
+    for (std::size_t j : candidates)
+        if (index.functions[j].owner == owner)
+            out.push_back(j);
+    return out;
+}
+
+/**
+ * Resolve the type key of @p receiver inside @p caller: parameters
+ * and locals first, then the caller's class fields. "" when unknown.
+ */
+std::string
+receiverType(const SymbolIndex& index, const FunctionDef& caller,
+             const std::string& receiver)
+{
+    const auto local = caller.var_types.find(receiver);
+    if (local != caller.var_types.end())
+        return local->second;
+    if (!caller.owner.empty()) {
+        const auto cls = index.class_fields.find(caller.owner);
+        if (cls != index.class_fields.end()) {
+            const auto field = cls->second.find(receiver);
+            if (field != cls->second.end())
+                return field->second;
+        }
+    }
+    return "";
+}
+
+/** The candidate subset a single call site supports (see @file). */
+std::vector<std::size_t>
+resolveCallSite(const SymbolIndex& index, const FunctionDef& caller,
+                const CalleeRef& ref,
+                const std::vector<std::size_t>& candidates)
+{
+    if (candidates.size() <= 1)
+        return candidates;
+    if (!ref.qualifier.empty()) {
+        const std::vector<std::size_t> scoped =
+            ownedBy(index, candidates, ref.qualifier);
+        if (!scoped.empty())
+            return scoped;
+        // A namespace qualifier (satori::, detail::) matches no
+        // class owner; fall through conservatively.
+        return candidates;
+    }
+    if (!ref.receiver.empty() && ref.receiver != "this") {
+        const std::string type =
+            receiverType(index, caller, ref.receiver);
+        if (!type.empty()) {
+            const std::vector<std::size_t> typed =
+                ownedBy(index, candidates, type);
+            if (!typed.empty())
+                return typed;
+        }
+        return candidates;
+    }
+    if (ref.receiver == "this") {
+        const std::vector<std::size_t> own =
+            ownedBy(index, candidates, caller.owner);
+        return own.empty() ? candidates : own;
+    }
+    // Unqualified call: the caller's own members shadow same-named
+    // methods of unrelated classes; free functions stay reachable.
+    std::vector<std::size_t> scoped;
+    if (!caller.owner.empty())
+        scoped = ownedBy(index, candidates, caller.owner);
+    const std::vector<std::size_t> free_fns =
+        ownedBy(index, candidates, "");
+    scoped.insert(scoped.end(), free_fns.begin(), free_fns.end());
+    if (scoped.empty())
+        return candidates;
+    std::sort(scoped.begin(), scoped.end());
+    return scoped;
+}
+
+} // namespace
 
 CallGraph
 buildCallGraph(const SymbolIndex& index)
@@ -19,13 +120,14 @@ buildCallGraph(const SymbolIndex& index)
     CallGraph graph;
     graph.callees.resize(index.functions.size());
     for (std::size_t i = 0; i < index.functions.size(); ++i) {
+        const FunctionDef& caller = index.functions[i];
         std::set<std::size_t> targets;
-        for (const std::string& name :
-             index.functions[i].callee_names) {
-            const auto it = index.by_name.find(name);
+        for (const CalleeRef& ref : caller.callees) {
+            const auto it = index.by_name.find(ref.name);
             if (it == index.by_name.end())
                 continue;
-            for (std::size_t j : it->second)
+            for (std::size_t j :
+                 resolveCallSite(index, caller, ref, it->second))
                 if (j != i)
                     targets.insert(j);
         }

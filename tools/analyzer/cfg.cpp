@@ -1,0 +1,528 @@
+/**
+ * @file
+ * Intra-procedural control-flow graphs over the stripped statement
+ * stream of one indexed function body. The builder is a recursive
+ * descent over the token text: if/else chains, while/for/do loops
+ * with break/continue, switch with case fallthrough, try/catch as an
+ * optional branch, and return/throw terminators. Statements keep
+ * their source line so the flow rules can anchor findings; anything
+ * the parser cannot shape (goto, statement-level macros hiding
+ * control flow) degrades to a linear statement, which only makes the
+ * flow analyses more conservative on that function.
+ */
+
+#include "analyzer/analyzer.hpp"
+
+#include <cctype>
+
+namespace satori_analyzer {
+
+namespace {
+
+/** Nodes per function cap: a runaway parse degrades, never hangs. */
+constexpr std::size_t kMaxNodes = 4000;
+
+struct LoopCtx
+{
+    std::vector<std::size_t>* break_sinks = nullptr;
+    std::size_t continue_target = std::string::npos;
+    std::size_t switch_cond = std::string::npos;
+};
+
+struct ParseResult
+{
+    std::size_t entry = std::string::npos; ///< First node, or npos.
+    std::vector<std::size_t> exits;        ///< Dangling fallthroughs.
+};
+
+class Builder
+{
+  public:
+    Builder(const std::string& body, int body_line)
+        : s_(body), body_line_(body_line)
+    {
+    }
+
+    Cfg build()
+    {
+        LoopCtx ctx;
+        (void)parseSeq(0, s_.size(), ctx, false);
+        return std::move(cfg_);
+    }
+
+  private:
+    const std::string& s_;
+    int body_line_;
+    Cfg cfg_;
+
+    int lineOf(std::size_t pos) const
+    {
+        int line = body_line_;
+        for (std::size_t i = 0; i < pos && i < s_.size(); ++i)
+            if (s_[i] == '\n')
+                ++line;
+        return line;
+    }
+
+    std::size_t skipWs(std::size_t pos, std::size_t end) const
+    {
+        while (pos < end &&
+               std::isspace(static_cast<unsigned char>(s_[pos])) != 0)
+            ++pos;
+        return pos;
+    }
+
+    std::size_t newNode(const std::string& text, std::size_t at)
+    {
+        CfgNode node;
+        node.text = text;
+        node.line = lineOf(at);
+        cfg_.nodes.push_back(std::move(node));
+        return cfg_.nodes.size() - 1;
+    }
+
+    void link(std::size_t from, std::size_t to)
+    {
+        for (std::size_t succ : cfg_.nodes[from].succ)
+            if (succ == to)
+                return;
+        cfg_.nodes[from].succ.push_back(to);
+    }
+
+    void linkAll(const std::vector<std::size_t>& from, std::size_t to)
+    {
+        for (std::size_t f : from)
+            link(f, to);
+    }
+
+    /** Read a balanced group at the next non-space char; npos pair on
+     *  mismatch. */
+    std::pair<std::size_t, std::size_t>
+    readGroup(std::size_t pos, std::size_t end, char open, char close)
+    {
+        pos = skipWs(pos, end);
+        if (pos >= end || s_[pos] != open)
+            return {std::string::npos, std::string::npos};
+        const std::size_t match = findMatching(s_, pos, open, close);
+        if (match == std::string::npos || match > end)
+            return {std::string::npos, std::string::npos};
+        return {pos, match};
+    }
+
+    /**
+     * Read one plain statement starting at @p pos: through the `;` at
+     * paren/brace depth 0 (lambda and init-list braces are swallowed
+     * into the statement). Returns one past the terminator.
+     */
+    std::size_t statementEnd(std::size_t pos, std::size_t end) const
+    {
+        int paren = 0;
+        int brace = 0;
+        while (pos < end) {
+            const char c = s_[pos];
+            if (c == '(' || c == '[')
+                ++paren;
+            else if (c == ')' || c == ']')
+                --paren;
+            else if (c == '{')
+                ++brace;
+            else if (c == '}') {
+                if (brace == 0)
+                    return pos; // enclosing block closes: no `;`.
+                --brace;
+            } else if (c == ';' && paren == 0 && brace == 0) {
+                return pos + 1;
+            }
+            ++pos;
+        }
+        return end;
+    }
+
+    /** Trimmed copy of s_[begin, end). */
+    std::string slice(std::size_t begin, std::size_t end) const
+    {
+        while (begin < end &&
+               std::isspace(static_cast<unsigned char>(s_[begin])) != 0)
+            ++begin;
+        while (end > begin &&
+               std::isspace(static_cast<unsigned char>(s_[end - 1])) !=
+                   0)
+            --end;
+        std::string out = s_.substr(begin, end - begin);
+        for (char& c : out)
+            if (c == '\n')
+                c = ' ';
+        return out;
+    }
+
+    /**
+     * Parse a statement sequence in [pos, end). With @p single, stop
+     * after the first construct (an if/loop branch without braces).
+     * Returns the entry node and the dangling exits; @p next_pos
+     * receives the resume position.
+     */
+    ParseResult parseSeq(std::size_t pos, std::size_t end, LoopCtx& ctx,
+                         bool single,
+                         std::size_t* next_pos = nullptr)
+    {
+        ParseResult result;
+        std::vector<std::size_t> pending;
+        bool case_label_seen = false;
+
+        // Wire construct @p entry/@p exits into the running sequence.
+        const auto attach = [&](std::size_t entry,
+                                std::vector<std::size_t> exits) {
+            if (entry == std::string::npos)
+                return;
+            if (result.entry == std::string::npos)
+                result.entry = entry;
+            linkAll(pending, entry);
+            if (case_label_seen &&
+                ctx.switch_cond != std::string::npos) {
+                link(ctx.switch_cond, entry);
+                case_label_seen = false;
+            }
+            pending = std::move(exits);
+        };
+
+        while (pos < end && cfg_.nodes.size() < kMaxNodes) {
+            pos = skipWs(pos, end);
+            if (pos >= end)
+                break;
+            const char c = s_[pos];
+            if (c == '}' || c == ')') {
+                ++pos;
+                continue; // tolerate parser drift; never loop forever
+            }
+            if (c == ';') {
+                ++pos;
+                if (single)
+                    break;
+                continue;
+            }
+            if (c == '{') {
+                const auto [open, close] =
+                    readGroup(pos, end, '{', '}');
+                if (open == std::string::npos)
+                    break;
+                const ParseResult block =
+                    parseSeq(open + 1, close, ctx, false);
+                if (block.entry != std::string::npos)
+                    attach(block.entry, block.exits);
+                pos = close + 1;
+                if (single)
+                    break;
+                continue;
+            }
+
+            const std::string tok = nextTokenAfter(s_, pos);
+            if (tok.empty()) {
+                ++pos;
+                continue;
+            }
+            const std::size_t tok_at = skipWs(pos, end);
+
+            if (tok == "if") {
+                pos = parseIf(tok_at, end, ctx, attach);
+            } else if (tok == "while") {
+                pos = parseWhile(tok_at, end, ctx, attach);
+            } else if (tok == "for") {
+                pos = parseFor(tok_at, end, ctx, attach);
+            } else if (tok == "do") {
+                pos = parseDo(tok_at, end, ctx, attach);
+            } else if (tok == "switch") {
+                pos = parseSwitch(tok_at, end, ctx, attach);
+            } else if (tok == "try") {
+                pos = parseTry(tok_at, end, ctx, attach);
+            } else if (tok == "case" || tok == "default") {
+                // Label: the next statement is a switch dispatch
+                // target (and a fallthrough target from above).
+                std::size_t colon = tok_at + tok.size();
+                while (colon < end) {
+                    if (s_[colon] == ':' &&
+                        (colon + 1 >= end || s_[colon + 1] != ':') &&
+                        (colon == 0 || s_[colon - 1] != ':'))
+                        break;
+                    ++colon;
+                }
+                case_label_seen = true;
+                pos = colon < end ? colon + 1 : end;
+                continue; // a label does not consume the construct
+            } else if (tok == "return" || tok == "throw" ||
+                       tok == "co_return") {
+                const std::size_t stmt_end = statementEnd(tok_at, end);
+                const std::size_t node =
+                    newNode(slice(tok_at, stmt_end), tok_at);
+                attach(node, {});
+                pending.clear(); // terminator: nothing falls through
+                pos = stmt_end;
+            } else if (tok == "break") {
+                const std::size_t stmt_end = statementEnd(tok_at, end);
+                const std::size_t node =
+                    newNode("break", tok_at);
+                attach(node, {});
+                pending.clear();
+                if (ctx.break_sinks != nullptr)
+                    ctx.break_sinks->push_back(node);
+                pos = stmt_end;
+            } else if (tok == "continue") {
+                const std::size_t stmt_end = statementEnd(tok_at, end);
+                const std::size_t node =
+                    newNode("continue", tok_at);
+                attach(node, {});
+                pending.clear();
+                if (ctx.continue_target != std::string::npos)
+                    link(node, ctx.continue_target);
+                pos = stmt_end;
+            } else if (tok == "else") {
+                // A stray else (its if produced no node); skip the
+                // keyword and let the branch parse as a statement.
+                pos = tok_at + tok.size();
+                continue;
+            } else {
+                const std::size_t stmt_end = statementEnd(tok_at, end);
+                if (stmt_end <= tok_at)
+                    break;
+                const std::size_t node =
+                    newNode(slice(tok_at, stmt_end), tok_at);
+                attach(node, {node});
+                pos = stmt_end;
+            }
+            if (single)
+                break;
+        }
+
+        result.exits = std::move(pending);
+        if (next_pos != nullptr)
+            *next_pos = pos;
+        return result;
+    }
+
+    /** Parse a branch body: `{...}` or a single construct. */
+    ParseResult parseBranch(std::size_t pos, std::size_t end,
+                            LoopCtx& ctx, std::size_t* next_pos)
+    {
+        pos = skipWs(pos, end);
+        if (pos < end && s_[pos] == '{') {
+            const auto [open, close] = readGroup(pos, end, '{', '}');
+            if (open == std::string::npos) {
+                *next_pos = end;
+                return {};
+            }
+            ParseResult r = parseSeq(open + 1, close, ctx, false);
+            *next_pos = close + 1;
+            return r;
+        }
+        return parseSeq(pos, end, ctx, true, next_pos);
+    }
+
+    template <typename Attach>
+    std::size_t parseIf(std::size_t pos, std::size_t end, LoopCtx& ctx,
+                        const Attach& attach)
+    {
+        std::size_t after = pos + 2; // past "if"
+        after = skipWs(after, end);
+        if (after < end && s_[after] == 'c') // `if constexpr`
+            after += 9;
+        const auto [open, close] = readGroup(after, end, '(', ')');
+        if (open == std::string::npos)
+            return statementEnd(pos, end);
+        const std::size_t cond =
+            newNode("if (" + slice(open + 1, close) + ")", pos);
+
+        std::size_t next = close + 1;
+        const ParseResult then_branch =
+            parseBranch(close + 1, end, ctx, &next);
+        std::vector<std::size_t> exits = then_branch.exits;
+        if (then_branch.entry != std::string::npos)
+            link(cond, then_branch.entry);
+
+        const std::size_t else_at = skipWs(next, end);
+        const std::string else_tok = nextTokenAfter(s_, else_at);
+        if (else_at < end && else_tok == "else") {
+            std::size_t else_next = else_at + 4;
+            const ParseResult else_branch =
+                parseBranch(else_at + 4, end, ctx, &else_next);
+            if (else_branch.entry != std::string::npos) {
+                link(cond, else_branch.entry);
+                exits.insert(exits.end(), else_branch.exits.begin(),
+                             else_branch.exits.end());
+            } else {
+                exits.push_back(cond);
+            }
+            next = else_next;
+        } else {
+            exits.push_back(cond); // false edge falls through
+        }
+        attach(cond, std::move(exits));
+        return next;
+    }
+
+    template <typename Attach>
+    std::size_t parseWhile(std::size_t pos, std::size_t end,
+                           LoopCtx& ctx, const Attach& attach)
+    {
+        (void)ctx;
+        const auto [open, close] = readGroup(pos + 5, end, '(', ')');
+        if (open == std::string::npos)
+            return statementEnd(pos, end);
+        const std::size_t cond =
+            newNode("while (" + slice(open + 1, close) + ")", pos);
+        std::vector<std::size_t> breaks;
+        LoopCtx inner;
+        inner.break_sinks = &breaks;
+        inner.continue_target = cond;
+        inner.switch_cond = std::string::npos;
+        std::size_t next = close + 1;
+        const ParseResult body =
+            parseBranch(close + 1, end, inner, &next);
+        if (body.entry != std::string::npos) {
+            link(cond, body.entry);
+            linkAll(body.exits, cond);
+        }
+        std::vector<std::size_t> exits = {cond};
+        exits.insert(exits.end(), breaks.begin(), breaks.end());
+        attach(cond, std::move(exits));
+        return next;
+    }
+
+    template <typename Attach>
+    std::size_t parseFor(std::size_t pos, std::size_t end, LoopCtx& ctx,
+                         const Attach& attach)
+    {
+        (void)ctx;
+        const auto [open, close] = readGroup(pos + 3, end, '(', ')');
+        if (open == std::string::npos)
+            return statementEnd(pos, end);
+        const std::size_t head =
+            newNode("for (" + slice(open + 1, close) + ")", pos);
+        std::vector<std::size_t> breaks;
+        LoopCtx inner;
+        inner.break_sinks = &breaks;
+        inner.continue_target = head;
+        inner.switch_cond = std::string::npos;
+        std::size_t next = close + 1;
+        const ParseResult body =
+            parseBranch(close + 1, end, inner, &next);
+        if (body.entry != std::string::npos) {
+            link(head, body.entry);
+            linkAll(body.exits, head);
+        }
+        std::vector<std::size_t> exits = {head};
+        exits.insert(exits.end(), breaks.begin(), breaks.end());
+        attach(head, std::move(exits));
+        return next;
+    }
+
+    template <typename Attach>
+    std::size_t parseDo(std::size_t pos, std::size_t end, LoopCtx& ctx,
+                        const Attach& attach)
+    {
+        (void)ctx;
+        // The condition node is created up front so `continue` inside
+        // the body has a target; its text is filled once parsed.
+        const std::size_t cond = newNode("do-while", pos);
+        std::vector<std::size_t> breaks;
+        LoopCtx inner;
+        inner.break_sinks = &breaks;
+        inner.continue_target = cond;
+        inner.switch_cond = std::string::npos;
+        std::size_t next = pos + 2;
+        const ParseResult body =
+            parseBranch(pos + 2, end, inner, &next);
+
+        // Expect `while (cond);`.
+        std::size_t after = skipWs(next, end);
+        if (nextTokenAfter(s_, after) == "while") {
+            const auto [open, close] =
+                readGroup(after + 5, end, '(', ')');
+            if (open != std::string::npos) {
+                cfg_.nodes[cond].text =
+                    "do-while (" + slice(open + 1, close) + ")";
+                next = statementEnd(close + 1, end);
+            }
+        }
+        if (body.entry != std::string::npos) {
+            linkAll(body.exits, cond);
+            link(cond, body.entry);
+            std::vector<std::size_t> exits = {cond};
+            exits.insert(exits.end(), breaks.begin(), breaks.end());
+            attach(body.entry, std::move(exits));
+        } else {
+            attach(cond, {cond});
+        }
+        return next;
+    }
+
+    template <typename Attach>
+    std::size_t parseSwitch(std::size_t pos, std::size_t end,
+                            LoopCtx& ctx, const Attach& attach)
+    {
+        const auto [open, close] = readGroup(pos + 6, end, '(', ')');
+        if (open == std::string::npos)
+            return statementEnd(pos, end);
+        const std::size_t cond =
+            newNode("switch (" + slice(open + 1, close) + ")", pos);
+        const auto [bopen, bclose] =
+            readGroup(close + 1, end, '{', '}');
+        if (bopen == std::string::npos) {
+            attach(cond, {cond});
+            return close + 1;
+        }
+        std::vector<std::size_t> breaks;
+        LoopCtx inner;
+        inner.break_sinks = &breaks;
+        inner.continue_target = ctx.continue_target;
+        inner.switch_cond = cond;
+        const ParseResult body =
+            parseSeq(bopen + 1, bclose, inner, false);
+        std::vector<std::size_t> exits = {cond}; // no-default path
+        exits.insert(exits.end(), body.exits.begin(),
+                     body.exits.end());
+        exits.insert(exits.end(), breaks.begin(), breaks.end());
+        attach(cond, std::move(exits));
+        return bclose + 1;
+    }
+
+    template <typename Attach>
+    std::size_t parseTry(std::size_t pos, std::size_t end, LoopCtx& ctx,
+                         const Attach& attach)
+    {
+        std::size_t next = pos + 3;
+        const ParseResult body = parseBranch(pos + 3, end, ctx, &next);
+        if (body.entry == std::string::npos)
+            return next;
+        std::vector<std::size_t> exits = body.exits;
+        // Each catch block is an optional branch out of the try body:
+        // its entry is reachable, its exits rejoin the sequence.
+        std::size_t after = skipWs(next, end);
+        while (nextTokenAfter(s_, after) == "catch") {
+            const auto [copen, cclose] =
+                readGroup(after + 5, end, '(', ')');
+            if (copen == std::string::npos)
+                break;
+            std::size_t handler_next = cclose + 1;
+            const ParseResult handler =
+                parseBranch(cclose + 1, end, ctx, &handler_next);
+            if (handler.entry != std::string::npos) {
+                link(body.entry, handler.entry);
+                exits.insert(exits.end(), handler.exits.begin(),
+                             handler.exits.end());
+            }
+            after = skipWs(handler_next, end);
+        }
+        attach(body.entry, std::move(exits));
+        return after;
+    }
+};
+
+} // namespace
+
+Cfg
+buildCfg(const FunctionDef& def)
+{
+    Builder builder(def.body, def.body_line);
+    return builder.build();
+}
+
+} // namespace satori_analyzer

@@ -7,9 +7,11 @@
 #include "analyzer/analyzer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 namespace fs = std::filesystem;
 
@@ -32,6 +34,12 @@ parsePackList(const std::string& list)
             packs |= kPackHeader;
         else if (item == "conc" || item == "concurrency")
             packs |= kPackConcurrency;
+        else if (item == "persist")
+            packs |= kPackPersist;
+        else if (item == "arch")
+            packs |= kPackArch;
+        else if (item == "flow")
+            packs |= kPackFlow;
         else if (item == "all")
             packs |= kPackAll;
         else
@@ -208,6 +216,51 @@ analyzeSource(const SourceFile& source, const Options& options)
     return findings;
 }
 
+/** Worker count for the tree scan: Options::jobs, or the hardware
+ *  concurrency (capped so tiny scans do not spawn idle threads). */
+unsigned
+resolveJobs(const Options& options, std::size_t work_items)
+{
+    unsigned jobs = options.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+        jobs = std::min(jobs, 8u);
+    }
+    if (work_items < jobs)
+        jobs = static_cast<unsigned>(work_items);
+    return std::max(jobs, 1u);
+}
+
+/**
+ * Run @p work(i) for every index in [0, count) across @p jobs
+ * threads. Work is claimed by atomic counter, so output written to
+ * index-addressed slots is deterministic regardless of schedule.
+ */
+template <typename Work>
+void
+parallelIndexed(std::size_t count, unsigned jobs, const Work& work)
+{
+    if (jobs <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            work(i);
+        return;
+    }
+    std::atomic<std::size_t> next{0};
+    const auto worker = [&next, count, &work] {
+        for (std::size_t i = next.fetch_add(1); i < count;
+             i = next.fetch_add(1))
+            work(i);
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(jobs);
+    for (unsigned j = 0; j < jobs; ++j)
+        threads.emplace_back(worker);
+    for (std::thread& t : threads)
+        t.join();
+}
+
 } // namespace
 
 std::vector<Finding>
@@ -217,13 +270,35 @@ analyzeFile(const fs::path& file, const Options& options,
     SourceFile source = loadSourceFile(file);
     source.guard_rel =
         guardRelativePath(file, options.include_root, scan_target);
-    return analyzeSource(source, options);
+    std::vector<Finding> findings = analyzeSource(source, options);
+
+    // The cross-file packs run over a one-file index so single-file
+    // invocations (and the rule fixtures) still exercise them.
+    if ((options.packs &
+         (kPackFlow | kPackPersist | kPackArch)) != 0) {
+        std::vector<SourceFile> one;
+        one.push_back(std::move(source));
+        std::vector<Finding> cross;
+        if ((options.packs & (kPackFlow | kPackPersist)) != 0) {
+            const SymbolIndex index = buildSymbolIndex(one, options);
+            if ((options.packs & kPackFlow) != 0)
+                runFlowPack(one[0], index, cross);
+            if ((options.packs & kPackPersist) != 0)
+                runPersistPack(one, index, options, cross);
+        }
+        if ((options.packs & kPackArch) != 0)
+            runArchPack(one, cross);
+        fillFingerprints(one[0], cross);
+        applySuppressions(one[0], cross);
+        findings.insert(findings.end(), cross.begin(), cross.end());
+    }
+    return findings;
 }
 
-AnalyzeResult
-analyzePaths(const std::vector<fs::path>& targets, const Options& options)
+std::vector<SourceFile>
+loadSourceTree(const std::vector<fs::path>& targets,
+               const Options& options)
 {
-    AnalyzeResult result;
     std::vector<std::pair<fs::path, fs::path>> files; // (file, target)
     for (const fs::path& target : targets) {
         if (fs::is_directory(target)) {
@@ -255,31 +330,66 @@ analyzePaths(const std::vector<fs::path>& targets, const Options& options)
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    std::vector<SourceFile> sources;
-    sources.reserve(files.size());
-    for (const auto& [file, target] : files) {
-        SourceFile source = loadSourceFile(file);
-        source.guard_rel =
-            guardRelativePath(file, options.include_root, target);
-        std::vector<Finding> findings = analyzeSource(source, options);
-        result.findings.insert(result.findings.end(),
-                               findings.begin(), findings.end());
-        sources.push_back(std::move(source));
-    }
+    std::vector<SourceFile> sources(files.size());
+    parallelIndexed(files.size(), resolveJobs(options, files.size()),
+                    [&files, &sources, &options](std::size_t i) {
+                        SourceFile source =
+                            loadSourceFile(files[i].first);
+                        source.guard_rel = guardRelativePath(
+                            files[i].first, options.include_root,
+                            files[i].second);
+                        sources[i] = std::move(source);
+                    });
+    return sources;
+}
+
+AnalyzeResult
+analyzePaths(const std::vector<fs::path>& targets, const Options& options)
+{
+    AnalyzeResult result;
+    const std::vector<SourceFile> sources =
+        loadSourceTree(targets, options);
+    result.jobs_used = resolveJobs(options, sources.size());
+
+    // Per-file packs in parallel; slot-per-file keeps the merged
+    // order identical to a serial scan.
+    std::vector<std::vector<Finding>> slots(sources.size());
+    parallelIndexed(sources.size(), result.jobs_used,
+                    [&sources, &slots, &options](std::size_t i) {
+                        slots[i] = analyzeSource(sources[i], options);
+                    });
+    for (std::vector<Finding>& slot : slots)
+        result.findings.insert(result.findings.end(), slot.begin(),
+                               slot.end());
 
     // Cross-file passes: the symbol index and call graph feed the
-    // nondeterminism taint pass (det) and lock-order pass (conc).
-    if ((options.packs & (kPackDeterminism | kPackConcurrency)) != 0) {
+    // nondeterminism taint pass (det) and lock-order pass (conc); the
+    // index alone feeds the flow and persist packs; arch works from
+    // the include graph of the loaded tree.
+    std::vector<Finding> cross;
+    if ((options.packs & (kPackDeterminism | kPackConcurrency |
+                          kPackFlow | kPackPersist)) != 0) {
         const SymbolIndex index = buildSymbolIndex(sources, options);
-        const CallGraph graph = buildCallGraph(index);
-        std::vector<Finding> cross;
-        if ((options.packs & kPackDeterminism) != 0) {
-            const TaintResult taint =
-                propagateNondeterminism(index, graph);
-            runTaintPass(index, graph, taint, cross);
+        if ((options.packs &
+             (kPackDeterminism | kPackConcurrency)) != 0) {
+            const CallGraph graph = buildCallGraph(index);
+            if ((options.packs & kPackDeterminism) != 0) {
+                const TaintResult taint =
+                    propagateNondeterminism(index, graph);
+                runTaintPass(index, graph, taint, cross);
+            }
+            if ((options.packs & kPackConcurrency) != 0)
+                runLockOrderPass(index, graph, cross);
         }
-        if ((options.packs & kPackConcurrency) != 0)
-            runLockOrderPass(index, graph, cross);
+        if ((options.packs & kPackFlow) != 0)
+            for (const SourceFile& source : sources)
+                runFlowPack(source, index, cross);
+        if ((options.packs & kPackPersist) != 0)
+            runPersistPack(sources, index, options, cross);
+    }
+    if ((options.packs & kPackArch) != 0)
+        runArchPack(sources, cross);
+    if (!cross.empty()) {
         for (const SourceFile& source : sources) {
             fillFingerprints(source, cross);
             applySuppressions(source, cross);
@@ -288,7 +398,7 @@ analyzePaths(const std::vector<fs::path>& targets, const Options& options)
                                cross.end());
     }
 
-    result.files_scanned = files.size();
+    result.files_scanned = sources.size();
     sortFindings(result.findings);
     return result;
 }
@@ -386,6 +496,55 @@ renderJson(const AnalyzeResult& result)
     return out.str();
 }
 
+std::string
+renderSarif(const AnalyzeResult& result, const std::string& tool_name)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n"
+        << "    {\n"
+        << "      \"tool\": {\n"
+        << "        \"driver\": {\n"
+        << "          \"name\": \"" << jsonEscape(tool_name) << "\",\n"
+        << "          \"rules\": [";
+    bool first = true;
+    for (const RuleInfo& info : ruleCatalog()) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "            {\"id\": \"" << jsonEscape(info.id)
+            << "\", \"shortDescription\": {\"text\": \""
+            << jsonEscape(info.id + " (" + info.pack + " pack)")
+            << "\"}, \"fullDescription\": {\"text\": \""
+            << jsonEscape(info.rationale)
+            << "\"}, \"help\": {\"text\": \"" << jsonEscape(info.idiom)
+            << "\"}}";
+    }
+    out << "\n          ]\n"
+        << "        }\n"
+        << "      },\n"
+        << "      \"results\": [";
+    first = true;
+    for (const Finding& f : result.findings) {
+        if (f.suppressed || f.baselined)
+            continue;
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "        {\"ruleId\": \"" << jsonEscape(f.rule)
+            << "\", \"level\": \"error\", \"message\": {\"text\": \""
+            << jsonEscape(f.message)
+            << "\"}, \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << jsonEscape(f.file)
+            << "\"}, \"region\": {\"startLine\": "
+            << (f.line > 0 ? f.line : 1) << "}}}]}";
+    }
+    out << "\n      ]\n    }\n  ]\n}\n";
+    return out.str();
+}
+
 const std::vector<RuleInfo>&
 ruleCatalog()
 {
@@ -407,6 +566,30 @@ ruleCatalog()
          "bandwidth) transpose silently at call sites.",
          "Take a Configuration/struct parameter, or strong typedefs, "
          "so the compiler catches swapped arguments."},
+        {"arch-forbidden-include", "arch",
+         "A file reaching a subsystem outside its declared layer "
+         "(transitively, through project includes) couples layers the "
+         "design keeps apart; the dependency compiles today and makes "
+         "every future refactor of the lower layer drag the upper one "
+         "along.",
+         "Move the shared type down (or the dependent code up), or "
+         "extend the layering DAG in tools/analyzer/rules_arch.cpp "
+         "and GUIDE.md section 10 as a deliberate design decision. "
+         "The finding prints the shortest offending include chain."},
+        {"arch-include-cycle", "arch",
+         "Mutually-including headers only build while include order "
+         "and guards line up by accident, and they make the subsystem "
+         "graph cyclic so no layer can be built, tested, or reasoned "
+         "about alone.",
+         "Break the cycle with a forward declaration or by moving the "
+         "shared piece into a header both sides may include."},
+        {"arch-unknown-subsystem", "arch",
+         "A directory under include/satori/ or src/ that is not in "
+         "the declared layering DAG is invisible to the layering "
+         "check, so its dependencies decay unreviewed.",
+         "Add the subsystem and its allowed dependencies to "
+         "subsystemDeps() in tools/analyzer/rules_arch.cpp and to the "
+         "diagram in GUIDE.md section 10."},
         {"conc-global-mutable", "conc",
          "Mutable static state is shared by every thread and every "
          "test in the process; unsynchronized writes race and leak "
@@ -481,6 +664,29 @@ ruleCatalog()
          "derived from them cannot replay byte-for-byte.",
          "Use the simulator's virtual time; only the allowlisted "
          "harness/CLI/obs set may read real time."},
+        {"flow-dead-after-fatal", "flow",
+         "SATORI_FATAL / SATORI_PANIC / abort never return, so a "
+         "statement only reachable by falling through one is dead "
+         "code — usually a cleanup or fallback the author believed "
+         "still ran.",
+         "Delete the unreachable statement, or restructure so the "
+         "cleanup runs before the fatal path (RAII handles most "
+         "cases)."},
+        {"flow-discarded-nodiscard", "flow",
+         "An expression statement that drops the result of a "
+         "[[nodiscard]] function ignores a value the author marked "
+         "as must-use — typically an error state or a computed "
+         "result the caller thought was stored.",
+         "Use the returned value, or document the deliberate drop "
+         "with `(void)` plus a comment saying why."},
+        {"flow-use-after-move", "flow",
+         "A variable read after std::move consumed it holds an "
+         "unspecified value; the code works until the moved-from "
+         "state changes with the standard library version, then "
+         "fails far from the move.",
+         "Reassign the variable before reusing it (moved-from "
+         "objects may be assigned to), or stop moving it if the "
+         "later read is intentional."},
         {"guard-define-mismatch", "header",
          "An #ifndef whose #define spells a different macro leaves "
          "the guard open: the header double-includes.",
@@ -510,6 +716,30 @@ ruleCatalog()
          "overload and silently truncate a double argument.",
          "Include <cmath> and use std::fabs (or std::abs with a "
          "visibly floating argument)."},
+        {"persist-asymmetric-state", "persist",
+         "The snapshot codec is positional: restoreState must read "
+         "exactly the sequence saveState wrote, op for op, or every "
+         "later field decodes from the wrong bytes and the restore "
+         "fails (or worse, succeeds with garbage).",
+         "Mirror the put sequence in restoreState exactly — same "
+         "ops, same order, loops and conditionals shaped alike — and "
+         "give every saveState a restoreState twin."},
+        {"persist-manifest-stale", "persist",
+         "A schema manifest that disagrees with the sources about "
+         "the format version (or lists classes that no longer "
+         "persist) cannot catch drift, which is its whole job.",
+         "Regenerate it: satori_analyzer --write-persist-schema "
+         "tools/persist_schema.txt include src — in the same change "
+         "that bumps kSnapshotFormatVersion."},
+        {"persist-schema-drift", "persist",
+         "Changing a put/get sequence without bumping "
+         "kSnapshotFormatVersion makes old on-disk snapshots decode "
+         "under the new layout: resume reads garbage instead of "
+         "refusing cleanly.",
+         "Bump kSnapshotFormatVersion in "
+         "include/satori/persist/snapshot.hpp and regenerate the "
+         "manifest: satori_analyzer --write-persist-schema "
+         "tools/persist_schema.txt include src."},
         {"using-namespace", "header",
          "`using namespace` at header scope injects names into every "
          "includer, causing collisions that surface far from the "

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * The arch pack: subsystem layering over the include graph.
+ *
+ * The repository's subsystems form a declared DAG (kSubsystemDeps
+ * below, mirrored by the diagram in GUIDE.md §10). A file belongs to
+ * the subsystem its path names — include/satori/<sub>/... or
+ * src/<sub>/... — and may only reach, transitively through project
+ * includes, subsystems in the closure of its own. Everything else
+ * (tools/, tests/, bench/, examples/, the umbrella satori.hpp) is
+ * unconstrained.
+ *
+ *   arch-forbidden-include - a constrained file reaches a subsystem
+ *                            outside its allowed closure; the message
+ *                            prints the shortest offending include
+ *                            chain so the stray edge is obvious.
+ *   arch-include-cycle     - project includes form a cycle.
+ *   arch-unknown-subsystem - a directory under include/satori/ or
+ *                            src/ is not in the declared DAG; extend
+ *                            kSubsystemDeps deliberately instead of
+ *                            letting layering decay silently.
+ */
+
+#include "analyzer/analyzer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace satori_analyzer {
+
+namespace {
+
+/**
+ * Direct dependencies per subsystem; the transitive closure is
+ * computed at startup. Order: foundations first.
+ */
+const std::map<std::string, std::set<std::string>>&
+subsystemDeps()
+{
+    static const std::map<std::string, std::set<std::string>> deps = {
+        {"common", {}},
+        {"config", {"common"}},
+        {"linalg", {"common"}},
+        {"metrics", {"common"}},
+        {"obs", {"common"}},
+        {"perfmodel", {"common"}},
+        {"analysis", {"common", "config", "linalg"}},
+        {"workloads", {"common", "perfmodel"}},
+        {"persist", {"common", "config", "obs"}},
+        {"bo",
+         {"common", "config", "linalg", "analysis", "obs", "persist"}},
+        {"core",
+         {"common", "config", "metrics", "linalg", "analysis", "obs",
+          "persist", "bo"}},
+        {"sim",
+         {"common", "config", "metrics", "perfmodel", "workloads",
+          "analysis", "obs", "persist"}},
+        {"faults", {"common", "config", "obs", "persist", "sim"}},
+        {"policies",
+         {"common", "config", "metrics", "linalg", "analysis", "obs",
+          "persist", "bo", "core", "sim", "perfmodel", "workloads"}},
+        {"harness",
+         {"common", "config", "metrics", "linalg", "analysis", "obs",
+          "persist", "bo", "core", "sim", "perfmodel", "workloads",
+          "policies", "faults"}},
+    };
+    return deps;
+}
+
+/** Transitive closure of subsystemDeps(). */
+const std::map<std::string, std::set<std::string>>&
+subsystemClosure()
+{
+    static const std::map<std::string, std::set<std::string>> closure =
+        [] {
+            std::map<std::string, std::set<std::string>> out =
+                subsystemDeps();
+            bool changed = true;
+            while (changed) {
+                changed = false;
+                for (auto& [sub, reach] : out) {
+                    const std::set<std::string> snapshot = reach;
+                    for (const std::string& dep : snapshot) {
+                        const auto it = out.find(dep);
+                        if (it == out.end())
+                            continue;
+                        for (const std::string& indirect : it->second)
+                            if (reach.insert(indirect).second)
+                                changed = true;
+                    }
+                }
+            }
+            return out;
+        }();
+    return closure;
+}
+
+/**
+ * The subsystem a path belongs to: the directory component after
+ * include/satori/ or src/, or "" for unconstrained locations (tools,
+ * tests, the umbrella header).
+ */
+std::string
+subsystemOf(const std::string& display)
+{
+    const auto component = [&display](std::size_t at) -> std::string {
+        const std::size_t slash = display.find('/', at);
+        if (slash == std::string::npos)
+            return ""; // a file, not a subsystem directory
+        return display.substr(at, slash - at);
+    };
+    const std::size_t inc = display.find("include/satori/");
+    if (inc != std::string::npos)
+        return component(inc + 15);
+    std::size_t src = display.find("src/");
+    while (src != std::string::npos) {
+        if (src == 0 || display[src - 1] == '/')
+            return component(src + 4);
+        src = display.find("src/", src + 1);
+    }
+    return "";
+}
+
+/** Subsystem named by a quoted include path "satori/<sub>/...". */
+std::string
+subsystemOfInclude(const std::string& quoted)
+{
+    if (quoted.compare(0, 7, "satori/") != 0)
+        return "";
+    const std::size_t slash = quoted.find('/', 7);
+    if (slash == std::string::npos)
+        return "";
+    return quoted.substr(7, slash - 7);
+}
+
+/** A project `#include "..."` directive. */
+struct Include
+{
+    std::string quoted;           ///< the quoted path, verbatim.
+    int line = 0;                 ///< 1-based line in the includer.
+    std::size_t target = kNone;   ///< index into sources, if resolved.
+    static constexpr std::size_t kNone =
+        static_cast<std::size_t>(-1);
+};
+
+std::vector<std::vector<Include>>
+buildIncludeGraph(const std::vector<SourceFile>& sources)
+{
+    // Resolve a quoted path by suffix match against scanned displays.
+    std::map<std::string, std::size_t> by_suffix;
+    for (std::size_t i = 0; i < sources.size(); ++i)
+        by_suffix[sources[i].display] = i;
+    const auto resolve =
+        [&sources, &by_suffix](const std::string& quoted) {
+            for (std::size_t i = 0; i < sources.size(); ++i) {
+                const std::string& display = sources[i].display;
+                if (display.size() < quoted.size())
+                    continue;
+                if (display.compare(display.size() - quoted.size(),
+                                    quoted.size(), quoted) != 0)
+                    continue;
+                if (display.size() == quoted.size() ||
+                    display[display.size() - quoted.size() - 1] == '/')
+                    return i;
+            }
+            return Include::kNone;
+        };
+
+    std::vector<std::vector<Include>> graph(sources.size());
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        for (std::size_t l = 0; l < sources[i].lines.size(); ++l) {
+            const std::string& raw = sources[i].lines[l].raw;
+            std::size_t at = raw.find("#include");
+            if (at == std::string::npos)
+                continue;
+            at = raw.find('"', at);
+            if (at == std::string::npos)
+                continue; // <system> include
+            const std::size_t close = raw.find('"', at + 1);
+            if (close == std::string::npos)
+                continue;
+            Include inc;
+            inc.quoted = raw.substr(at + 1, close - at - 1);
+            inc.line = static_cast<int>(l + 1);
+            inc.target = resolve(inc.quoted);
+            graph[i].push_back(std::move(inc));
+        }
+    }
+    return graph;
+}
+
+bool
+allowed(const std::string& from, const std::string& to)
+{
+    if (from == to || to.empty())
+        return true;
+    const auto it = subsystemClosure().find(from);
+    if (it == subsystemClosure().end())
+        return true; // unknown subsystems are reported separately
+    return it->second.count(to) != 0;
+}
+
+void
+reportForbidden(const std::vector<SourceFile>& sources,
+                const std::vector<std::vector<Include>>& graph,
+                std::vector<Finding>& findings)
+{
+    for (std::size_t start = 0; start < sources.size(); ++start) {
+        const std::string from = subsystemOf(sources[start].display);
+        if (from.empty() ||
+            subsystemClosure().count(from) == 0)
+            continue;
+        // BFS over resolved includes; parent edges reconstruct the
+        // shortest chain to each offending target.
+        std::set<std::string> reported;
+        std::vector<std::size_t> queue = {start};
+        std::map<std::size_t, std::pair<std::size_t, const Include*>>
+            parent; // node -> (predecessor, edge)
+        std::set<std::size_t> seen = {start};
+        const auto chainOf = [&](std::size_t node) {
+            std::vector<std::string> chain = {sources[node].display};
+            int first_line = 0;
+            while (node != start) {
+                const auto& [pred, edge] = parent.at(node);
+                chain.push_back(sources[pred].display);
+                first_line = edge->line;
+                node = pred;
+            }
+            std::reverse(chain.begin(), chain.end());
+            std::string text;
+            for (const std::string& hop : chain) {
+                if (!text.empty())
+                    text += " -> ";
+                text += hop;
+            }
+            return std::make_pair(text, first_line);
+        };
+        const auto flag = [&](const std::string& to,
+                              const std::string& chain, int line) {
+            if (!reported.insert(to).second)
+                return;
+            Finding f;
+            f.file = sources[start].display;
+            f.line = line;
+            f.rule = "arch-forbidden-include";
+            f.message = "subsystem `" + from +
+                        "` must not depend on `" + to +
+                        "`; include chain: " + chain;
+            findings.push_back(std::move(f));
+        };
+        for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+            const std::size_t node = queue[qi];
+            for (const Include& inc : graph[node]) {
+                if (inc.target == Include::kNone) {
+                    // Unresolved project include: judge by path.
+                    const std::string to =
+                        subsystemOfInclude(inc.quoted);
+                    if (!to.empty() && !allowed(from, to)) {
+                        auto [chain, line] = chainOf(node);
+                        chain += " -> " + inc.quoted;
+                        flag(to, chain,
+                             node == start ? inc.line : line);
+                    }
+                    continue;
+                }
+                if (seen.insert(inc.target).second) {
+                    parent[inc.target] = {node, &inc};
+                    queue.push_back(inc.target);
+                }
+                const std::string to =
+                    subsystemOf(sources[inc.target].display);
+                if (!allowed(from, to)) {
+                    // Anchor at this file's own include that starts
+                    // the shortest chain.
+                    auto [chain, line] = chainOf(inc.target);
+                    flag(to, chain,
+                         node == start ? inc.line : line);
+                }
+            }
+        }
+    }
+}
+
+void
+reportCycles(const std::vector<SourceFile>& sources,
+             const std::vector<std::vector<Include>>& graph,
+             std::vector<Finding>& findings)
+{
+    // Iterative DFS with colors; a grey->grey edge closes a cycle.
+    enum : char { kWhite, kGrey, kBlack };
+    std::vector<char> color(sources.size(), kWhite);
+    std::vector<std::size_t> stack;
+    std::set<std::string> reported;
+
+    struct Frame
+    {
+        std::size_t node;
+        std::size_t edge = 0;
+    };
+    for (std::size_t root = 0; root < sources.size(); ++root) {
+        if (color[root] != kWhite)
+            continue;
+        std::vector<Frame> frames = {{root}};
+        color[root] = kGrey;
+        stack.push_back(root);
+        while (!frames.empty()) {
+            Frame& frame = frames.back();
+            if (frame.edge >= graph[frame.node].size()) {
+                color[frame.node] = kBlack;
+                stack.pop_back();
+                frames.pop_back();
+                continue;
+            }
+            const Include& inc = graph[frame.node][frame.edge++];
+            if (inc.target == Include::kNone)
+                continue;
+            if (color[inc.target] == kWhite) {
+                color[inc.target] = kGrey;
+                stack.push_back(inc.target);
+                frames.push_back({inc.target});
+                continue;
+            }
+            if (color[inc.target] != kGrey)
+                continue;
+            // Reconstruct the cycle from the grey stack.
+            const auto begin = std::find(stack.begin(), stack.end(),
+                                         inc.target);
+            std::vector<std::size_t> cycle(begin, stack.end());
+            std::vector<std::size_t> key = cycle;
+            std::sort(key.begin(), key.end());
+            std::string key_text;
+            for (std::size_t k : key)
+                key_text += std::to_string(k) + ",";
+            if (!reported.insert(key_text).second)
+                continue;
+            std::string chain;
+            for (std::size_t node : cycle)
+                chain += sources[node].display + " -> ";
+            chain += sources[inc.target].display;
+            Finding f;
+            f.file = sources[frame.node].display;
+            f.line = inc.line;
+            f.rule = "arch-include-cycle";
+            f.message = "project includes form a cycle: " + chain;
+            findings.push_back(std::move(f));
+        }
+    }
+}
+
+void
+reportUnknown(const std::vector<SourceFile>& sources,
+              std::vector<Finding>& findings)
+{
+    std::set<std::string> reported;
+    for (const SourceFile& source : sources) {
+        const std::string sub = subsystemOf(source.display);
+        if (sub.empty() || subsystemDeps().count(sub) != 0)
+            continue;
+        if (!reported.insert(sub).second)
+            continue;
+        Finding f;
+        f.file = source.display;
+        f.line = 1;
+        f.rule = "arch-unknown-subsystem";
+        f.message = "directory names subsystem `" + sub +
+                    "` which is not in the declared layering DAG; "
+                    "add it to subsystemDeps() in tools/analyzer/"
+                    "rules_arch.cpp and GUIDE.md section 10 "
+                    "deliberately";
+        findings.push_back(std::move(f));
+    }
+}
+
+} // namespace
+
+void
+runArchPack(const std::vector<SourceFile>& sources,
+            std::vector<Finding>& findings)
+{
+    const std::vector<std::vector<Include>> graph =
+        buildIncludeGraph(sources);
+    reportForbidden(sources, graph, findings);
+    reportCycles(sources, graph, findings);
+    reportUnknown(sources, findings);
+}
+
+} // namespace satori_analyzer

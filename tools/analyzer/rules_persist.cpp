@@ -1,0 +1,629 @@
+/**
+ * @file
+ * The persist pack: snapshot write/read symmetry and schema-manifest
+ * drift.
+ *
+ * Every persisted type pairs a `saveState(StateWriter&)` with a
+ * `restoreState(StateReader&)`, and the codec is positional: the get
+ * sequence must mirror the put sequence op for op or restores decode
+ * garbage. The pack extracts both sequences per class as ordered op
+ * tags:
+ *
+ *   u8 u32 u64 i64 bool double size string doublevec intvec
+ *   config            - putConfiguration / getConfiguration
+ *   state(member_)    - nested member.saveState(w) delegation
+ *
+ * with a `*` suffix for ops inside a loop and `?` for ops inside a
+ * conditional (counted writes / optional sections are still symmetric
+ * as long as both sides share the shape).
+ *
+ *   persist-asymmetric-state - the two sequences diverge, or one of
+ *                              the pair is missing.
+ *   persist-schema-drift     - a sequence differs from the checked-in
+ *                              manifest while kSnapshotFormatVersion
+ *                              was not bumped; on-disk snapshots from
+ *                              the previous build would mis-decode
+ *                              silently.
+ *   persist-manifest-stale   - the manifest itself is out of date:
+ *                              version skew against the sources, or
+ *                              an entry whose class no longer
+ *                              persists anything. Regenerate with
+ *                              --write-persist-schema.
+ */
+
+#include "analyzer/analyzer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace satori_analyzer {
+
+namespace {
+
+std::size_t
+findWord(const std::string& s, const std::string& word,
+         std::size_t from = 0)
+{
+    std::size_t at = from;
+    while ((at = s.find(word, at)) != std::string::npos) {
+        const bool left_ok = at == 0 || !isIdentChar(s[at - 1]);
+        const std::size_t end = at + word.size();
+        const bool right_ok = end >= s.size() || !isIdentChar(s[end]);
+        if (left_ok && right_ok)
+            return at;
+        at = end;
+    }
+    return std::string::npos;
+}
+
+/** A control-structure body span inside a function body. */
+struct Region
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    bool loop = false; ///< for/while/do body vs if/else body.
+};
+
+/**
+ * Map every for/while/do/if/else body in @p body to a Region so op
+ * extraction can annotate repetition (`*`) and optionality (`?`).
+ */
+std::vector<Region>
+controlRegions(const std::string& body)
+{
+    std::vector<Region> regions;
+    static const struct
+    {
+        const char* kw;
+        bool loop;
+        bool paren; ///< keyword is followed by a (condition).
+    } kKinds[] = {
+        {"for", true, true},
+        {"while", true, true},
+        {"if", false, true},
+        {"do", true, false},
+        {"else", false, false},
+    };
+    for (const auto& kind : kKinds) {
+        std::size_t at = 0;
+        while ((at = findWord(body, kind.kw, at)) !=
+               std::string::npos) {
+            std::size_t pos = at + std::string(kind.kw).size();
+            at = pos;
+            if (kind.paren) {
+                while (pos < body.size() &&
+                       std::isspace(
+                           static_cast<unsigned char>(body[pos])) != 0)
+                    ++pos;
+                if (pos >= body.size() || body[pos] != '(')
+                    continue;
+                const std::size_t close =
+                    findMatching(body, pos, '(', ')');
+                if (close == std::string::npos)
+                    continue;
+                pos = close + 1;
+            }
+            while (pos < body.size() &&
+                   std::isspace(
+                       static_cast<unsigned char>(body[pos])) != 0)
+                ++pos;
+            if (pos >= body.size())
+                continue;
+            Region region;
+            region.loop = kind.loop;
+            if (body[pos] == '{') {
+                const std::size_t close =
+                    findMatching(body, pos, '{', '}');
+                if (close == std::string::npos)
+                    continue;
+                region.begin = pos + 1;
+                region.end = close;
+            } else {
+                const std::size_t semi = body.find(';', pos);
+                if (semi == std::string::npos)
+                    continue;
+                region.begin = pos;
+                region.end = semi;
+            }
+            regions.push_back(region);
+        }
+    }
+    return regions;
+}
+
+std::string
+suffixAt(const std::vector<Region>& regions, std::size_t pos)
+{
+    bool in_cond = false;
+    for (const Region& region : regions) {
+        if (pos < region.begin || pos >= region.end)
+            continue;
+        if (region.loop)
+            return "*";
+        in_cond = true;
+    }
+    return in_cond ? "?" : "";
+}
+
+/** One extracted codec op, ordered by position in the body. */
+struct Op
+{
+    std::size_t pos = 0;
+    std::string tag;
+};
+
+/**
+ * Extract the ordered codec op sequence of a saveState/restoreState
+ * body given the writer/reader parameter name.
+ */
+std::vector<std::string>
+extractOps(const std::string& body, const std::string& param,
+           bool save)
+{
+    std::vector<Op> ops;
+    const std::vector<Region> regions = controlRegions(body);
+    const std::string prefix = save ? "put" : "get";
+    const std::string nested = save ? "saveState" : "restoreState";
+
+    // param.putX(...) / param->getX(...)
+    std::size_t at = 0;
+    while ((at = findWord(body, param, at)) != std::string::npos) {
+        std::size_t pos = at + param.size();
+        at = pos;
+        if (pos < body.size() && body[pos] == '.') {
+            ++pos;
+        } else if (pos + 1 < body.size() && body[pos] == '-' &&
+                   body[pos + 1] == '>') {
+            pos += 2;
+        } else {
+            continue;
+        }
+        if (body.compare(pos, prefix.size(), prefix) != 0)
+            continue;
+        std::size_t end = pos + prefix.size();
+        while (end < body.size() && isIdentChar(body[end]))
+            ++end;
+        if (end == pos + prefix.size() || end >= body.size() ||
+            body[end] != '(')
+            continue;
+        std::string tag =
+            body.substr(pos + prefix.size(), end - pos - prefix.size());
+        std::transform(tag.begin(), tag.end(), tag.begin(),
+                       [](unsigned char c) {
+                           return static_cast<char>(std::tolower(c));
+                       });
+        ops.push_back({at, tag + suffixAt(regions, at)});
+    }
+
+    // putConfiguration(param, ...) / getConfiguration(param)
+    const std::string config = prefix + "Configuration";
+    at = 0;
+    while ((at = findWord(body, config, at)) != std::string::npos) {
+        const std::size_t open = at + config.size();
+        const std::size_t start = at;
+        at = open;
+        if (open >= body.size() || body[open] != '(')
+            continue;
+        const std::size_t close = findMatching(body, open, '(', ')');
+        if (close == std::string::npos)
+            continue;
+        const std::string args = body.substr(open + 1, close - open - 1);
+        if (findWord(args, param) == std::string::npos)
+            continue;
+        ops.push_back({start, "config" + suffixAt(regions, start)});
+    }
+
+    // member.saveState(param) delegation.
+    at = 0;
+    while ((at = findWord(body, nested, at)) != std::string::npos) {
+        const std::size_t start = at;
+        std::size_t open = at + nested.size();
+        at = open;
+        if (open >= body.size() || body[open] != '(')
+            continue;
+        const std::size_t close = findMatching(body, open, '(', ')');
+        if (close == std::string::npos)
+            continue;
+        const std::string args = body.substr(open + 1, close - open - 1);
+        if (findWord(args, param) == std::string::npos)
+            continue;
+        // Receiver chain before the '.'/'->'.
+        std::size_t dot = start;
+        std::string receiver;
+        if (dot >= 1 && body[dot - 1] == '.') {
+            std::size_t b = dot - 1;
+            while (b > 0 && isIdentChar(body[b - 1]))
+                --b;
+            receiver = body.substr(b, dot - 1 - b);
+        } else if (dot >= 2 && body[dot - 2] == '-' &&
+                   body[dot - 1] == '>') {
+            std::size_t b = dot - 2;
+            while (b > 0 && isIdentChar(body[b - 1]))
+                --b;
+            receiver = body.substr(b, dot - 2 - b);
+        } else {
+            continue; // unqualified recursion, not delegation
+        }
+        if (receiver.empty())
+            continue;
+        ops.push_back(
+            {start, "state(" + receiver + ")" + suffixAt(regions, start)});
+    }
+
+    std::sort(ops.begin(), ops.end(),
+              [](const Op& a, const Op& b) { return a.pos < b.pos; });
+    std::vector<std::string> tags;
+    tags.reserve(ops.size());
+    for (Op& op : ops)
+        tags.push_back(std::move(op.tag));
+    return tags;
+}
+
+/** The writer/reader parameter name of a saveState/restoreState. */
+std::string
+codecParam(const FunctionDef& def, bool save)
+{
+    const std::string type = save ? "StateWriter" : "StateReader";
+    std::size_t begin = 0;
+    std::size_t depth = 0;
+    for (std::size_t i = 0; i <= def.params.size(); ++i) {
+        const char c = i < def.params.size() ? def.params[i] : ',';
+        if (c == '<' || c == '(')
+            ++depth;
+        else if (c == '>' || c == ')')
+            --depth;
+        if (c != ',' || depth != 0)
+            continue;
+        const std::string piece = def.params.substr(begin, i - begin);
+        begin = i + 1;
+        if (piece.find(type) == std::string::npos)
+            continue;
+        std::size_t e = piece.size();
+        while (e > 0 && std::isspace(
+                            static_cast<unsigned char>(piece[e - 1])) != 0)
+            --e;
+        std::size_t b = e;
+        while (b > 0 && isIdentChar(piece[b - 1]))
+            --b;
+        if (b < e)
+            return piece.substr(b, e - b);
+    }
+    return "";
+}
+
+/** One class's extracted persistence schema. */
+struct PersistClass
+{
+    const FunctionDef* save = nullptr;
+    const FunctionDef* restore = nullptr;
+    std::vector<std::string> save_ops;
+    std::vector<std::string> restore_ops;
+};
+
+/**
+ * Group saveState/restoreState members by owning class and extract
+ * both op sequences. Overloads without a StateWriter/StateReader
+ * parameter are ignored.
+ */
+std::map<std::string, PersistClass>
+collectPersistClasses(const SymbolIndex& index)
+{
+    std::map<std::string, PersistClass> classes;
+    for (const FunctionDef& def : index.functions) {
+        if (def.owner.empty() || def.body.empty())
+            continue;
+        const bool save = def.name == "saveState";
+        const bool restore = def.name == "restoreState";
+        if (!save && !restore)
+            continue;
+        const std::string param = codecParam(def, save);
+        if (param.empty())
+            continue;
+        PersistClass& cls = classes[def.owner];
+        if (save && cls.save == nullptr) {
+            cls.save = &def;
+            cls.save_ops = extractOps(def.body, param, true);
+        } else if (restore && cls.restore == nullptr) {
+            cls.restore = &def;
+            cls.restore_ops = extractOps(def.body, param, false);
+        }
+    }
+    return classes;
+}
+
+std::string
+joinOps(const std::vector<std::string>& ops)
+{
+    std::string out;
+    for (const std::string& op : ops) {
+        if (!out.empty())
+            out += ' ';
+        out += op;
+    }
+    return out;
+}
+
+/** Location of `kSnapshotFormatVersion = N` in the scanned sources. */
+struct SourceVersion
+{
+    int value = -1;
+    std::string file;
+    int line = 0;
+};
+
+SourceVersion
+findSourceVersion(const std::vector<SourceFile>& sources)
+{
+    SourceVersion v;
+    for (const SourceFile& source : sources) {
+        for (std::size_t i = 0; i < source.lines.size(); ++i) {
+            const std::string& code = source.lines[i].code;
+            const std::size_t at =
+                findWord(code, "kSnapshotFormatVersion");
+            if (at == std::string::npos)
+                continue;
+            const std::size_t eq = code.find('=', at);
+            if (eq == std::string::npos)
+                continue;
+            std::size_t d = eq + 1;
+            while (d < code.size() &&
+                   std::isspace(
+                       static_cast<unsigned char>(code[d])) != 0)
+                ++d;
+            if (d >= code.size() ||
+                std::isdigit(static_cast<unsigned char>(code[d])) == 0)
+                continue;
+            v.value = std::atoi(code.c_str() + d);
+            v.file = source.display;
+            v.line = static_cast<int>(i + 1);
+            return v;
+        }
+    }
+    return v;
+}
+
+/** The checked-in schema manifest. */
+struct Manifest
+{
+    bool loaded = false;
+    int version = -1;
+    int version_line = 0;
+    /// class name -> (ops, manifest line)
+    std::map<std::string, std::pair<std::vector<std::string>, int>>
+        entries;
+};
+
+Manifest
+loadManifest(const std::filesystem::path& path)
+{
+    Manifest m;
+    std::ifstream in(path);
+    if (!in)
+        return m;
+    m.loaded = true;
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t b = line.find_first_not_of(" \t");
+        if (b == std::string::npos || line[b] == '#')
+            continue;
+        std::istringstream fields(line);
+        std::string head;
+        fields >> head;
+        if (head == "version") {
+            fields >> m.version;
+            m.version_line = lineno;
+            continue;
+        }
+        if (!head.empty() && head.back() == ':') {
+            head.pop_back();
+            std::vector<std::string> ops;
+            std::string op;
+            while (fields >> op)
+                ops.push_back(op);
+            m.entries[head] = {std::move(ops), lineno};
+        }
+    }
+    return m;
+}
+
+/** Classes in shipping code (include/ or src/) gate the manifest;
+ *  test fixtures and tools do not belong in the schema. */
+bool
+inManifestScope(const FunctionDef& def)
+{
+    return def.display.find("include/") != std::string::npos ||
+           def.display.find("src/") != std::string::npos;
+}
+
+} // namespace
+
+void
+runPersistPack(const std::vector<SourceFile>& sources,
+               const SymbolIndex& index, const Options& opts,
+               std::vector<Finding>& findings)
+{
+    const std::map<std::string, PersistClass> classes =
+        collectPersistClasses(index);
+
+    // --- persist-asymmetric-state -----------------------------------
+    for (const auto& [name, cls] : classes) {
+        if (cls.save == nullptr || cls.restore == nullptr) {
+            const FunctionDef* def =
+                cls.save != nullptr ? cls.save : cls.restore;
+            Finding f;
+            f.file = def->display;
+            f.line = def->line;
+            f.rule = "persist-asymmetric-state";
+            f.message = name + " defines " + def->name +
+                        " but no matching " +
+                        (cls.save != nullptr ? "restoreState"
+                                             : "saveState") +
+                        "; snapshots of it cannot round-trip";
+            findings.push_back(std::move(f));
+            continue;
+        }
+        if (cls.save_ops == cls.restore_ops)
+            continue;
+        std::size_t i = 0;
+        while (i < cls.save_ops.size() && i < cls.restore_ops.size() &&
+               cls.save_ops[i] == cls.restore_ops[i])
+            ++i;
+        const std::string wrote =
+            i < cls.save_ops.size() ? cls.save_ops[i] : "(end)";
+        const std::string read =
+            i < cls.restore_ops.size() ? cls.restore_ops[i] : "(end)";
+        Finding f;
+        f.file = cls.save->display;
+        f.line = cls.save->line;
+        f.rule = "persist-asymmetric-state";
+        f.message =
+            name + "::saveState writes [" + joinOps(cls.save_ops) +
+            "] but restoreState (" + cls.restore->display + ":" +
+            std::to_string(cls.restore->line) + ") reads [" +
+            joinOps(cls.restore_ops) + "]; first divergence at op " +
+            std::to_string(i + 1) + " (" + wrote + " vs " + read + ")";
+        findings.push_back(std::move(f));
+    }
+
+    // --- manifest checks --------------------------------------------
+    if (opts.persist_schema.empty())
+        return;
+    const std::string manifest_display =
+        opts.persist_schema.generic_string();
+    const Manifest manifest = loadManifest(opts.persist_schema);
+    if (!manifest.loaded) {
+        Finding f;
+        f.file = manifest_display;
+        f.line = 1;
+        f.rule = "persist-manifest-stale";
+        f.message = "persist schema manifest cannot be read; "
+                    "regenerate it with --write-persist-schema";
+        findings.push_back(std::move(f));
+        return;
+    }
+
+    const SourceVersion source_version = findSourceVersion(sources);
+    if (source_version.value < 0) {
+        Finding f;
+        f.file = manifest_display;
+        f.line = manifest.version_line > 0 ? manifest.version_line : 1;
+        f.rule = "persist-manifest-stale";
+        f.message = "kSnapshotFormatVersion was not found in the "
+                    "scanned sources, so the manifest version cannot "
+                    "be validated";
+        findings.push_back(std::move(f));
+        return;
+    }
+    const bool version_bumped =
+        manifest.version != source_version.value;
+    if (version_bumped) {
+        // A bump is the sanctioned way to change the schema, but the
+        // manifest must be regenerated in the same change.
+        Finding f;
+        f.file = manifest_display;
+        f.line = manifest.version_line > 0 ? manifest.version_line : 1;
+        f.rule = "persist-manifest-stale";
+        f.message =
+            "manifest is for snapshot format version " +
+            std::to_string(manifest.version) + " but " +
+            source_version.file + ":" +
+            std::to_string(source_version.line) +
+            " declares version " +
+            std::to_string(source_version.value) +
+            "; regenerate with --write-persist-schema";
+        findings.push_back(std::move(f));
+        return;
+    }
+
+    // Versions match: any schema difference is silent drift.
+    for (const auto& [name, cls] : classes) {
+        const FunctionDef* def =
+            cls.save != nullptr ? cls.save : cls.restore;
+        if (def == nullptr || !inManifestScope(*def))
+            continue;
+        const auto entry = manifest.entries.find(name);
+        if (entry == manifest.entries.end()) {
+            Finding f;
+            f.file = def->display;
+            f.line = def->line;
+            f.rule = "persist-schema-drift";
+            f.message =
+                name + " persists state but has no entry in " +
+                manifest_display +
+                "; bump kSnapshotFormatVersion and regenerate the "
+                "manifest with --write-persist-schema";
+            findings.push_back(std::move(f));
+            continue;
+        }
+        if (cls.save != nullptr &&
+            entry->second.first != cls.save_ops) {
+            Finding f;
+            f.file = cls.save->display;
+            f.line = cls.save->line;
+            f.rule = "persist-schema-drift";
+            f.message =
+                name + "::saveState now writes [" +
+                joinOps(cls.save_ops) + "] but the manifest (" +
+                manifest_display + ":" +
+                std::to_string(entry->second.second) + ") records [" +
+                joinOps(entry->second.first) +
+                "] for unchanged format version " +
+                std::to_string(source_version.value) +
+                "; bump kSnapshotFormatVersion and regenerate the "
+                "manifest";
+            findings.push_back(std::move(f));
+        }
+    }
+    for (const auto& [name, entry] : manifest.entries) {
+        const auto cls = classes.find(name);
+        if (cls != classes.end()) {
+            const FunctionDef* def = cls->second.save != nullptr
+                                         ? cls->second.save
+                                         : cls->second.restore;
+            if (def != nullptr && inManifestScope(*def))
+                continue;
+        }
+        Finding f;
+        f.file = manifest_display;
+        f.line = entry.second;
+        f.rule = "persist-manifest-stale";
+        f.message = "manifest entry `" + name +
+                    "` matches no persisted class in the scanned "
+                    "sources; regenerate with --write-persist-schema";
+        findings.push_back(std::move(f));
+    }
+}
+
+std::string
+renderPersistSchema(const std::vector<SourceFile>& sources,
+                    const SymbolIndex& index)
+{
+    const SourceVersion version = findSourceVersion(sources);
+    std::string out;
+    out += "# satori persist schema manifest.\n";
+    out += "# One line per persisted class: the ordered codec op "
+           "sequence its\n";
+    out += "# saveState writes (`*` = inside a loop, `?` = inside a "
+           "conditional,\n";
+    out += "# state(x) = nested delegation). Regenerate with\n";
+    out += "#   satori_analyzer --write-persist-schema "
+           "tools/persist_schema.txt <paths>\n";
+    out += "# after bumping kSnapshotFormatVersion.\n";
+    out += "version " +
+           std::to_string(version.value < 0 ? 0 : version.value) +
+           "\n";
+    for (const auto& [name, cls] : collectPersistClasses(index)) {
+        const FunctionDef* def =
+            cls.save != nullptr ? cls.save : cls.restore;
+        if (def == nullptr || !inManifestScope(*def))
+            continue;
+        out += name + ": " + joinOps(cls.save_ops) + "\n";
+    }
+    return out;
+}
+
+} // namespace satori_analyzer

@@ -5,11 +5,15 @@
  * packs and GUIDE.md §10 for the workflow).
  *
  * Usage:
- *   satori_analyzer [--packs=det,num,api,header,conc|all]
+ *   satori_analyzer [--packs=det,num,api,header,conc,persist,arch,
+ *                            flow|all]
  *                   [--root <include-root>] [--baseline <file>]
  *                   [--check-baseline]
+ *                   [--persist-schema <file>]
  *                   [--allow-wallclock <path-substr>]... [--json]
+ *                   [--sarif=<file>] [--jobs=N] [--stats]
  *                   <dir-or-file>...
+ *   satori_analyzer --write-persist-schema <file> <dir-or-file>...
  *   satori_analyzer --explain <rule-id>
  *
  * Exit status: 0 when every finding is suppressed or baselined, 1 on
@@ -17,7 +21,10 @@
  * entry), 2 on usage errors.
  */
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -30,13 +37,18 @@ printUsage(std::FILE* to)
 {
     std::fprintf(
         to,
-        "usage: satori_analyzer [--packs=det,num,api,header,conc|all]\n"
+        "usage: satori_analyzer "
+        "[--packs=det,num,api,header,conc,persist,arch,flow|all]\n"
         "                       [--root <include-root>] [--baseline "
         "<file>]\n"
-        "                       [--check-baseline]\n"
+        "                       [--check-baseline] [--persist-schema "
+        "<file>]\n"
         "                       [--allow-wallclock <path-substr>]... "
         "[--json]\n"
+        "                       [--sarif=<file>] [--jobs=N] [--stats]\n"
         "                       <dir-or-file>...\n"
+        "       satori_analyzer --write-persist-schema <file> "
+        "<dir-or-file>...\n"
         "       satori_analyzer --explain <rule-id>\n");
 }
 
@@ -49,8 +61,11 @@ main(int argc, char** argv)
     sa::Options options;
     std::vector<std::filesystem::path> targets;
     std::filesystem::path baseline_path;
+    std::filesystem::path sarif_path;
+    std::filesystem::path write_schema_path;
     bool json = false;
     bool check_baseline = false;
+    bool stats = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -90,6 +105,39 @@ main(int argc, char** argv)
                 return 2;
             }
             options.wallclock_allow.emplace_back(argv[++i]);
+        } else if (arg == "--persist-schema") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "missing value for --persist-schema\n");
+                return 2;
+            }
+            options.persist_schema = argv[++i];
+        } else if (arg == "--write-persist-schema") {
+            if (i + 1 >= argc) {
+                std::fprintf(
+                    stderr,
+                    "missing value for --write-persist-schema\n");
+                return 2;
+            }
+            write_schema_path = argv[++i];
+        } else if (arg.rfind("--sarif=", 0) == 0) {
+            sarif_path = arg.substr(8);
+            if (sarif_path.empty()) {
+                std::fprintf(stderr, "missing value for --sarif\n");
+                return 2;
+            }
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            const std::string value = arg.substr(7);
+            char* end = nullptr;
+            const long jobs = std::strtol(value.c_str(), &end, 10);
+            if (value.empty() || *end != '\0' || jobs < 0) {
+                std::fprintf(stderr, "bad value in '%s'\n",
+                             arg.c_str());
+                return 2;
+            }
+            options.jobs = static_cast<unsigned>(jobs);
+        } else if (arg == "--stats") {
+            stats = true;
         } else if (arg == "--check-baseline") {
             check_baseline = true;
         } else if (arg == "--json") {
@@ -131,7 +179,32 @@ main(int argc, char** argv)
         return 2;
     }
 
+    if (!write_schema_path.empty()) {
+        // Regenerate the checked-in persist schema manifest and exit.
+        const std::vector<sa::SourceFile> sources =
+            sa::loadSourceTree(targets, options);
+        const sa::SymbolIndex index =
+            sa::buildSymbolIndex(sources, options);
+        const std::string manifest =
+            sa::renderPersistSchema(sources, index);
+        std::ofstream out(write_schema_path);
+        if (!out || !(out << manifest) || !out.flush()) {
+            std::fprintf(stderr, "satori_analyzer: cannot write %s\n",
+                         write_schema_path.string().c_str());
+            return 2;
+        }
+        std::fprintf(stdout, "satori_analyzer: wrote %s (%zu files)\n",
+                     write_schema_path.string().c_str(),
+                     sources.size());
+        return 0;
+    }
+
+    const auto scan_begin = std::chrono::steady_clock::now();
     sa::AnalyzeResult result = sa::analyzePaths(targets, options);
+    const auto scan_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - scan_begin)
+            .count();
 
     std::vector<sa::BaselineEntry> baseline;
     std::size_t stale = 0;
@@ -156,11 +229,29 @@ main(int argc, char** argv)
         }
     }
 
+    if (!sarif_path.empty()) {
+        std::ofstream out(sarif_path);
+        if (!out ||
+            !(out << sa::renderSarif(result, "satori_analyzer")) ||
+            !out.flush()) {
+            std::fprintf(stderr, "satori_analyzer: cannot write %s\n",
+                         sarif_path.string().c_str());
+            return 2;
+        }
+    }
+
     if (json)
         std::fputs(sa::renderJson(result).c_str(), stdout);
     else
         std::fputs(sa::renderText(result, "satori_analyzer").c_str(),
                    stdout);
+    if (stats)
+        std::fprintf(stdout,
+                     "satori_analyzer: stats: %zu files in %lld ms "
+                     "on %u jobs\n",
+                     result.files_scanned,
+                     static_cast<long long>(scan_ms),
+                     result.jobs_used);
     if (sa::countActive(result.findings) != 0)
         return 1;
     return (check_baseline && stale != 0) ? 1 : 0;
