@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Embedded HTTP/1.1 exporter for the live telemetry plane: a small
+ * blocking-accept-loop server on one dedicated thread, serving
+ * read-only views of the observability singleton:
+ *
+ *   GET /metrics          Prometheus text exposition of a fresh
+ *                         MetricsRegistry snapshot.
+ *   GET /healthz          JSON liveness: intervals seen, degraded /
+ *                         settled state, guard verdict, SLO breach
+ *                         state (HTTP 503 while degraded/breaching).
+ *   GET /history?metric=M[&window=S][&last=N][&stats=1][&rate=1]
+ *                         JSON time-series from StatsHistory.
+ *   GET /audit/tail?n=N   Last N decision-audit records as JSONL.
+ *
+ * The server binds loopback by default and speaks just enough
+ * HTTP/1.1 for curl and Prometheus scrapers: GET only, one request
+ * per connection, `Connection: close`. It is an *unauthenticated
+ * diagnostic surface* - never bind it to a routable address in an
+ * untrusted network (GUIDE.md §15).
+ *
+ * Port 0 requests an ephemeral port (the bound port is readable via
+ * port(), and satori_sim prints it for scripts). Shutdown uses the
+ * self-pipe trick: stop() writes a byte the accept loop's poll() sees
+ * alongside the listen socket, so no connect-to-self or timeout
+ * dances are needed.
+ *
+ * Serving is strictly read-only over snapshot copies, so a scraper
+ * hitting /metrics mid-run cannot perturb controller decisions - the
+ * byte-identical trace invariant is pinned by test with a 1 Hz
+ * scraper running.
+ */
+
+#ifndef SATORI_OBS_HTTP_EXPORTER_HPP
+#define SATORI_OBS_HTTP_EXPORTER_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "satori/common/thread_annotations.hpp"
+
+namespace satori {
+namespace obs {
+
+class Observability;
+
+/** Exporter bind options. */
+struct HttpExporterOptions
+{
+    /** Bind address; keep loopback unless you trust the network. */
+    std::string bind_address = "127.0.0.1";
+
+    /** TCP port; 0 = ephemeral (read the result from port()). */
+    std::uint16_t port = 0;
+};
+
+/**
+ * The exporter. start() binds/listens and spawns the serving thread;
+ * stop() (or the destructor) shuts it down cleanly. All handlers read
+ * from the Observability reference handed to the constructor; nothing
+ * is ever written through it.
+ */
+class HttpExporter
+{
+  public:
+    explicit HttpExporter(Observability& obs) : obs_(obs) {}
+    ~HttpExporter();
+    HttpExporter(const HttpExporter&) = delete;
+    HttpExporter& operator=(const HttpExporter&) = delete;
+
+    /**
+     * Bind, listen, and start serving on a dedicated thread.
+     * @throws FatalError if already running or on any socket error.
+     */
+    void start(const HttpExporterOptions& options);
+
+    /** Stop serving and join the thread; idempotent. */
+    void stop();
+
+    /** True between start() and stop(). */
+    [[nodiscard]] bool running() const;
+
+    /** The bound TCP port (resolves port 0); 0 when not running. */
+    [[nodiscard]] std::uint16_t port() const;
+
+    /**
+     * Handle one raw HTTP request and return the full response bytes
+     * (status line through body). Exposed so tests can golden-check
+     * routing and bodies without a socket in the loop.
+     */
+    [[nodiscard]] std::string handleRequest(const std::string& request) const;
+
+    /**
+     * Blocking one-shot client: GET @p target from 127.0.0.1:@p port
+     * and return the full response (headers + body). Empty string on
+     * connect/read failure. Used by tests, the bench scraper, and the
+     * byte-identical-under-scraping drill.
+     */
+    [[nodiscard]] static std::string fetch(std::uint16_t port,
+                                           const std::string& target);
+
+  private:
+    /**
+     * poll() the listen socket + stop pipe; serve until stopped. The
+     * serving thread works on fd *copies*, never the guarded members,
+     * so start()/stop() own all lifecycle state.
+     */
+    void serveLoopOn(int listen_fd, int stop_fd) const;
+
+    /** Read one request off @p fd (bounded), respond, close. */
+    void serveConnection(int fd) const;
+
+    /** The /history endpoint (parsed query -> response). */
+    [[nodiscard]] std::string
+    handleHistory(const std::map<std::string, std::string>& params) const;
+
+    Observability& obs_; ///< Read-only source of every response.
+
+    mutable common::Mutex lifecycle_mutex_; ///< Guards lifecycle state.
+    bool running_ SATORI_GUARDED_BY(lifecycle_mutex_) = false;
+    std::uint16_t bound_port_ SATORI_GUARDED_BY(lifecycle_mutex_) = 0;
+
+    // The serving thread owns these fds while running; they are only
+    // mutated under lifecycle_mutex_ from start()/stop().
+    int listen_fd_ SATORI_GUARDED_BY(lifecycle_mutex_) = -1;
+    int stop_pipe_rd_ SATORI_GUARDED_BY(lifecycle_mutex_) = -1;
+    int stop_pipe_wr_ SATORI_GUARDED_BY(lifecycle_mutex_) = -1;
+    std::thread thread_;
+};
+
+/**
+ * A background client that GETs one target from the local exporter at
+ * a fixed period - the "live scraper" for the overhead bench and the
+ * byte-identical-under-scraping tests. Starts on construction, stops
+ * on destruction (or stop()). Timing uses a poll() timeout on a stop
+ * pipe, so stopping never waits out a period.
+ */
+class PeriodicScraper
+{
+  public:
+    PeriodicScraper(std::uint16_t port, std::string target, int period_ms);
+    ~PeriodicScraper();
+    PeriodicScraper(const PeriodicScraper&) = delete;
+    PeriodicScraper& operator=(const PeriodicScraper&) = delete;
+
+    /** Stop scraping and join; idempotent. */
+    void stop();
+
+    /** Completed fetches so far. */
+    [[nodiscard]] std::uint64_t scrapes() const;
+
+    /** Bytes received across all fetches. */
+    [[nodiscard]] std::uint64_t bytesReceived() const;
+
+  private:
+    /** Fetch-then-wait loop; @p stop_fd is the pipe's read end. */
+    void scrapeLoopOn(int stop_fd);
+
+    const std::uint16_t port_;
+    const std::string target_;
+    const int period_ms_;
+
+    mutable common::Mutex lifecycle_mutex_; ///< Guards lifecycle + counters.
+    bool running_ SATORI_GUARDED_BY(lifecycle_mutex_) = false;
+    int stop_pipe_rd_ SATORI_GUARDED_BY(lifecycle_mutex_) = -1;
+    int stop_pipe_wr_ SATORI_GUARDED_BY(lifecycle_mutex_) = -1;
+    std::uint64_t scrapes_ SATORI_GUARDED_BY(lifecycle_mutex_) = 0;
+    std::uint64_t bytes_ SATORI_GUARDED_BY(lifecycle_mutex_) = 0;
+    std::thread thread_;
+};
+
+} // namespace obs
+} // namespace satori
+
+#endif // SATORI_OBS_HTTP_EXPORTER_HPP

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * SLO watchdog: declarative threshold rules evaluated against the
+ * StatsHistory each control interval.
+ *
+ * A rule reads `<metric> <op> <threshold> for <k> [intervals]` - e.g.
+ * `facts.throughput < 2.0 for 5` - and breaches when the metric's
+ * newest value violates the threshold for k *consecutive* intervals;
+ * a single healthy interval resets the run. Specs parse from the same
+ * compact text format the fault plans use (one rule per line, '#'
+ * comments), so a CI job can check in an SLO file next to its fault
+ * plan.
+ *
+ * Breaches are observability events: they increment
+ * `satori.slo.breaches`, append to a bounded JSONL event ring,
+ * surface in `/healthz`, and - only when fatal mode is explicitly
+ * requested (`--slo-fatal`) - abort the run for CI gating. The
+ * watchdog only ever *reads* history; it cannot influence a decision,
+ * so the byte-identical trace invariant is untouched.
+ */
+
+#ifndef SATORI_OBS_WATCHDOG_HPP
+#define SATORI_OBS_WATCHDOG_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "satori/common/thread_annotations.hpp"
+#include "satori/obs/stats_history.hpp"
+
+namespace satori {
+namespace obs {
+
+/** Comparison a rule applies to the metric's newest value. */
+enum class SloOp
+{
+    Lt, ///< Breach while value <  threshold.
+    Le, ///< Breach while value <= threshold.
+    Gt, ///< Breach while value >  threshold.
+    Ge, ///< Breach while value >= threshold.
+};
+
+/** Stable script spelling of an operator ("<", "<=", ">", ">="). */
+[[nodiscard]] const char* sloOpName(SloOp op);
+
+/** One SLO rule: metric, comparison, and required persistence. */
+struct SloRule
+{
+    std::string metric;       ///< StatsHistory series name.
+    SloOp op = SloOp::Lt;
+    double threshold = 0.0;
+    std::size_t for_intervals = 1; ///< Consecutive violating intervals.
+
+    /** True if @p value violates the threshold. */
+    [[nodiscard]] bool violates(double value) const;
+
+    /** One-line script rendering (round-trips through parse()). */
+    [[nodiscard]] std::string toString() const;
+};
+
+/**
+ * An ordered list of SLO rules parsed from the compact text format:
+ * one `<metric> <op> <threshold> for <k> [intervals]` per line, blank
+ * lines and '#' comments ignored.
+ */
+class SloSpec
+{
+  public:
+    SloSpec() = default;
+    explicit SloSpec(std::vector<SloRule> rules);
+
+    /**
+     * Parse a spec from text. @p source names the origin for error
+     * messages. @throws FatalError with source+line on a bad rule.
+     */
+    [[nodiscard]] static SloSpec parse(const std::string& text,
+                                       const std::string& source = "<spec>");
+
+    /** Parse a spec from a file. @throws FatalError on I/O or syntax. */
+    [[nodiscard]] static SloSpec loadFile(const std::string& path);
+
+    [[nodiscard]] const std::vector<SloRule>& rules() const
+    {
+        return rules_;
+    }
+
+    [[nodiscard]] bool empty() const { return rules_.empty(); }
+
+    /** Script rendering, one rule per line (round-trips). */
+    [[nodiscard]] std::string toString() const;
+
+  private:
+    std::vector<SloRule> rules_;
+};
+
+/** One breach: a rule whose violation just reached its persistence. */
+struct SloEvent
+{
+    std::uint64_t interval = 0; ///< Interval the breach fired on.
+    double time = 0.0;          ///< Simulated time of that interval.
+    SloRule rule;
+    double value = 0.0;         ///< The metric value that breached.
+
+    /** Deterministic one-line JSON record. */
+    [[nodiscard]] std::string toJson() const;
+};
+
+/**
+ * Evaluates an SloSpec against a StatsHistory once per interval and
+ * tracks per-rule consecutive-violation runs. Disabled until a spec
+ * is configured. Thread-safe: evaluation happens on the harness
+ * thread while `/healthz` reads breach state from the exporter
+ * thread.
+ */
+class Watchdog
+{
+  public:
+    Watchdog() = default;
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    /** Install @p spec and reset all rule state. */
+    void configure(SloSpec spec);
+
+    /** True once a non-empty spec is installed. */
+    [[nodiscard]] bool enabled() const;
+
+    /** The installed spec (empty when disabled). */
+    [[nodiscard]] SloSpec spec() const;
+
+    /** Abort the run (FatalError) on any breach; default off. */
+    void setFatalOnBreach(bool fatal);
+
+    [[nodiscard]] bool fatalOnBreach() const;
+
+    /**
+     * Evaluate every rule against @p history's newest values for the
+     * interval that just completed. Returns the breaches that *newly
+     * fired* this interval (a rule already past its persistence stays
+     * breaching but does not re-fire until it recovers first).
+     */
+    std::vector<SloEvent> evaluate(const StatsHistory& history, double time,
+                                   std::uint64_t interval);
+
+    /** Rules currently in breach (violating >= for_intervals). */
+    [[nodiscard]] std::size_t breaching() const;
+
+    /** Total breach events since configure(). */
+    [[nodiscard]] std::uint64_t breachCount() const;
+
+    /** The retained breach events, oldest first. */
+    [[nodiscard]] std::vector<SloEvent> events() const;
+
+    /** Retained breach events as JSON Lines. */
+    [[nodiscard]] std::string eventsJsonl() const;
+
+    /** Drop the spec, rule state, and retained events. */
+    void clear();
+
+  private:
+    /// Retained breach events are bounded so a flapping rule cannot
+    /// grow memory without limit over a long daemon run.
+    static constexpr std::size_t kMaxEvents = 4096;
+
+    struct RuleState
+    {
+        std::size_t consecutive = 0; ///< Current violating run length.
+        bool breaching = false;      ///< Run has reached for_intervals.
+    };
+
+    mutable common::Mutex mutex_; ///< Serializes evaluate() + queries.
+    SloSpec spec_ SATORI_GUARDED_BY(mutex_);
+    std::vector<RuleState> states_ SATORI_GUARDED_BY(mutex_);
+    std::deque<SloEvent> events_ SATORI_GUARDED_BY(mutex_);
+    std::uint64_t breach_count_ SATORI_GUARDED_BY(mutex_) = 0;
+    bool fatal_on_breach_ SATORI_GUARDED_BY(mutex_) = false;
+};
+
+} // namespace obs
+} // namespace satori
+
+#endif // SATORI_OBS_WATCHDOG_HPP

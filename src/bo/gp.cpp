@@ -101,7 +101,9 @@ void
 GaussianProcess::refitFromCache()
 {
     SATORI_OBS_SPAN("gp.fit");
-    const std::size_t n = inputs_.size();
+    // Only the obs/audit hooks consume n; OBS=OFF + AUDIT=OFF builds
+    // compile both away.
+    [[maybe_unused]] const std::size_t n = inputs_.size();
     SATORI_OBS_METRIC(gp_fits.inc());
     SATORI_OBS_METRIC(
         gp_training_size.observe(static_cast<double>(n)));

@@ -1,0 +1,572 @@
+/**
+ * @file
+ * Embedded HTTP/1.1 exporter: POSIX sockets, a poll()-driven accept
+ * loop with self-pipe shutdown, and the four read-only endpoints.
+ * See include/satori/obs/http_exporter.hpp for the contract.
+ */
+
+#include "satori/obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "satori/common/logging.hpp"
+#include "satori/obs/obs.hpp"
+
+namespace satori {
+namespace obs {
+
+namespace {
+
+/** Hard cap on one request's bytes; more than enough for any GET. */
+constexpr std::size_t kMaxRequestBytes = 16384;
+
+/** Per-connection read budget (ms) before giving up on a client. */
+constexpr int kReadTimeoutMs = 2000;
+
+/** Maximum pending connections on the listen socket. */
+constexpr int kListenBacklog = 16;
+
+std::string
+makeResponse(int status, const std::string& reason,
+             const std::string& content_type, const std::string& body)
+{
+    std::ostringstream out;
+    out << "HTTP/1.1 " << status << " " << reason << "\r\n"
+        << "Content-Type: " << content_type << "\r\n"
+        << "Content-Length: " << body.size() << "\r\n"
+        << "Connection: close\r\n\r\n"
+        << body;
+    return out.str();
+}
+
+std::string
+errorResponse(int status, const std::string& reason,
+              const std::string& detail)
+{
+    return makeResponse(status, reason, "text/plain; charset=utf-8",
+                        detail + "\n");
+}
+
+/** Parse "k1=v1&k2=v2" (no URL decoding: every value the endpoints
+ *  accept is [a-zA-Z0-9_.-]). Later duplicates win. */
+std::map<std::string, std::string>
+parseQuery(const std::string& query)
+{
+    std::map<std::string, std::string> params;
+    std::istringstream pairs(query);
+    std::string pair;
+    while (std::getline(pairs, pair, '&')) {
+        if (pair.empty())
+            continue;
+        const auto eq = pair.find('=');
+        if (eq == std::string::npos)
+            params[pair] = "";
+        else
+            params[pair.substr(0, eq)] = pair.substr(eq + 1);
+    }
+    return params;
+}
+
+/** Parse a non-negative number; false on garbage or trailing junk. */
+bool
+parseDouble(const std::string& text, double& out)
+{
+    std::istringstream in(text);
+    if (!(in >> out) || out < 0.0)
+        return false;
+    std::string rest;
+    return !(in >> rest);
+}
+
+bool
+parseCount(const std::string& text, std::size_t& out)
+{
+    std::istringstream in(text);
+    long long value = 0;
+    if (!(in >> value) || value < 0)
+        return false;
+    std::string rest;
+    if (in >> rest)
+        return false;
+    out = static_cast<std::size_t>(value);
+    return true;
+}
+
+/** Append points as a JSON array of [time, interval, value]. */
+void
+appendPoints(std::ostringstream& out, const std::vector<HistoryPoint>& points)
+{
+    out << "[";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        if (i > 0)
+            out << ",";
+        std::ostringstream num;
+        num.precision(10);
+        num << points[i].time;
+        out << "[" << num.str() << "," << points[i].interval << ",";
+        num.str("");
+        num << points[i].value;
+        out << num.str() << "]";
+    }
+    out << "]";
+}
+
+/** Send all of @p data on @p fd (MSG_NOSIGNAL: a dead client must
+ *  not SIGPIPE the process). */
+void
+sendAll(int fd, const std::string& data)
+{
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (n <= 0)
+            return; // Client went away; nothing to clean up.
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
+
+HttpExporter::~HttpExporter()
+{
+    stop();
+}
+
+void
+HttpExporter::start(const HttpExporterOptions& options)
+{
+    int listen_fd = -1;
+    int pipe_fds[2] = {-1, -1};
+    {
+        common::MutexLock lock(lifecycle_mutex_);
+        if (running_)
+            SATORI_FATAL("HttpExporter already running on port " +
+                         std::to_string(bound_port_));
+
+        listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (listen_fd < 0)
+            SATORI_FATAL("HttpExporter: socket() failed: " +
+                         std::string(std::strerror(errno)));
+        const int one = 1;
+        ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one));
+
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(options.port);
+        if (::inet_pton(AF_INET, options.bind_address.c_str(),
+                        &addr.sin_addr) != 1) {
+            ::close(listen_fd);
+            SATORI_FATAL("HttpExporter: bad bind address: " +
+                         options.bind_address);
+        }
+        if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)) != 0) {
+            const std::string why = std::strerror(errno);
+            ::close(listen_fd);
+            SATORI_FATAL("HttpExporter: bind(" + options.bind_address +
+                         ":" + std::to_string(options.port) +
+                         ") failed: " + why);
+        }
+        if (::listen(listen_fd, kListenBacklog) != 0) {
+            const std::string why = std::strerror(errno);
+            ::close(listen_fd);
+            SATORI_FATAL("HttpExporter: listen() failed: " + why);
+        }
+
+        sockaddr_in bound{};
+        socklen_t len = sizeof(bound);
+        if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                          &len) != 0) {
+            const std::string why = std::strerror(errno);
+            ::close(listen_fd);
+            SATORI_FATAL("HttpExporter: getsockname() failed: " + why);
+        }
+
+        if (::pipe(pipe_fds) != 0) {
+            const std::string why = std::strerror(errno);
+            ::close(listen_fd);
+            SATORI_FATAL("HttpExporter: pipe() failed: " + why);
+        }
+
+        listen_fd_ = listen_fd;
+        stop_pipe_rd_ = pipe_fds[0];
+        stop_pipe_wr_ = pipe_fds[1];
+        bound_port_ = ntohs(bound.sin_port);
+        running_ = true;
+    }
+    // The thread works on fd copies, so it never touches guarded
+    // members; stop() owns their teardown after the join.
+    const int stop_fd = pipe_fds[0];
+    thread_ = std::thread([this, listen_fd, stop_fd] {
+        // satori-analyzer: allow(conc-raw-thread)
+        serveLoopOn(listen_fd, stop_fd);
+    });
+}
+
+void
+HttpExporter::stop()
+{
+    {
+        common::MutexLock lock(lifecycle_mutex_);
+        if (!running_)
+            return;
+        running_ = false;
+        // Self-pipe: one byte wakes the accept loop's poll().
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n =
+            ::write(stop_pipe_wr_, &byte, 1);
+    }
+    if (thread_.joinable())
+        thread_.join();
+    common::MutexLock lock(lifecycle_mutex_);
+    if (listen_fd_ >= 0)
+        ::close(listen_fd_);
+    if (stop_pipe_rd_ >= 0)
+        ::close(stop_pipe_rd_);
+    if (stop_pipe_wr_ >= 0)
+        ::close(stop_pipe_wr_);
+    listen_fd_ = -1;
+    stop_pipe_rd_ = -1;
+    stop_pipe_wr_ = -1;
+    bound_port_ = 0;
+}
+
+bool
+HttpExporter::running() const
+{
+    common::MutexLock lock(lifecycle_mutex_);
+    return running_;
+}
+
+std::uint16_t
+HttpExporter::port() const
+{
+    common::MutexLock lock(lifecycle_mutex_);
+    return bound_port_;
+}
+
+void
+HttpExporter::serveLoopOn(int listen_fd, int stop_fd) const
+{
+    for (;;) {
+        pollfd fds[2];
+        fds[0].fd = listen_fd;
+        fds[0].events = POLLIN;
+        fds[0].revents = 0;
+        fds[1].fd = stop_fd;
+        fds[1].events = POLLIN;
+        fds[1].revents = 0;
+        const int ready = ::poll(fds, 2, -1);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return;
+        }
+        if ((fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+            return; // stop() wrote the self-pipe byte.
+        if ((fds[0].revents & POLLIN) == 0)
+            continue;
+        const int conn = ::accept(listen_fd, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        serveConnection(conn);
+    }
+}
+
+void
+HttpExporter::serveConnection(int fd) const
+{
+    // Read one request: until the header terminator, the size cap, or
+    // the read budget runs out. GETs carry no body, so headers are
+    // the whole request.
+    std::string request;
+    int budget_ms = kReadTimeoutMs;
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < kMaxRequestBytes && budget_ms > 0) {
+        pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int slice_ms = 50;
+        const int ready = ::poll(&pfd, 1, slice_ms);
+        budget_ms -= slice_ms;
+        if (ready < 0 && errno != EINTR) {
+            ::close(fd);
+            return;
+        }
+        if (ready <= 0)
+            continue;
+        char buf[4096];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        request.append(buf, static_cast<std::size_t>(n));
+    }
+    if (!request.empty())
+        sendAll(fd, handleRequest(request));
+    ::close(fd);
+}
+
+std::string
+HttpExporter::handleRequest(const std::string& request) const
+{
+    obs_.lib().http_requests.inc();
+
+    // Request line: METHOD SP target SP HTTP/x.y CRLF.
+    const auto line_end = request.find("\r\n");
+    const std::string line =
+        line_end == std::string::npos ? request : request.substr(0, line_end);
+    std::istringstream parts(line);
+    std::string method;
+    std::string target;
+    std::string version;
+    if (!(parts >> method >> target >> version) ||
+        version.rfind("HTTP/", 0) != 0 || target.empty() ||
+        target[0] != '/')
+        return errorResponse(400, "Bad Request", "malformed request line");
+    if (method != "GET")
+        return errorResponse(405, "Method Not Allowed", "GET only");
+
+    std::string path = target;
+    std::string query;
+    const auto qmark = target.find('?');
+    if (qmark != std::string::npos) {
+        path = target.substr(0, qmark);
+        query = target.substr(qmark + 1);
+    }
+    const std::map<std::string, std::string> params = parseQuery(query);
+
+    if (path == "/metrics")
+        return makeResponse(
+            200, "OK", "text/plain; version=0.0.4; charset=utf-8",
+            obs_.metrics().snapshot().prometheusText());
+
+    if (path == "/healthz") {
+        const HealthView view = obs_.healthView();
+        if (view.ok())
+            return makeResponse(200, "OK", "application/json",
+                                view.toJson() + "\n");
+        return makeResponse(503, "Service Unavailable", "application/json",
+                            view.toJson() + "\n");
+    }
+
+    if (path == "/history")
+        return handleHistory(params);
+
+    if (path == "/audit/tail") {
+        std::size_t n = 32;
+        const auto it = params.find("n");
+        if (it != params.end() && !parseCount(it->second, n))
+            return errorResponse(400, "Bad Request",
+                                 "bad n: " + it->second);
+        return makeResponse(200, "OK", "application/x-ndjson",
+                            obs_.audit().tailJsonLines(n));
+    }
+
+    return errorResponse(404, "Not Found", "no such endpoint: " + path);
+}
+
+std::string
+HttpExporter::handleHistory(
+    const std::map<std::string, std::string>& params) const
+{
+    const auto metric_it = params.find("metric");
+    if (metric_it == params.end() || metric_it->second.empty())
+        return errorResponse(400, "Bad Request",
+                             "missing required parameter: metric");
+    const std::string& metric = metric_it->second;
+
+    double window = 0.0;
+    if (const auto it = params.find("window"); it != params.end())
+        if (!parseDouble(it->second, window))
+            return errorResponse(400, "Bad Request",
+                                 "bad window: " + it->second);
+    std::size_t last = 0;
+    if (const auto it = params.find("last"); it != params.end())
+        if (!parseCount(it->second, last))
+            return errorResponse(400, "Bad Request",
+                                 "bad last: " + it->second);
+    const bool want_stats = params.count("stats") > 0;
+    const bool want_rate = params.count("rate") > 0;
+
+    StatsHistory& history = obs_.history();
+    const std::optional<SeriesKind> kind = history.seriesKind(metric);
+    if (!kind)
+        return errorResponse(404, "Not Found", "no such metric: " + metric);
+    if (want_rate && *kind != SeriesKind::Counter)
+        return errorResponse(400, "Bad Request",
+                             "rate requires a counter series: " + metric);
+
+    std::vector<HistoryPoint> points;
+    if (want_rate)
+        points = history.counterRates(metric, window);
+    else if (last > 0)
+        points = history.lastN(metric, last);
+    else if (window > 0.0) {
+        const std::vector<HistoryPoint> newest = history.lastN(metric, 1);
+        const double t_end = newest.empty() ? 0.0 : newest[0].time;
+        points = history.range(metric, t_end - window, t_end);
+    } else
+        points = history.lastN(metric,
+                               std::numeric_limits<std::size_t>::max());
+
+    std::ostringstream body;
+    body << "{\"metric\":\"" << metric << "\",\"kind\":\""
+         << (*kind == SeriesKind::Counter ? "counter" : "gauge")
+         << "\",\"points\":";
+    appendPoints(body, points);
+    if (want_stats) {
+        const std::optional<WindowStats> stats =
+            history.windowStats(metric, window);
+        body << ",\"stats\":";
+        if (!stats)
+            body << "null";
+        else {
+            std::ostringstream num;
+            num.precision(10);
+            num << "{\"count\":" << stats->count << ",\"min\":"
+                << stats->min << ",\"max\":" << stats->max << ",\"mean\":"
+                << stats->mean << ",\"p50\":" << stats->p50 << ",\"p95\":"
+                << stats->p95 << "}";
+            body << num.str();
+        }
+    }
+    body << "}\n";
+    return makeResponse(200, "OK", "application/json", body.str());
+}
+
+std::string
+HttpExporter::fetch(std::uint16_t port, const std::string& target)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        ::close(fd);
+        return "";
+    }
+    sendAll(fd, "GET " + target + " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                "Connection: close\r\n\r\n");
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+PeriodicScraper::PeriodicScraper(std::uint16_t port, std::string target,
+                                 int period_ms)
+    : port_(port), target_(std::move(target)),
+      period_ms_(period_ms > 0 ? period_ms : 1)
+{
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0)
+        SATORI_FATAL("PeriodicScraper: pipe() failed: " +
+                     std::string(std::strerror(errno)));
+    const int stop_fd = pipe_fds[0];
+    {
+        common::MutexLock lock(lifecycle_mutex_);
+        stop_pipe_rd_ = pipe_fds[0];
+        stop_pipe_wr_ = pipe_fds[1];
+        running_ = true;
+    }
+    thread_ = std::thread([this, stop_fd] {
+        // satori-analyzer: allow(conc-raw-thread)
+        scrapeLoopOn(stop_fd);
+    });
+}
+
+PeriodicScraper::~PeriodicScraper()
+{
+    stop();
+}
+
+void
+PeriodicScraper::stop()
+{
+    {
+        common::MutexLock lock(lifecycle_mutex_);
+        if (!running_)
+            return;
+        running_ = false;
+        const char byte = 's';
+        [[maybe_unused]] const ssize_t n =
+            ::write(stop_pipe_wr_, &byte, 1);
+    }
+    if (thread_.joinable())
+        thread_.join();
+    common::MutexLock lock(lifecycle_mutex_);
+    if (stop_pipe_rd_ >= 0)
+        ::close(stop_pipe_rd_);
+    if (stop_pipe_wr_ >= 0)
+        ::close(stop_pipe_wr_);
+    stop_pipe_rd_ = -1;
+    stop_pipe_wr_ = -1;
+}
+
+std::uint64_t
+PeriodicScraper::scrapes() const
+{
+    common::MutexLock lock(lifecycle_mutex_);
+    return scrapes_;
+}
+
+std::uint64_t
+PeriodicScraper::bytesReceived() const
+{
+    common::MutexLock lock(lifecycle_mutex_);
+    return bytes_;
+}
+
+void
+PeriodicScraper::scrapeLoopOn(int stop_fd)
+{
+    for (;;) {
+        const std::string response = HttpExporter::fetch(port_, target_);
+        {
+            common::MutexLock lock(lifecycle_mutex_);
+            if (!response.empty()) {
+                ++scrapes_;
+                bytes_ += response.size();
+            }
+        }
+        // Period timing via the stop pipe's poll() timeout: stopping
+        // never has to wait a period out.
+        pollfd pfd;
+        pfd.fd = stop_fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int ready = ::poll(&pfd, 1, period_ms_);
+        if (ready < 0 && errno != EINTR)
+            return;
+        if (ready > 0 &&
+            (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+            return;
+    }
+}
+
+} // namespace obs
+} // namespace satori

@@ -1,0 +1,13 @@
+// Fixture: identical clock reads to det_wallclock_bad.cpp, but the
+// path matches the obs/stats_history allowlist entry (the history
+// store may stamp wall-clock retention ages), so det-wallclock stays
+// silent.
+#include <chrono>
+#include <ctime>
+
+double sampleNow()
+{
+    const auto t = std::chrono::steady_clock::now();
+    (void)t;
+    return static_cast<double>(std::time(nullptr));
+}

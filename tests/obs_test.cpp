@@ -321,6 +321,57 @@ TEST(DecisionAuditTest, JsonLinesGolden)
     EXPECT_EQ(channel.jsonLines(), expected);
 }
 
+TEST(DecisionAuditTest, BoundedRingEvictsOldestAndCountsDrops)
+{
+    DecisionAuditChannel channel;
+    channel.setEnabled(true);
+    EXPECT_EQ(channel.capacity(), DecisionAuditChannel::kDefaultCapacity);
+    channel.setCapacity(3);
+    EXPECT_EQ(channel.capacity(), 3u);
+
+    for (std::size_t i = 0; i < 5; ++i) {
+        DecisionRecord rec = sampleDecision();
+        rec.interval = i;
+        channel.emit(std::move(rec));
+    }
+    EXPECT_EQ(channel.size(), 3u);
+    EXPECT_EQ(channel.dropped(), 2u);
+    ASSERT_EQ(channel.records().size(), 3u);
+    EXPECT_EQ(channel.records().front().interval, 2u);
+    EXPECT_EQ(channel.records().back().interval, 4u);
+
+    // Shrinking the capacity trims existing records (oldest first).
+    channel.setCapacity(1);
+    EXPECT_EQ(channel.size(), 1u);
+    EXPECT_EQ(channel.records().front().interval, 4u);
+    // Capacity 0 clamps to 1: the ring always holds something.
+    channel.setCapacity(0);
+    EXPECT_EQ(channel.capacity(), 1u);
+
+    channel.clear();
+    EXPECT_EQ(channel.size(), 0u);
+    EXPECT_EQ(channel.dropped(), 0u);
+}
+
+TEST(DecisionAuditTest, TailJsonLinesReturnsNewestRecords)
+{
+    DecisionAuditChannel channel;
+    channel.setEnabled(true);
+    for (std::size_t i = 0; i < 4; ++i) {
+        DecisionRecord rec = sampleDecision();
+        rec.interval = i;
+        channel.emit(std::move(rec));
+    }
+
+    const std::string tail = channel.tailJsonLines(2);
+    EXPECT_EQ(tail.find("\"interval\":0"), std::string::npos);
+    EXPECT_EQ(tail.find("\"interval\":1"), std::string::npos);
+    EXPECT_NE(tail.find("\"interval\":2"), std::string::npos);
+    EXPECT_NE(tail.find("\"interval\":3"), std::string::npos);
+    // n >= size returns everything, identically to jsonLines().
+    EXPECT_EQ(channel.tailJsonLines(99), channel.jsonLines());
+}
+
 TEST(DecisionAuditTest, WriteJsonlRoundTrips)
 {
     DecisionAuditChannel channel;

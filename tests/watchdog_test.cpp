@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the SLO watchdog: spec parsing (round-trips, comments,
+ * syntax errors with source+line), k-consecutive breach semantics,
+ * recovery resets, fire-once-until-recovery, fatal mode, and the
+ * JSONL event rendering.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "satori/common/logging.hpp"
+#include "satori/obs/stats_history.hpp"
+#include "satori/obs/watchdog.hpp"
+
+namespace satori {
+namespace obs {
+namespace {
+
+using Facts = std::vector<std::pair<std::string, double>>;
+
+/** Record one interval with one facts gauge. */
+void
+recordFact(StatsHistory& history, std::uint64_t interval, double value)
+{
+    history.record(static_cast<double>(interval), interval,
+                   MetricsSnapshot{},
+                   Facts{{"facts.throughput", value}});
+}
+
+// --- Spec parsing -----------------------------------------------------
+
+TEST(SloSpecTest, ParsesRulesCommentsAndBlankLines)
+{
+    const SloSpec spec = SloSpec::parse("# comment\n"
+                                        "\n"
+                                        "facts.throughput < 2.0 for 5\n"
+                                        "facts.fairness >= 0.25 for 1 intervals\n");
+    ASSERT_EQ(spec.rules().size(), 2u);
+    EXPECT_EQ(spec.rules()[0].metric, "facts.throughput");
+    EXPECT_EQ(spec.rules()[0].op, SloOp::Lt);
+    EXPECT_DOUBLE_EQ(spec.rules()[0].threshold, 2.0);
+    EXPECT_EQ(spec.rules()[0].for_intervals, 5u);
+    EXPECT_EQ(spec.rules()[1].op, SloOp::Ge);
+}
+
+TEST(SloSpecTest, ToStringRoundTrips)
+{
+    const SloSpec spec = SloSpec::parse("facts.objective <= 0.5 for 3\n"
+                                        "satori.slo.breaches > 0 for 1\n");
+    const SloSpec again = SloSpec::parse(spec.toString());
+    EXPECT_EQ(again.toString(), spec.toString());
+    ASSERT_EQ(again.rules().size(), 2u);
+    EXPECT_EQ(again.rules()[0].op, SloOp::Le);
+    EXPECT_EQ(again.rules()[1].op, SloOp::Gt);
+}
+
+TEST(SloSpecTest, SyntaxErrorsAreFatalWithSourceAndLine)
+{
+    // Bad operator.
+    EXPECT_THROW((void)SloSpec::parse("m == 1 for 2\n", "spec.txt"),
+                 FatalError);
+    // Missing "for".
+    EXPECT_THROW((void)SloSpec::parse("m < 1 2\n"), FatalError);
+    // k = 0 is meaningless.
+    EXPECT_THROW((void)SloSpec::parse("m < 1 for 0\n"), FatalError);
+    // Garbage threshold.
+    EXPECT_THROW((void)SloSpec::parse("m < cheese for 2\n"), FatalError);
+    // Trailing junk.
+    EXPECT_THROW((void)SloSpec::parse("m < 1 for 2 bananas\n"), FatalError);
+
+    try {
+        (void)SloSpec::parse("ok < 1 for 1\nbad rule here\n", "slo.txt");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError& e) {
+        EXPECT_NE(std::string(e.what()).find("slo.txt:2"),
+                  std::string::npos);
+    }
+}
+
+TEST(SloSpecTest, ViolatesImplementsAllFourOps)
+{
+    SloRule rule;
+    rule.threshold = 1.0;
+    rule.op = SloOp::Lt;
+    EXPECT_TRUE(rule.violates(0.5));
+    EXPECT_FALSE(rule.violates(1.0));
+    rule.op = SloOp::Le;
+    EXPECT_TRUE(rule.violates(1.0));
+    EXPECT_FALSE(rule.violates(1.1));
+    rule.op = SloOp::Gt;
+    EXPECT_TRUE(rule.violates(1.1));
+    EXPECT_FALSE(rule.violates(1.0));
+    rule.op = SloOp::Ge;
+    EXPECT_TRUE(rule.violates(1.0));
+    EXPECT_FALSE(rule.violates(0.9));
+}
+
+// --- Evaluation -------------------------------------------------------
+
+TEST(WatchdogTest, BreachFiresAfterKConsecutiveViolations)
+{
+    StatsHistory history;
+    history.setEnabled(true);
+    Watchdog dog;
+    dog.configure(SloSpec::parse("facts.throughput < 2.0 for 3\n"));
+    EXPECT_TRUE(dog.enabled());
+
+    // Two violating intervals: no breach yet.
+    for (std::uint64_t i = 0; i < 2; ++i) {
+        recordFact(history, i, 1.0);
+        EXPECT_TRUE(dog.evaluate(history, static_cast<double>(i), i).empty());
+    }
+    EXPECT_EQ(dog.breaching(), 0u);
+
+    // Third consecutive violation fires exactly one event.
+    recordFact(history, 2, 1.0);
+    const auto fired = dog.evaluate(history, 2.0, 2);
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0].interval, 2u);
+    EXPECT_DOUBLE_EQ(fired[0].value, 1.0);
+    EXPECT_EQ(fired[0].rule.metric, "facts.throughput");
+    EXPECT_EQ(dog.breaching(), 1u);
+    EXPECT_EQ(dog.breachCount(), 1u);
+
+    // Staying in violation does not re-fire.
+    recordFact(history, 3, 1.0);
+    EXPECT_TRUE(dog.evaluate(history, 3.0, 3).empty());
+    EXPECT_EQ(dog.breaching(), 1u);
+    EXPECT_EQ(dog.breachCount(), 1u);
+}
+
+TEST(WatchdogTest, RecoveryResetsTheConsecutiveRun)
+{
+    StatsHistory history;
+    history.setEnabled(true);
+    Watchdog dog;
+    dog.configure(SloSpec::parse("facts.throughput < 2.0 for 2\n"));
+
+    recordFact(history, 0, 1.0);
+    EXPECT_TRUE(dog.evaluate(history, 0.0, 0).empty());
+    // A healthy interval resets the run.
+    recordFact(history, 1, 5.0);
+    EXPECT_TRUE(dog.evaluate(history, 1.0, 1).empty());
+    recordFact(history, 2, 1.0);
+    EXPECT_TRUE(dog.evaluate(history, 2.0, 2).empty());
+    // Second consecutive violation now fires.
+    recordFact(history, 3, 1.0);
+    EXPECT_EQ(dog.evaluate(history, 3.0, 3).size(), 1u);
+
+    // Recovery clears breaching state and allows a re-fire later.
+    recordFact(history, 4, 5.0);
+    EXPECT_TRUE(dog.evaluate(history, 4.0, 4).empty());
+    EXPECT_EQ(dog.breaching(), 0u);
+    recordFact(history, 5, 1.0);
+    recordFact(history, 6, 1.0);
+    (void)dog.evaluate(history, 5.0, 5);
+    EXPECT_EQ(dog.evaluate(history, 6.0, 6).size(), 1u);
+    EXPECT_EQ(dog.breachCount(), 2u);
+}
+
+TEST(WatchdogTest, AbsentMetricIsHealthy)
+{
+    StatsHistory history;
+    history.setEnabled(true);
+    Watchdog dog;
+    dog.configure(SloSpec::parse("facts.nonexistent < 2.0 for 1\n"));
+    recordFact(history, 0, 1.0);
+    EXPECT_TRUE(dog.evaluate(history, 0.0, 0).empty());
+    EXPECT_EQ(dog.breaching(), 0u);
+}
+
+TEST(WatchdogTest, FatalOnBreachThrows)
+{
+    StatsHistory history;
+    history.setEnabled(true);
+    Watchdog dog;
+    dog.configure(SloSpec::parse("facts.throughput < 2.0 for 1\n"));
+    dog.setFatalOnBreach(true);
+    EXPECT_TRUE(dog.fatalOnBreach());
+    recordFact(history, 0, 1.0);
+    // The fatal path is driven by the Observability hook, not
+    // evaluate() itself: evaluate() reports, the caller aborts.
+    const auto fired = dog.evaluate(history, 0.0, 0);
+    EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST(WatchdogTest, EventsJsonlRendersOneRecordPerBreach)
+{
+    StatsHistory history;
+    history.setEnabled(true);
+    Watchdog dog;
+    dog.configure(SloSpec::parse("facts.throughput < 2.0 for 1\n"));
+    recordFact(history, 7, 1.5);
+    (void)dog.evaluate(history, 7.0, 7);
+
+    const std::string jsonl = dog.eventsJsonl();
+    EXPECT_NE(jsonl.find("\"interval\":7"), std::string::npos);
+    EXPECT_NE(jsonl.find("facts.throughput"), std::string::npos);
+    EXPECT_NE(jsonl.find("\"value\":1.5"), std::string::npos);
+    ASSERT_EQ(dog.events().size(), 1u);
+    EXPECT_EQ(dog.events()[0].toJson() + "\n", jsonl);
+
+    dog.clear();
+    EXPECT_FALSE(dog.enabled());
+    EXPECT_TRUE(dog.events().empty());
+    EXPECT_EQ(dog.breachCount(), 0u);
+}
+
+} // namespace
+} // namespace obs
+} // namespace satori

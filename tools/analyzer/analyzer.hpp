@@ -126,11 +126,14 @@ struct Options
         // reading never reaches a simulation artifact.
         "tools/satori_analyzer.cpp",
         "bench/bench_util",
-        // The observability layer is the one library component allowed
-        // to read the steady clock: span timing lives there and never
-        // feeds back into decisions.
-        "src/obs/",
-        "include/satori/obs/",
+        // Exactly the obs sources with a legitimate wall-clock /
+        // syscall surface: span timing, the socket-serving exporter,
+        // and the history store. The rest of the obs layer (registry,
+        // audit, watchdog, the Observability context) runs on
+        // simulated time and is NOT exempt.
+        "obs/tracer",
+        "obs/http_exporter",
+        "obs/stats_history",
     };
 
     /**
@@ -155,6 +158,10 @@ struct Options
         // The analyzer's own tree scan claims files from a small
         // worker pool; it cannot depend on the satori library.
         "tools/analyzer/engine.cpp",
+        // The embedded HTTP exporter's serving/scraper threads block
+        // in poll()/accept(); pool workers must stay available for
+        // deterministic decision-path work.
+        "obs/http_exporter",
     };
 
     /**

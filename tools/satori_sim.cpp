@@ -14,15 +14,18 @@
  *   satori_sim --list-workloads
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "satori/satori.hpp"
+#include "satori/obs/http_exporter.hpp"
 #include "satori/persist/checkpoint.hpp"
 #include "satori/persist/io.hpp"
 
@@ -51,6 +54,15 @@ struct CliArgs
     std::string metrics_format = "prom";
     std::string trace_out;
     std::string audit_out;
+    int serve_metrics = -1; ///< -1 = off; 0 = ephemeral port.
+    int pace_ms = 0;        ///< Wall-clock ms slept per interval.
+    std::size_t history_capacity = 4096;
+    double history_age = 0.0;    ///< Seconds; 0 = unlimited.
+    std::size_t history_bytes = 0; ///< 0 = unlimited.
+    std::string history_out;
+    std::string slo_spec_file;
+    bool slo_fatal = false;
+    std::size_t audit_capacity = 0; ///< 0 = keep the default.
     std::string fault_plan_file;
     std::string fault_preset;
     std::uint64_t fault_seed = 0xFA17;
@@ -116,7 +128,23 @@ printUsage()
         "  --trace-out FILE      write Chrome trace_event JSON spans\n"
         "                        (open in chrome://tracing or Perfetto)\n"
         "  --audit-out FILE      write per-decision audit records "
-        "(JSONL)\n");
+        "(JSONL)\n"
+        "  --audit-capacity N    bound the in-memory audit ring "
+        "(default 65536)\n\n"
+        "live telemetry plane (GUIDE.md sec. 15):\n"
+        "  --serve-metrics PORT  embedded HTTP exporter on loopback\n"
+        "                        (0 = ephemeral; the bound port is\n"
+        "                        printed before the run starts)\n"
+        "  --history-capacity N  retained history snapshots "
+        "(default 4096)\n"
+        "  --history-age S       drop history older than S seconds\n"
+        "  --history-bytes B     approximate history byte budget\n"
+        "  --history-out FILE    dump the retained history as JSON\n"
+        "  --slo-spec FILE       SLO watchdog rules, one per line:\n"
+        "                        <metric> <op> <threshold> for <k>\n"
+        "  --slo-fatal           exit nonzero on any SLO breach\n"
+        "  --pace MS             sleep MS wall-clock ms per interval\n"
+        "                        (lets scrapers observe a live run)\n");
 }
 
 std::optional<CliArgs>
@@ -250,6 +278,41 @@ parse(int argc, char** argv)
             if (!(v = need_value(i)))
                 return std::nullopt;
             args.audit_out = v;
+        } else if (flag == "--audit-capacity") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.audit_capacity = static_cast<std::size_t>(std::atoll(v));
+        } else if (flag == "--serve-metrics") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.serve_metrics = std::atoi(v);
+        } else if (flag == "--pace") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.pace_ms = std::atoi(v);
+        } else if (flag == "--history-capacity") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.history_capacity =
+                static_cast<std::size_t>(std::atoll(v));
+        } else if (flag == "--history-age") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.history_age = std::atof(v);
+        } else if (flag == "--history-bytes") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.history_bytes = static_cast<std::size_t>(std::atoll(v));
+        } else if (flag == "--history-out") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.history_out = v;
+        } else if (flag == "--slo-spec") {
+            if (!(v = need_value(i)))
+                return std::nullopt;
+            args.slo_spec_file = v;
+        } else if (flag == "--slo-fatal") {
+            args.slo_fatal = true;
         } else {
             std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
             return std::nullopt;
@@ -300,6 +363,14 @@ main(int argc, char** argv)
         std::fprintf(stderr, "--kill-torn requires --kill-at\n");
         return 2;
     }
+    if (args.slo_fatal && args.slo_spec_file.empty()) {
+        std::fprintf(stderr, "--slo-fatal requires --slo-spec\n");
+        return 2;
+    }
+    if (args.serve_metrics > 65535) {
+        std::fprintf(stderr, "--serve-metrics: port out of range\n");
+        return 2;
+    }
     if (!args.checkpoint_dir.empty() && args.compare_oracle) {
         // The oracle run would re-enter the same checkpoint directory
         // with a different policy's decision stream.
@@ -321,6 +392,9 @@ main(int argc, char** argv)
             persist::validateOutputFile("--trace-out", args.trace_out);
         if (!args.audit_out.empty())
             persist::validateOutputFile("--audit-out", args.audit_out);
+        if (!args.history_out.empty())
+            persist::validateOutputFile("--history-out",
+                                        args.history_out);
         if (!args.checkpoint_dir.empty())
             persist::validateOutputDir("--checkpoint-dir",
                                        args.checkpoint_dir);
@@ -407,10 +481,14 @@ main(int argc, char** argv)
             opt.faults = &*injector;
         }
 
-        // --- Observability (spans / metrics / decision audit) --------
+        // --- Observability (spans / metrics / decision audit / live
+        // telemetry plane) --------------------------------------------
+        const bool live_wanted = args.serve_metrics >= 0 ||
+                                 !args.history_out.empty() ||
+                                 !args.slo_spec_file.empty();
         const bool obs_wanted = !args.metrics_out.empty() ||
                                 !args.trace_out.empty() ||
-                                !args.audit_out.empty();
+                                !args.audit_out.empty() || live_wanted;
         if (obs_wanted) {
 #if !(defined(SATORI_OBS_ENABLED) && SATORI_OBS_ENABLED)
             std::fprintf(stderr,
@@ -424,7 +502,53 @@ main(int argc, char** argv)
                 o.setMetricsEnabled(true);
             if (!args.audit_out.empty())
                 o.audit().setEnabled(true);
+            if (args.audit_capacity > 0)
+                o.audit().setCapacity(args.audit_capacity);
+            if (live_wanted) {
+                // The live plane wants real counters in its history
+                // rows and decision facts for /healthz, so metrics
+                // and the per-interval hook both come on.
+                o.setMetricsEnabled(true);
+                o.setLiveEnabled(true);
+                obs::StatsHistoryOptions hopt;
+                hopt.capacity = args.history_capacity;
+                hopt.max_age_seconds = args.history_age;
+                hopt.max_bytes = args.history_bytes;
+                o.history().configure(hopt);
+                o.history().setEnabled(true);
+                if (!args.slo_spec_file.empty()) {
+                    o.watchdog().configure(
+                        obs::SloSpec::loadFile(args.slo_spec_file));
+                    o.watchdog().setFatalOnBreach(args.slo_fatal);
+                }
+                // Scrapers expect /audit/tail to have content.
+                if (args.serve_metrics >= 0)
+                    o.audit().setEnabled(true);
+            }
         }
+
+        // --- Embedded HTTP exporter ----------------------------------
+        std::optional<obs::HttpExporter> exporter;
+        if (args.serve_metrics >= 0) {
+            exporter.emplace(obs::observability());
+            obs::HttpExporterOptions eopt;
+            eopt.port = static_cast<std::uint16_t>(args.serve_metrics);
+            exporter->start(eopt);
+            // Scripts parse this line to find an ephemeral port; it
+            // must land before the run starts.
+            std::printf("serving metrics on http://127.0.0.1:%u\n",
+                        static_cast<unsigned>(exporter->port()));
+            std::fflush(stdout);
+        }
+
+        // --- Pacing (wall-clock; lets live scrapers watch the run) ---
+        if (args.pace_ms > 0)
+            opt.on_interval = [pace = args.pace_ms](
+                                  const sim::IntervalObservation&, double,
+                                  double) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(pace));
+            };
 
         std::optional<harness::TraceWriter> trace;
         if (!args.trace_path.empty()) {
@@ -570,10 +694,58 @@ main(int argc, char** argv)
             audit.writeJsonl(args.audit_out);
             std::printf("\naudit: %zu decision records -> %s\n",
                         audit.records().size(), args.audit_out.c_str());
+            if (audit.dropped() > 0)
+                std::printf("audit: %llu oldest records dropped by the "
+                            "ring (--audit-capacity %zu)\n",
+                            static_cast<unsigned long long>(
+                                audit.dropped()),
+                            audit.capacity());
+        }
+        if (!args.history_out.empty()) {
+            obs::StatsHistory& history = obs::observability().history();
+            persist::atomicWriteFile(args.history_out, history.toJson());
+            std::printf(
+                "\nhistory: %zu snapshots (%llu evicted) -> %s\n",
+                history.snapshots(),
+                static_cast<unsigned long long>(history.evicted()),
+                args.history_out.c_str());
+        }
+        if (!args.slo_spec_file.empty()) {
+            obs::Watchdog& watchdog = obs::observability().watchdog();
+            std::printf("\nslo: %zu rules, %llu breach events, "
+                        "%zu currently in breach\n",
+                        watchdog.spec().rules().size(),
+                        static_cast<unsigned long long>(
+                            watchdog.breachCount()),
+                        watchdog.breaching());
+            if (watchdog.breachCount() > 0)
+                std::fputs(watchdog.eventsJsonl().c_str(), stdout);
+        }
+        if (exporter) {
+            exporter->stop();
+            std::printf("exporter: %llu http requests served\n",
+                        static_cast<unsigned long long>(
+                            obs::observability()
+                                .lib()
+                                .http_requests.value()));
         }
         return 0;
     } catch (const FatalError& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
+        // Flush-on-FATAL: an SLO abort (or any other fatal) must not
+        // lose the decisions leading up to it.
+        try {
+            if (!args.audit_out.empty() &&
+                obs::observability().audit().size() > 0)
+                obs::observability().audit().writeJsonl(args.audit_out);
+            if (!args.history_out.empty() &&
+                obs::observability().history().snapshots() > 0)
+                persist::atomicWriteFile(
+                    args.history_out,
+                    obs::observability().history().toJson());
+        } catch (...) {
+            // Best effort only; the original error wins.
+        }
         return 1;
     }
 }
