@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Inducing-point approximate Gaussian process (Subset of Regressors)
+ * for decision-making at training-set sizes where even the O(n^2)
+ * incremental exact GP breaks the latency budget.
+ *
+ * SoR projects the full GP onto m inducing points u (m << n):
+ *
+ *   A      = sigma_n^2 K_uu + K_uf K_fu          (m x m Gram)
+ *   mu(x)  = k_u(x)^T A^-1 K_uf y
+ *   var(x) = sigma_n^2 k_u(x)^T A^-1 k_u(x)
+ *
+ * so fitting maintains only the m x m Cholesky of A plus the m x n
+ * cross-covariance, and every prediction costs O(m^2) independent of
+ * n. Appending a sample is a rank-1 update of A; evicting the oldest
+ * (sliding-window mode) is a rank-1 downdate. When either rank-1
+ * operation breaks down numerically the Gram factor is rebuilt from
+ * scratch and the satori.bo.approx_fallbacks counter ticks.
+ *
+ * Kernel evaluations on this path use the vectorized approximate
+ * exp(-z) (see linalg/simd.hpp); accuracy against the exact GP is
+ * measured and gated by bench_decision_latency, not promised
+ * bit-for-bit. Like the windowed exact GP, results carry a byte-
+ * STABILITY contract: the same operation sequence replays
+ * byte-identically.
+ *
+ * Thread-safety: as GaussianProcess - const prediction methods share
+ * internal scratch and must not run concurrently on one instance.
+ */
+
+#ifndef SATORI_BO_APPROX_GP_HPP
+#define SATORI_BO_APPROX_GP_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "satori/bo/gp.hpp"
+#include "satori/bo/kernel.hpp"
+#include "satori/common/types.hpp"
+#include "satori/linalg/cholesky.hpp"
+
+namespace satori {
+namespace bo {
+
+/** SoR approximate GP; mirrors the GaussianProcess fitting API. */
+class ApproxGp
+{
+  public:
+    /**
+     * @param kernel covariance kernel (shared family with the exact
+     *        GP so hyperparameters carry over).
+     * @param noise_variance observation-noise variance (> 0: SoR's
+     *        Gram matrix needs the sigma_n^2 K_uu regularizer).
+     * @param num_inducing inducing-point budget m (>= 1).
+     */
+    ApproxGp(std::unique_ptr<Kernel> kernel, double noise_variance,
+             std::size_t num_inducing);
+
+    /** Bound the training window (0 = unbounded), as the exact GP. */
+    void setMaxHistory(std::size_t max_history);
+
+    /** Oldest-sample evictions performed on this instance. */
+    [[nodiscard]] std::uint64_t windowEvictions() const
+    {
+        return window_evictions_;
+    }
+
+    /** Gram rebuilds forced by rank-1 breakdowns. */
+    [[nodiscard]] std::uint64_t fallbackRebuilds() const
+    {
+        return fallback_rebuilds_;
+    }
+
+    /** Full (re)fit; places inducing points on the first call. */
+    void fit(const std::vector<RealVec>& inputs,
+             const std::vector<double>& targets);
+
+    /**
+     * Like GaussianProcess::fitIncremental: recognizes target-only
+     * refreshes, single appends, and slid windows against the fitted
+     * set (bitwise input comparison) and handles each in O(m n) or
+     * better; anything else is a full refit.
+     */
+    void fitIncremental(const std::vector<RealVec>& inputs,
+                        const std::vector<double>& targets);
+
+    /** Append one observation (rank-1 Gram update + window bound). */
+    void addObservation(const RealVec& x, double target);
+
+    [[nodiscard]] bool isFitted() const { return fitted_; }
+
+    [[nodiscard]] std::size_t numSamples() const { return inputs_.size(); }
+
+    /** Inducing points in use (placed on the first fit). */
+    [[nodiscard]] const std::vector<RealVec>& inducingPoints() const
+    {
+        return inducing_;
+    }
+
+    /** Posterior at one point (original target scale). */
+    [[nodiscard]] GpPrediction predict(const RealVec& x) const;
+
+    /** Batched posterior; O(m^2) per candidate, scratch reused. */
+    void predictBatchInto(const std::vector<RealVec>& xs,
+                          std::vector<GpPrediction>& out) const;
+
+    /**
+     * Batched posterior against a *recurring* candidate set.
+     *
+     * The decision loop scores the same candidate lattice every
+     * interval, so k_u(x) never changes between decisions - only the
+     * model does. This entry point caches the m x C cross-covariance
+     * block keyed by a bitwise content hash of @p xs and maintains the
+     * standardized variances across rank-1 Gram changes with
+     * Sherman-Morrison corrections (journaled by addObservation /
+     * eviction, applied lazily here), turning the per-decision cost
+     * from O(m C (dims + m)) kernel+solve work into one O(m C) pass.
+     *
+     * First call for a given candidate set (or any call after a Gram
+     * rebuild, a near-singular downdate, or a long journal) is a
+     * cache MISS and computes exactly what predictBatchInto computes,
+     * bit-for-bit. Cache HITs apply the journaled corrections, whose
+     * drift against the direct solve is bounded by a periodic full
+     * variance refresh; the error is part of the approximation budget
+     * bench_decision_latency measures and gates. Byte-stability
+     * holds: replaying the same operation sequence replays the same
+     * hits, misses, and corrections byte-identically.
+     */
+    void predictBatchCachedInto(const std::vector<RealVec>& xs,
+                                std::vector<GpPrediction>& out) const;
+
+    /** Cached-scoring calls served from the candidate cache. */
+    [[nodiscard]] std::uint64_t cacheHits() const { return cache_hits_; }
+
+    /** Cached-scoring calls that had to rebuild the candidate cache. */
+    [[nodiscard]] std::uint64_t cacheMisses() const
+    {
+        return cache_misses_;
+    }
+
+  private:
+    /** One rank-1 Gram change journaled for the candidate cache. */
+    struct PendingRankOne
+    {
+        std::vector<double> h; ///< A^-1 c under the pre-change factor.
+        double coef = 0.0;     ///< -+ sigma_n^2 / (1 +- c^T h).
+    };
+
+    /** Cached candidate block for predictBatchCachedInto. */
+    struct ScoreCache
+    {
+        bool valid = false;
+        std::uint64_t key[4] = { 0, 0, 0, 0 }; ///< Content hash of xs.
+        std::size_t count = 0;
+        std::size_t dims = 0;
+        linalg::Matrix kustar;        ///< m x C cross-covariance.
+        std::vector<double> var_std;  ///< sigma_n^2 k^T A^-1 k per c.
+        std::size_t sm_applied = 0;   ///< Corrections since refresh.
+    };
+
+    /** Place inducing points (Halton, scaled to the input box). */
+    void placeInducing(const std::vector<RealVec>& inputs);
+
+    /** Rebuild A's Cholesky from K_uu and the stored columns. */
+    void rebuildGram();
+
+    /** Re-standardize targets, rebuild b = K_uf y_std, solve w. */
+    void solveWeights();
+
+    /** k_u(x) into @p out (approximate kernel path). */
+    void inducingColumn(const RealVec& x, double* out) const;
+
+    /** Drop the oldest sample: rank-1 downdate + list pops. */
+    void evictOldest();
+
+    /** k_u(x) column + rank-1 Gram update + cache journal entry. */
+    void appendSampleColumn(const RealVec& x);
+
+    /**
+     * Build a journal entry for a pending rank-1 change of A (before
+     * the factor is touched). Returns false - after invalidating the
+     * cache when the correction would be ill-conditioned - if nothing
+     * should be journaled.
+     */
+    [[nodiscard]] bool prepareJournal(const std::vector<double>& c,
+                                      bool downdate,
+                                      PendingRankOne& entry);
+
+    /** Queue a prepared journal entry (capped; overflow invalidates). */
+    void pushJournal(PendingRankOne&& entry);
+
+    /** Drop the candidate cache and its journal. */
+    void invalidateCache() const;
+
+    /** Rebuild kustar + variances for @p xs (cache-miss path). */
+    void rebuildCache(const std::vector<RealVec>& xs,
+                      const std::uint64_t key[4]) const;
+
+    /** Recompute var_std from kustar by a direct solve. */
+    void recomputeCacheVariances() const;
+
+    /** Apply the journal (or do a periodic full refresh). */
+    void refreshCacheVariances() const;
+
+    /** Evict until the window bound holds. */
+    void enforceWindow();
+
+    [[nodiscard]] bool windowed() const { return max_history_ > 0; }
+
+    [[nodiscard]] bool samePrefix(const std::vector<RealVec>& other,
+                                  std::size_t n) const;
+    [[nodiscard]] bool sameShifted(
+        const std::vector<RealVec>& other) const;
+
+    std::unique_ptr<Kernel> kernel_;
+    double noise_variance_;
+    std::size_t num_inducing_;
+    std::size_t max_history_ = 0;
+    bool fitted_ = false;
+
+    std::vector<RealVec> inducing_;
+    linalg::Matrix kuu_; ///< m x m inducing self-covariance (exact).
+
+    std::vector<RealVec> inputs_;
+    std::vector<double> y_raw_;
+    std::vector<double> y_std_;
+    double y_mean_ = 0.0;
+    double y_scale_ = 1.0;
+
+    /** K_uf columns, sample order: cols_[j][i] = k(u_i, x_j). */
+    std::vector<std::vector<double>> cols_;
+    std::unique_ptr<linalg::Cholesky> chol_a_;
+    std::vector<double> b_; ///< K_uf y_std.
+    std::vector<double> w_; ///< A^-1 b.
+
+    std::uint64_t window_evictions_ = 0;
+    std::uint64_t fallback_rebuilds_ = 0;
+
+    // Candidate-score cache (mutable: filled from const prediction
+    // paths, which already share scratch and are not thread-safe).
+    mutable ScoreCache cache_;
+    mutable std::vector<PendingRankOne> pending_;
+    mutable std::uint64_t cache_hits_ = 0;
+    mutable std::uint64_t cache_misses_ = 0;
+
+    // Scratch (kernel columns, prediction blocks); not thread-safe.
+    mutable SoaPoints pts_scratch_;
+    mutable std::vector<double> kernel_scratch_;
+    mutable linalg::Matrix kustar_scratch_;
+    mutable linalg::Matrix v_scratch_;
+    mutable std::vector<double> means_scratch_;
+    mutable std::vector<double> vv_scratch_;
+    mutable std::vector<double> g_scratch_;
+    mutable std::vector<RealVec> one_point_scratch_;
+};
+
+} // namespace bo
+} // namespace satori
+
+#endif // SATORI_BO_APPROX_GP_HPP

@@ -16,6 +16,39 @@
 namespace satori {
 namespace bo {
 
+/**
+ * Structure-of-arrays view of a point block: one contiguous array per
+ * coordinate, so a kernel can stream a whole candidate block per
+ * dimension (the cache-blocked layout the SIMD distance kernel wants)
+ * instead of gathering scattered RealVecs point by point.
+ */
+class SoaPoints
+{
+  public:
+    SoaPoints() = default;
+
+    /** Pack pts[begin, end) (equal-length vectors). Reuses storage. */
+    void assign(const std::vector<RealVec>& pts, std::size_t begin,
+                std::size_t end);
+
+    /** Number of packed points. */
+    [[nodiscard]] std::size_t count() const { return count_; }
+
+    /** Dimensionality of each point (0 when empty). */
+    [[nodiscard]] std::size_t dims() const { return dims_; }
+
+    /** Coordinate @p d of every packed point, contiguously. */
+    [[nodiscard]] const double* dim(std::size_t d) const
+    {
+        return data_.data() + d * count_;
+    }
+
+  private:
+    std::vector<double> data_; ///< dims_ blocks of count_ doubles.
+    std::size_t count_ = 0;
+    std::size_t dims_ = 0;
+};
+
 /** Abstract stationary covariance kernel k(a, b). */
 class Kernel
 {
@@ -35,6 +68,29 @@ class Kernel
     virtual void covarianceRow(const RealVec& x,
                                const std::vector<RealVec>& pts,
                                double* out) const;
+
+    /**
+     * Cross-covariance against a packed block: out[c] = k(q, pts[c]).
+     * Every element is bit-identical to covariance(q, pts[c]) - the
+     * SoA layout only changes which loop is innermost (the distance
+     * accumulation still runs dimensions in ascending order per
+     * point), so the exact prediction paths may use this freely.
+     * @pre out has room for pts.count() values; pts.dims() matches q.
+     */
+    virtual void covarianceCross(const SoaPoints& pts, const RealVec& q,
+                                 double* out) const;
+
+    /**
+     * Approximate covarianceCross for throughput-critical paths that
+     * tolerate a bounded relative error (the approximate GP): same
+     * contract, except the result may deviate from covariance() by
+     * < 1e-9 relative. The base implementation is exact; Matern 5/2
+     * substitutes the vectorized exp(-z) approximation. @p scratch is
+     * caller-owned working storage (resized as needed).
+     */
+    virtual void covarianceCrossApprox(const SoaPoints& pts,
+                                       const RealVec& q, double* out,
+                                       std::vector<double>& scratch) const;
 
     /** k(x, x): the signal variance. */
     [[nodiscard]] virtual double variance() const = 0;
@@ -67,6 +123,11 @@ class Matern52Kernel final : public Kernel
     [[nodiscard]] double covariance(const RealVec& a, const RealVec& b) const override;
     void covarianceRow(const RealVec& x, const std::vector<RealVec>& pts,
                        double* out) const override;
+    void covarianceCross(const SoaPoints& pts, const RealVec& q,
+                         double* out) const override;
+    void covarianceCrossApprox(const SoaPoints& pts, const RealVec& q,
+                               double* out,
+                               std::vector<double>& scratch) const override;
     [[nodiscard]] double variance() const override { return signal_variance_; }
     [[nodiscard]] std::unique_ptr<Kernel> withLengthScale(double ls) const override;
     [[nodiscard]] double lengthScale() const override { return length_scale_; }

@@ -45,8 +45,11 @@
 namespace satori {
 namespace persist {
 
-/** Bumped on any incompatible change to the snapshot encoding. */
-inline constexpr std::uint32_t kSnapshotFormatVersion = 1;
+/** Bumped on any incompatible change to the snapshot encoding.
+ * v2: BoEngine::saveState appends the decision-path configuration
+ * (max_history, approx, screen) so restore can refuse a mismatched
+ * resume. */
+inline constexpr std::uint32_t kSnapshotFormatVersion = 2;
 
 /** Assembles one snapshot: named sections, then an atomic install. */
 class SnapshotWriter

@@ -1,0 +1,567 @@
+#include "satori/bo/approx_gp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "satori/common/logging.hpp"
+#include "satori/common/math.hpp"
+#include "satori/linalg/simd.hpp"
+#include "satori/obs/obs.hpp"
+
+namespace satori {
+namespace bo {
+
+namespace {
+
+/** Candidate block size for batched prediction (see gp.cpp). */
+constexpr std::size_t kPredictBlock = 256;
+
+/** Journal length beyond which the candidate cache is cheaper to
+ * rebuild than to correct (each entry costs one O(m C) pass). */
+constexpr std::size_t kPendingCap = 16;
+
+/** Sherman-Morrison corrections between full variance refreshes -
+ * bounds numerical drift of the cached variances against the direct
+ * triangular solve. */
+constexpr std::size_t kSmRefreshInterval = 512;
+
+/** Downdate corrections with 1 - c^T A^-1 c below this are too close
+ * to singular to journal; the cache is dropped instead. */
+constexpr double kSmDenomFloor = 1e-9;
+
+/**
+ * Content hash of a candidate set: 4 interleaved FNV-1a lanes over
+ * the raw coordinate bits, so a 10k x 10-dim set hashes in one short
+ * pass and any single-bit coordinate change flips the key.
+ */
+void
+hashCandidates(const std::vector<RealVec>& xs, std::uint64_t key[4])
+{
+    constexpr std::uint64_t kPrime = 1099511628211ull;
+    key[0] = 14695981039346656037ull;
+    key[1] = key[0] ^ 0x9e3779b97f4a7c15ull;
+    key[2] = key[0] ^ 0xc2b2ae3d27d4eb4full;
+    key[3] = key[0] ^ 0x165667b19e3779f9ull;
+    std::size_t lane = 0;
+    for (const RealVec& x : xs) {
+        for (const double v : x) {
+            std::uint64_t bits = 0;
+            std::memcpy(&bits, &v, sizeof bits);
+            key[lane] = (key[lane] ^ bits) * kPrime;
+            lane = (lane + 1) & 3;
+        }
+    }
+}
+
+/** First @p count primes (Halton bases; count = input dims, small). */
+std::vector<unsigned>
+firstPrimes(std::size_t count)
+{
+    std::vector<unsigned> primes;
+    primes.reserve(count);
+    for (unsigned candidate = 2; primes.size() < count; ++candidate) {
+        bool prime = true;
+        for (unsigned p : primes) {
+            if (p * p > candidate)
+                break;
+            if (candidate % p == 0) {
+                prime = false;
+                break;
+            }
+        }
+        if (prime)
+            primes.push_back(candidate);
+    }
+    return primes;
+}
+
+/** Halton radical inverse of @p index in base @p base, in (0, 1). */
+double
+radicalInverse(unsigned base, std::size_t index)
+{
+    double inv_base = 1.0 / static_cast<double>(base);
+    double factor = inv_base;
+    double value = 0.0;
+    while (index > 0) {
+        value += factor * static_cast<double>(index % base);
+        index /= base;
+        factor *= inv_base;
+    }
+    return value;
+}
+
+} // namespace
+
+ApproxGp::ApproxGp(std::unique_ptr<Kernel> kernel, double noise_variance,
+                   std::size_t num_inducing)
+    : kernel_(std::move(kernel)), noise_variance_(noise_variance),
+      num_inducing_(num_inducing)
+{
+    SATORI_ASSERT(kernel_ != nullptr);
+    SATORI_ASSERT(noise_variance_ > 0.0);
+    SATORI_ASSERT(num_inducing_ >= 1);
+}
+
+void
+ApproxGp::setMaxHistory(std::size_t max_history)
+{
+    max_history_ = max_history;
+}
+
+void
+ApproxGp::placeInducing(const std::vector<RealVec>& inputs)
+{
+    // A Halton lattice scaled to the bounding box of the observed
+    // inputs: low-discrepancy coverage of the region the model is
+    // actually asked about, deterministic, and independent of the
+    // window contents afterwards (so sliding never moves u).
+    const std::size_t dims = inputs[0].size();
+    std::vector<double> lo(inputs[0]);
+    std::vector<double> hi(inputs[0]);
+    for (const RealVec& x : inputs) {
+        for (std::size_t d = 0; d < dims; ++d) {
+            lo[d] = std::min(lo[d], x[d]);
+            hi[d] = std::max(hi[d], x[d]);
+        }
+    }
+    const std::vector<unsigned> bases = firstPrimes(dims);
+    inducing_.assign(num_inducing_, RealVec(dims, 0.0));
+    for (std::size_t t = 0; t < num_inducing_; ++t)
+        for (std::size_t d = 0; d < dims; ++d)
+            inducing_[t][d] =
+                lo[d] + (hi[d] - lo[d]) * radicalInverse(bases[d], t + 1);
+
+    const std::size_t m = inducing_.size();
+    kuu_ = linalg::Matrix(m, m);
+    for (std::size_t i = 0; i < m; ++i)
+        kernel_->covarianceRow(inducing_[i], inducing_, &kuu_(i, 0));
+}
+
+void
+ApproxGp::inducingColumn(const RealVec& x, double* out) const
+{
+    one_point_scratch_.assign(1, x);
+    pts_scratch_.assign(one_point_scratch_, 0, 1);
+    for (std::size_t i = 0; i < inducing_.size(); ++i)
+        kernel_->covarianceCrossApprox(pts_scratch_, inducing_[i],
+                                       &out[i], kernel_scratch_);
+}
+
+void
+ApproxGp::rebuildGram()
+{
+    const std::size_t m = inducing_.size();
+    linalg::Matrix a(m, m);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t k = 0; k < m; ++k)
+            a(i, k) = noise_variance_ * kuu_(i, k);
+    for (const std::vector<double>& c : cols_)
+        for (std::size_t i = 0; i < m; ++i)
+            linalg::simd::fmaAccum(&a(i, 0), c.data(), c[i], m);
+    chol_a_ = std::make_unique<linalg::Cholesky>(a);
+    // A wholesale new factor orphans any journaled rank-1 corrections
+    // (they were prepared against the old one).
+    invalidateCache();
+}
+
+void
+ApproxGp::solveWeights()
+{
+    const std::size_t n = inputs_.size();
+    const std::size_t m = inducing_.size();
+    y_mean_ = mean(y_raw_);
+    y_scale_ = stddev(y_raw_);
+    if (y_scale_ < 1e-12)
+        y_scale_ = 1.0;
+    y_std_.resize(n);
+    for (std::size_t j = 0; j < n; ++j)
+        y_std_[j] = (y_raw_[j] - y_mean_) / y_scale_;
+    b_.assign(m, 0.0);
+    for (std::size_t j = 0; j < n; ++j)
+        linalg::simd::fmaAccum(b_.data(), cols_[j].data(), y_std_[j], m);
+    w_ = chol_a_->solve(b_);
+    fitted_ = true;
+}
+
+void
+ApproxGp::fit(const std::vector<RealVec>& inputs,
+              const std::vector<double>& targets)
+{
+    SATORI_ASSERT(inputs.size() == targets.size());
+    SATORI_ASSERT(!inputs.empty());
+    if (windowed() && inputs.size() > max_history_) {
+        const std::size_t skip = inputs.size() - max_history_;
+        inputs_.assign(inputs.begin() + static_cast<std::ptrdiff_t>(skip),
+                       inputs.end());
+        y_raw_.assign(targets.begin() + static_cast<std::ptrdiff_t>(skip),
+                      targets.end());
+    } else {
+        inputs_ = inputs;
+        y_raw_ = targets;
+    }
+    if (inducing_.empty() || inducing_[0].size() != inputs_[0].size())
+        placeInducing(inputs_);
+
+    const std::size_t n = inputs_.size();
+    const std::size_t m = inducing_.size();
+    cols_.assign(n, std::vector<double>(m, 0.0));
+    // Blocked K_uf build: one SoA pack per sample block, one streamed
+    // row per inducing point, then scattered to the per-sample
+    // columns the rank-1 window ops want.
+    if (kustar_scratch_.rows() != m ||
+        kustar_scratch_.cols() != std::min(n, kPredictBlock))
+        kustar_scratch_ =
+            linalg::Matrix(m, std::min(n, kPredictBlock));
+    for (std::size_t b0 = 0; b0 < n; b0 += kPredictBlock) {
+        const std::size_t b1 = std::min(n, b0 + kPredictBlock);
+        const std::size_t bsz = b1 - b0;
+        pts_scratch_.assign(inputs_, b0, b1);
+        if (kustar_scratch_.cols() != bsz)
+            kustar_scratch_ = linalg::Matrix(m, bsz);
+        for (std::size_t i = 0; i < m; ++i)
+            kernel_->covarianceCrossApprox(pts_scratch_, inducing_[i],
+                                           kustar_scratch_.rowPtr(i),
+                                           kernel_scratch_);
+        for (std::size_t c = 0; c < bsz; ++c)
+            for (std::size_t i = 0; i < m; ++i)
+                cols_[b0 + c][i] = kustar_scratch_(i, c);
+    }
+    rebuildGram();
+    solveWeights();
+}
+
+void
+ApproxGp::evictOldest()
+{
+    SATORI_ASSERT(!inputs_.empty());
+    PendingRankOne entry;
+    const bool journal = prepareJournal(cols_.front(), true, entry);
+    const bool ok = chol_a_->rankOneDowndate(cols_.front());
+    inputs_.erase(inputs_.begin());
+    y_raw_.erase(y_raw_.begin());
+    cols_.erase(cols_.begin());
+    ++window_evictions_;
+    SATORI_OBS_METRIC(bo_window_evictions.inc());
+    if (!ok) {
+        // The hyperbolic rotation can legitimately break down when
+        // A - cc^T grazes singularity; rebuild from the surviving
+        // columns (the designed fallback, counted and audited).
+        ++fallback_rebuilds_;
+        SATORI_OBS_METRIC(bo_approx_fallbacks.inc());
+        rebuildGram();
+    } else if (journal) {
+        pushJournal(std::move(entry));
+    }
+}
+
+void
+ApproxGp::enforceWindow()
+{
+    while (windowed() && inputs_.size() > max_history_)
+        evictOldest();
+}
+
+void
+ApproxGp::appendSampleColumn(const RealVec& x)
+{
+    std::vector<double> c(inducing_.size());
+    inducingColumn(x, c.data());
+    PendingRankOne entry;
+    const bool journal = prepareJournal(c, false, entry);
+    const bool updated = chol_a_->rankOneUpdate(c);
+    cols_.push_back(std::move(c));
+    if (!updated) {
+        ++fallback_rebuilds_;
+        SATORI_OBS_METRIC(bo_approx_fallbacks.inc());
+        rebuildGram();
+    } else if (journal) {
+        pushJournal(std::move(entry));
+    }
+}
+
+void
+ApproxGp::addObservation(const RealVec& x, double target)
+{
+    if (!fitted_) {
+        inputs_.push_back(x);
+        y_raw_.push_back(target);
+        const std::vector<RealVec> in = inputs_;
+        const std::vector<double> y = y_raw_;
+        fit(in, y);
+        return;
+    }
+    inputs_.push_back(x);
+    y_raw_.push_back(target);
+    appendSampleColumn(x);
+    enforceWindow();
+    solveWeights();
+}
+
+bool
+ApproxGp::samePrefix(const std::vector<RealVec>& other,
+                     std::size_t n) const
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        if (other[i].size() != inputs_[i].size())
+            return false;
+        if (std::memcmp(other[i].data(), inputs_[i].data(),
+                        inputs_[i].size() * sizeof(double)) != 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+ApproxGp::sameShifted(const std::vector<RealVec>& other) const
+{
+    const std::size_t n = inputs_.size();
+    if (other.size() != n || n == 0)
+        return false;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (other[i].size() != inputs_[i + 1].size())
+            return false;
+        if (std::memcmp(other[i].data(), inputs_[i + 1].data(),
+                        inputs_[i + 1].size() * sizeof(double)) != 0)
+            return false;
+    }
+    return true;
+}
+
+void
+ApproxGp::fitIncremental(const std::vector<RealVec>& inputs,
+                         const std::vector<double>& targets)
+{
+    SATORI_ASSERT(inputs.size() == targets.size());
+    SATORI_ASSERT(!inputs.empty());
+    if (fitted_ && inputs.size() == inputs_.size() &&
+        samePrefix(inputs, inputs_.size())) {
+        y_raw_ = targets;
+        enforceWindow();
+        solveWeights();
+        return;
+    }
+    if (fitted_ && inputs.size() == inputs_.size() + 1 &&
+        samePrefix(inputs, inputs_.size())) {
+        addObservation(inputs.back(), targets.back());
+        // addObservation standardized against the appended y only;
+        // replace the full target set and re-solve (targets may be
+        // re-weighted wholesale).
+        y_raw_.assign(targets.end() -
+                          static_cast<std::ptrdiff_t>(inputs_.size()),
+                      targets.end());
+        solveWeights();
+        return;
+    }
+    if (fitted_ && windowed() && sameShifted(inputs)) {
+        evictOldest();
+        inputs_.push_back(inputs.back());
+        appendSampleColumn(inputs.back());
+        y_raw_ = targets;
+        solveWeights();
+        return;
+    }
+    fit(inputs, targets);
+}
+
+void
+ApproxGp::predictBatchInto(const std::vector<RealVec>& xs,
+                           std::vector<GpPrediction>& out) const
+{
+    SATORI_ASSERT(fitted_);
+    const std::size_t m = inducing_.size();
+    out.resize(xs.size());
+    for (std::size_t b0 = 0; b0 < xs.size(); b0 += kPredictBlock) {
+        const std::size_t b1 = std::min(xs.size(), b0 + kPredictBlock);
+        const std::size_t bsz = b1 - b0;
+        pts_scratch_.assign(xs, b0, b1);
+        if (kustar_scratch_.rows() != m || kustar_scratch_.cols() != bsz)
+            kustar_scratch_ = linalg::Matrix(m, bsz);
+        for (std::size_t i = 0; i < m; ++i)
+            kernel_->covarianceCrossApprox(pts_scratch_, inducing_[i],
+                                           kustar_scratch_.rowPtr(i),
+                                           kernel_scratch_);
+        means_scratch_.assign(bsz, 0.0);
+        for (std::size_t i = 0; i < m; ++i)
+            linalg::simd::fmaAccum(means_scratch_.data(),
+                                   kustar_scratch_.rowPtr(i), w_[i],
+                                   bsz);
+        chol_a_->solveLowerMultiTransposedInto(kustar_scratch_,
+                                               v_scratch_);
+        vv_scratch_.assign(bsz, 0.0);
+        for (std::size_t i = 0; i < m; ++i)
+            linalg::simd::accumSquare(vv_scratch_.data(),
+                                      v_scratch_.rowPtr(i), bsz);
+        for (std::size_t c = 0; c < bsz; ++c) {
+            out[b0 + c].mean =
+                y_mean_ + y_scale_ * means_scratch_[c];
+            const double var_std = noise_variance_ * vv_scratch_[c];
+            out[b0 + c].variance =
+                std::max(var_std, 0.0) * y_scale_ * y_scale_;
+        }
+    }
+}
+
+bool
+ApproxGp::prepareJournal(const std::vector<double>& c, bool downdate,
+                         PendingRankOne& entry)
+{
+    if (!cache_.valid)
+        return false;
+    // h = A^-1 c against the factor as it stands *before* the rank-1
+    // change; Sherman-Morrison then gives the new quadratic form as
+    //   k^T A'^-1 k = k^T A^-1 k -+ (k^T h)^2 / (1 +- c^T h).
+    entry.h = chol_a_->solve(c);
+    double cth = 0.0;
+    for (std::size_t i = 0; i < c.size(); ++i)
+        cth += c[i] * entry.h[i];
+    const double denom = downdate ? 1.0 - cth : 1.0 + cth;
+    if (!(denom > kSmDenomFloor)) {
+        // Grazing singularity (or NaN): the correction would amplify
+        // error unboundedly. Drop the cache; the next cached call
+        // rebuilds exact values.
+        invalidateCache();
+        return false;
+    }
+    entry.coef = (downdate ? noise_variance_ : -noise_variance_) / denom;
+    return true;
+}
+
+void
+ApproxGp::pushJournal(PendingRankOne&& entry)
+{
+    if (!cache_.valid)
+        return;
+    if (pending_.size() >= kPendingCap) {
+        invalidateCache();
+        return;
+    }
+    pending_.push_back(std::move(entry));
+}
+
+void
+ApproxGp::invalidateCache() const
+{
+    cache_.valid = false;
+    cache_.sm_applied = 0;
+    pending_.clear();
+}
+
+void
+ApproxGp::recomputeCacheVariances() const
+{
+    const std::size_t m = cache_.kustar.rows();
+    const std::size_t count = cache_.kustar.cols();
+    chol_a_->solveLowerMultiTransposedInto(cache_.kustar, v_scratch_);
+    vv_scratch_.assign(count, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+        linalg::simd::accumSquare(vv_scratch_.data(),
+                                  v_scratch_.rowPtr(i), count);
+    cache_.var_std.resize(count);
+    for (std::size_t c = 0; c < count; ++c)
+        cache_.var_std[c] = noise_variance_ * vv_scratch_[c];
+    cache_.sm_applied = 0;
+    pending_.clear();
+}
+
+void
+ApproxGp::rebuildCache(const std::vector<RealVec>& xs,
+                       const std::uint64_t key[4]) const
+{
+    const std::size_t m = inducing_.size();
+    const std::size_t count = xs.size();
+    if (cache_.kustar.rows() != m || cache_.kustar.cols() != count)
+        cache_.kustar = linalg::Matrix(m, count);
+    // Row segments of the m x C block are contiguous per candidate
+    // block, so the kernel streams straight into the cache.
+    for (std::size_t b0 = 0; b0 < count; b0 += kPredictBlock) {
+        const std::size_t b1 = std::min(count, b0 + kPredictBlock);
+        pts_scratch_.assign(xs, b0, b1);
+        for (std::size_t i = 0; i < m; ++i)
+            kernel_->covarianceCrossApprox(pts_scratch_, inducing_[i],
+                                           cache_.kustar.rowPtr(i) + b0,
+                                           kernel_scratch_);
+    }
+    recomputeCacheVariances();
+    std::memcpy(cache_.key, key, sizeof cache_.key);
+    cache_.count = count;
+    cache_.dims = xs[0].size();
+    cache_.valid = true;
+}
+
+void
+ApproxGp::refreshCacheVariances() const
+{
+    if (cache_.sm_applied + pending_.size() >= kSmRefreshInterval) {
+        // Periodic drift control: one direct solve resets the cached
+        // variances to what predictBatchInto would compute.
+        recomputeCacheVariances();
+        return;
+    }
+    const std::size_t m = cache_.kustar.rows();
+    const std::size_t count = cache_.count;
+    for (const PendingRankOne& e : pending_) {
+        // g = K_u*^T h, then var += coef * g^2 per candidate - the
+        // Sherman-Morrison quadratic-form correction, batched.
+        g_scratch_.assign(count, 0.0);
+        for (std::size_t i = 0; i < m; ++i)
+            linalg::simd::fmaAccum(g_scratch_.data(),
+                                   cache_.kustar.rowPtr(i), e.h[i],
+                                   count);
+        double* var = cache_.var_std.data();
+        const double* g = g_scratch_.data();
+        for (std::size_t c = 0; c < count; ++c)
+            var[c] += e.coef * g[c] * g[c];
+    }
+    cache_.sm_applied += pending_.size();
+    pending_.clear();
+}
+
+void
+ApproxGp::predictBatchCachedInto(const std::vector<RealVec>& xs,
+                                 std::vector<GpPrediction>& out) const
+{
+    SATORI_ASSERT(fitted_);
+    const std::size_t m = inducing_.size();
+    const std::size_t count = xs.size();
+    out.resize(count);
+    if (count == 0)
+        return;
+    std::uint64_t key[4];
+    hashCandidates(xs, key);
+    const bool hit = cache_.valid && cache_.count == count &&
+                     cache_.dims == xs[0].size() &&
+                     std::memcmp(key, cache_.key, sizeof key) == 0;
+    if (hit) {
+        ++cache_hits_;
+        SATORI_OBS_METRIC(bo_approx_cache_hits.inc());
+        refreshCacheVariances();
+    } else {
+        ++cache_misses_;
+        SATORI_OBS_METRIC(bo_approx_cache_misses.inc());
+        rebuildCache(xs, key);
+    }
+    // Means always come from the live weights (w_ changes on every
+    // solveWeights); one O(m C) pass over the cached block.
+    means_scratch_.assign(count, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+        linalg::simd::fmaAccum(means_scratch_.data(),
+                               cache_.kustar.rowPtr(i), w_[i], count);
+    for (std::size_t c = 0; c < count; ++c) {
+        out[c].mean = y_mean_ + y_scale_ * means_scratch_[c];
+        out[c].variance =
+            std::max(cache_.var_std[c], 0.0) * y_scale_ * y_scale_;
+    }
+}
+
+GpPrediction
+ApproxGp::predict(const RealVec& x) const
+{
+    std::vector<RealVec> one(1, x);
+    std::vector<GpPrediction> pred;
+    predictBatchInto(one, pred);
+    return pred[0];
+}
+
+} // namespace bo
+} // namespace satori

@@ -1,4 +1,4 @@
-#include "satori/harness/parallel.hpp"
+#include "satori/common/parallel.hpp"
 
 #include <cstdlib>
 #include <string>
@@ -6,7 +6,7 @@
 #include "satori/common/logging.hpp"
 
 namespace satori {
-namespace harness {
+namespace common {
 
 std::size_t
 defaultThreadCount()
@@ -32,7 +32,7 @@ ThreadPool::ThreadPool(std::size_t workers)
 ThreadPool::~ThreadPool()
 {
     {
-        common::MutexLock lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     work_cv_.notify_all();
@@ -44,7 +44,7 @@ void
 ThreadPool::workerLoop()
 {
     std::uint64_t seen_generation = 0;
-    common::MutexLock lock(mutex_);
+    MutexLock lock(mutex_);
     for (;;) {
         while (!stopping_ && generation_ == seen_generation)
             work_cv_.wait(lock);
@@ -82,7 +82,7 @@ ThreadPool::forEachIndex(std::size_t count,
         return;
     std::exception_ptr error;
     {
-        common::MutexLock lock(mutex_);
+        MutexLock lock(mutex_);
         SATORI_ASSERT(fn_ == nullptr); // one batch at a time
         fn_ = &fn;
         count_ = count;
@@ -120,5 +120,5 @@ parallelFor(std::size_t count, std::size_t threads,
     pool.forEachIndex(count, fn);
 }
 
-} // namespace harness
+} // namespace common
 } // namespace satori

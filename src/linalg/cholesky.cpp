@@ -5,12 +5,34 @@
 #include <limits>
 
 #include "satori/common/logging.hpp"
+#include "satori/linalg/simd.hpp"
 
 namespace satori {
 namespace linalg {
 
+namespace {
+
+/** Packed-triangle length for an n-row factor. */
+std::size_t
+triSize(std::size_t n)
+{
+    return n * (n + 1) / 2;
+}
+
+/** A freshly produced factor diagonal must be a positive finite
+ * number; anything else (0, negative, inf, nan) means the rotation
+ * sweep broke down and the whole operation must be rejected. */
+bool
+diagOk(double d)
+{
+    return std::isfinite(d) && d > 0.0;
+}
+
+} // namespace
+
 Cholesky::Cholesky(Matrix a, double initial_jitter)
 {
+    // satori-analyzer: allow(num-float-eq) -- integer dimensions
     SATORI_ASSERT(a.rows() == a.cols());
     if (tryFactorize(a, 0.0)) {
         jitter_ = 0.0;
@@ -31,64 +53,369 @@ Cholesky::Cholesky(Matrix a, double initial_jitter)
 bool
 Cholesky::tryFactorize(const Matrix& a, double jitter)
 {
+    // Identical arithmetic, element for element and in the same order,
+    // as the historical dense-Matrix implementation - only the storage
+    // of L is packed. That keeps every factor (and everything solved
+    // through it) bit-identical across the storage change.
     const std::size_t n = a.rows();
-    l_ = Matrix(n, n, 0.0);
+    n_ = n;
+    tri_.assign(triSize(n), 0.0);
     for (std::size_t j = 0; j < n; ++j) {
+        double* lj = row(j);
         double diag = a(j, j) + jitter;
         for (std::size_t k = 0; k < j; ++k)
-            diag -= l_(j, k) * l_(j, k);
+            diag -= lj[k] * lj[k];
         if (diag <= 0.0 || !std::isfinite(diag))
             return false;
         const double ljj = std::sqrt(diag);
-        l_(j, j) = ljj;
+        lj[j] = ljj;
         for (std::size_t i = j + 1; i < n; ++i) {
+            double* li = row(i);
             double sum = a(i, j);
             for (std::size_t k = 0; k < j; ++k)
-                sum -= l_(i, k) * l_(j, k);
-            l_(i, j) = sum / ljj;
+                sum -= li[k] * lj[k];
+            li[j] = sum / ljj;
         }
     }
     return true;
 }
 
+Matrix
+Cholesky::factor() const
+{
+    Matrix l(n_, n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+        const double* li = row(i);
+        for (std::size_t j = 0; j <= i; ++j)
+            l(i, j) = li[j];
+    }
+    return l;
+}
+
 bool
 Cholesky::update(const std::vector<double>& cross, double diag)
 {
-    const std::size_t n = l_.rows();
+    const std::size_t n = n_;
     SATORI_ASSERT(cross.size() == n);
     // The appended row of L is the forward-substitution solve
     // L row = cross - element for element the same recurrence a fresh
     // factorization runs for its last row, in the same order.
-    const std::vector<double> row = solveLower(cross);
+    const std::vector<double> new_row = solveLower(cross);
     // New pivot, accumulated exactly like tryFactorize's diagonal:
     // start from a(n, n) + jitter, subtract squares in column order.
     double pivot = diag + jitter_;
     for (std::size_t k = 0; k < n; ++k)
-        pivot -= row[k] * row[k];
+        pivot -= new_row[k] * new_row[k];
     if (pivot <= 0.0 || !std::isfinite(pivot))
         return false;
-    Matrix grown(n + 1, n + 1, 0.0);
-    for (std::size_t i = 0; i < n; ++i)
-        for (std::size_t j = 0; j <= i; ++j)
-            grown(i, j) = l_(i, j);
-    for (std::size_t k = 0; k < n; ++k)
-        grown(n, k) = row[k];
-    grown(n, n) = std::sqrt(pivot);
-    l_ = std::move(grown);
+    // Append in O(n): grow the packed buffer by one row. Capacity is
+    // grown geometrically by hand - vector::resize past capacity
+    // allocates exactly the requested size, which would turn every
+    // append into a full O(n^2) copy.
+    const std::size_t new_size = triSize(n + 1);
+    if (new_size > tri_.capacity())
+        tri_.reserve(std::max(new_size, tri_.capacity() * 2));
+    tri_.resize(new_size);
+    n_ = n + 1;
+    double* appended = row(n);
+    std::copy(new_row.begin(), new_row.end(), appended);
+    appended[n] = std::sqrt(pivot);
+    return true;
+}
+
+bool
+Cholesky::downdate()
+{
+    const std::size_t n = n_;
+    SATORI_ASSERT(n >= 1);
+    if (n == 1) {
+        tri_.clear();
+        n_ = 0;
+        return true;
+    }
+
+    // Fast path: the evicted sample is uncorrelated with every other
+    // (its factor column is exactly zero), so the trailing factor IS
+    // the downdated factor and the sweep degenerates to a compaction.
+    // Taking it explicitly (rather than rotating with s = 0) is what
+    // makes this case bit-identical to a fresh factorization of the
+    // trailing block: sqrt(d * d) need not return d bitwise.
+    bool zero_column = true;
+    for (std::size_t i = 1; i < n; ++i) {
+        // satori-analyzer: allow(num-float-eq) -- exact-zero structure test
+        if (row(i)[0] != 0.0) {
+            zero_column = false;
+            break;
+        }
+    }
+    if (zero_column) {
+        for (std::size_t i = 1; i < n; ++i) {
+            const double* src = row(i);
+            // The destination row ends where the source row starts, so
+            // the ascending copy never reads clobbered data.
+            std::copy(src + 1, src + i + 1, row(i - 1));
+        }
+        n_ = n - 1;
+        tri_.resize(triSize(n_));
+        return true;
+    }
+
+    // General case: the trailing factor L22 absorbs the evicted
+    // column x as a rank-1 update (A22 = L22 L22^T + x x^T) via a
+    // sweep of Givens rotations, one per new row. Row i of the old
+    // factor becomes row i-1 of the new one: the carried x_i passes
+    // through rotations 0..i-2 (parameters produced by earlier rows),
+    // then the new diagonal r = sqrt(d^2 + x^2) yields rotation i-1.
+    // The sweep writes into scratch and swaps only after every new
+    // diagonal validated, so failure leaves the factor untouched.
+    const std::size_t m = n - 1;
+    sweep_scratch_.resize(triSize(m));
+    rot_s_.resize(m);
+    rot_ic_.resize(m);
+    std::vector<double>& out = sweep_scratch_;
+    double* const sb = rot_s_.data();
+    double* const ib = rot_ic_.data();
+    const auto dstRow = [&out](std::size_t r) {
+        return out.data() + r * (r + 1) / 2;
+    };
+
+    // Rows run in interleaved blocks of 8: the rotations 0..i-2 shared
+    // by the whole block stream in one loop with eight independent
+    // carry chains (each rotation is a ~12-cycle serial dependency;
+    // interleaving buys ~4x at n = 1000), then each row finishes
+    // sequentially, publishing the block's rotation parameters in
+    // order.
+    std::size_t i = 1;
+    for (; i + 8 <= n; i += 8) {
+        const double* s0 = row(i);
+        const double* s1 = row(i + 1);
+        const double* s2 = row(i + 2);
+        const double* s3 = row(i + 3);
+        const double* s4 = row(i + 4);
+        const double* s5 = row(i + 5);
+        const double* s6 = row(i + 6);
+        const double* s7 = row(i + 7);
+        double* d0 = dstRow(i - 1);
+        double* d1 = dstRow(i);
+        double* d2 = dstRow(i + 1);
+        double* d3 = dstRow(i + 2);
+        double* d4 = dstRow(i + 3);
+        double* d5 = dstRow(i + 4);
+        double* d6 = dstRow(i + 5);
+        double* d7 = dstRow(i + 6);
+        double x0 = s0[0];
+        double x1 = s1[0];
+        double x2 = s2[0];
+        double x3 = s3[0];
+        double x4 = s4[0];
+        double x5 = s5[0];
+        double x6 = s6[0];
+        double x7 = s7[0];
+        const std::size_t m0 = i - 1;
+        for (std::size_t k = 0; k < m0; ++k) {
+            const double sk = sb[k];
+            const double ik = ib[k];
+            const double a0 = s0[k + 1];
+            const double a1 = s1[k + 1];
+            const double a2 = s2[k + 1];
+            const double a3 = s3[k + 1];
+            const double a4 = s4[k + 1];
+            const double a5 = s5[k + 1];
+            const double a6 = s6[k + 1];
+            const double a7 = s7[k + 1];
+            d0[k] = (a0 + sk * x0) * ik;
+            x0 = (x0 - sk * a0) * ik;
+            d1[k] = (a1 + sk * x1) * ik;
+            x1 = (x1 - sk * a1) * ik;
+            d2[k] = (a2 + sk * x2) * ik;
+            x2 = (x2 - sk * a2) * ik;
+            d3[k] = (a3 + sk * x3) * ik;
+            x3 = (x3 - sk * a3) * ik;
+            d4[k] = (a4 + sk * x4) * ik;
+            x4 = (x4 - sk * a4) * ik;
+            d5[k] = (a5 + sk * x5) * ik;
+            x5 = (x5 - sk * a5) * ik;
+            d6[k] = (a6 + sk * x6) * ik;
+            x6 = (x6 - sk * a6) * ik;
+            d7[k] = (a7 + sk * x7) * ik;
+            x7 = (x7 - sk * a7) * ik;
+        }
+        const double* srcs[8] = { s0, s1, s2, s3, s4, s5, s6, s7 };
+        double* dsts[8] = { d0, d1, d2, d3, d4, d5, d6, d7 };
+        const double xs[8] = { x0, x1, x2, x3, x4, x5, x6, x7 };
+        for (std::size_t r = 0; r < 8; ++r) {
+            const double* src = srcs[r];
+            double* dst = dsts[r];
+            double xi = xs[r];
+            for (std::size_t k = m0; k < m0 + r; ++k) {
+                const double a = src[k + 1];
+                dst[k] = (a + sb[k] * xi) * ib[k];
+                xi = (xi - sb[k] * a) * ib[k];
+            }
+            const double diag = src[m0 + r + 1];
+            const double rr = std::sqrt(diag * diag + xi * xi);
+            if (!diagOk(rr))
+                return false;
+            dst[m0 + r] = rr;
+            sb[m0 + r] = xi / diag;
+            ib[m0 + r] = diag / rr;
+        }
+    }
+    for (; i < n; ++i) {
+        const double* src = row(i);
+        double* dst = dstRow(i - 1);
+        double xi = src[0];
+        const std::size_t mi = i - 1;
+        for (std::size_t k = 0; k < mi; ++k) {
+            const double a = src[k + 1];
+            dst[k] = (a + sb[k] * xi) * ib[k];
+            xi = (xi - sb[k] * a) * ib[k];
+        }
+        const double diag = src[mi + 1];
+        const double rr = std::sqrt(diag * diag + xi * xi);
+        if (!diagOk(rr))
+            return false;
+        dst[mi] = rr;
+        sb[mi] = xi / diag;
+        ib[mi] = diag / rr;
+    }
+
+    tri_.swap(sweep_scratch_);
+    n_ = m;
+    return true;
+}
+
+bool
+Cholesky::rankOneUpdate(const std::vector<double>& v)
+{
+    const std::size_t n = n_;
+    SATORI_ASSERT(v.size() == n);
+    sweep_scratch_.resize(triSize(n));
+    rot_s_.resize(n);
+    rot_ic_.resize(n);
+    std::vector<double>& out = sweep_scratch_;
+    double* const sb = rot_s_.data();
+    double* const ib = rot_ic_.data();
+    // Same rotation sweep as downdate() with x = v and no compaction:
+    // r = sqrt(d^2 + x^2) is SPD-unconditional, so this fails only on
+    // non-finite intermediates. Scratch + swap keeps failure clean.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double* src = row(i);
+        double* dst = out.data() + i * (i + 1) / 2;
+        double xi = v[i];
+        for (std::size_t k = 0; k < i; ++k) {
+            const double a = src[k];
+            dst[k] = (a + sb[k] * xi) * ib[k];
+            xi = (xi - sb[k] * a) * ib[k];
+        }
+        const double diag = src[i];
+        const double rr = std::sqrt(diag * diag + xi * xi);
+        if (!diagOk(rr))
+            return false;
+        dst[i] = rr;
+        sb[i] = xi / diag;
+        ib[i] = diag / rr;
+    }
+    tri_.swap(sweep_scratch_);
+    return true;
+}
+
+bool
+Cholesky::rankOneDowndate(const std::vector<double>& v)
+{
+    const std::size_t n = n_;
+    SATORI_ASSERT(v.size() == n);
+    sweep_scratch_.resize(triSize(n));
+    rot_s_.resize(n);
+    rot_ic_.resize(n);
+    std::vector<double>& out = sweep_scratch_;
+    double* const sb = rot_s_.data();
+    double* const ib = rot_ic_.data();
+    // Hyperbolic sweep: rotation i zeroes the carried x_i against the
+    // diagonal with s = x/d, c = sqrt(1 - s^2). A - v v^T losing
+    // positive definiteness shows up as |s| >= 1, which is refused
+    // here before it can turn into a nan diagonal.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double* src = row(i);
+        double* dst = out.data() + i * (i + 1) / 2;
+        double xi = v[i];
+        for (std::size_t k = 0; k < i; ++k) {
+            const double a = src[k];
+            dst[k] = (a - sb[k] * xi) * ib[k];
+            xi = (xi - sb[k] * a) * ib[k];
+        }
+        const double diag = src[i];
+        const double s = xi / diag;
+        if (!std::isfinite(s) || std::fabs(s) >= 1.0)
+            return false;
+        const double c = std::sqrt((1.0 - s) * (1.0 + s));
+        const double nd = diag * c;
+        if (!diagOk(nd))
+            return false;
+        dst[i] = nd;
+        sb[i] = s;
+        ib[i] = 1.0 / c;
+    }
+    tri_.swap(sweep_scratch_);
     return true;
 }
 
 std::vector<double>
 Cholesky::solveLower(const std::vector<double>& b) const
 {
-    const std::size_t n = l_.rows();
+    const std::size_t n = n_;
     SATORI_ASSERT(b.size() == n);
     std::vector<double> y(n);
-    for (std::size_t i = 0; i < n; ++i) {
+    // Interleaved blocks of 8 rows: one pass over y[k] feeds eight
+    // independent accumulator chains, then the in-block triangle
+    // finishes sequentially. Every row still subtracts l(i,k) * y[k]
+    // in ascending k and divides once - bit-identical to the naive
+    // forward substitution, ~2x faster at n = 1000.
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const double* r0 = row(i);
+        const double* r1 = row(i + 1);
+        const double* r2 = row(i + 2);
+        const double* r3 = row(i + 3);
+        const double* r4 = row(i + 4);
+        const double* r5 = row(i + 5);
+        const double* r6 = row(i + 6);
+        const double* r7 = row(i + 7);
+        double s0 = b[i];
+        double s1 = b[i + 1];
+        double s2 = b[i + 2];
+        double s3 = b[i + 3];
+        double s4 = b[i + 4];
+        double s5 = b[i + 5];
+        double s6 = b[i + 6];
+        double s7 = b[i + 7];
+        for (std::size_t k = 0; k < i; ++k) {
+            const double yk = y[k];
+            s0 -= r0[k] * yk;
+            s1 -= r1[k] * yk;
+            s2 -= r2[k] * yk;
+            s3 -= r3[k] * yk;
+            s4 -= r4[k] * yk;
+            s5 -= r5[k] * yk;
+            s6 -= r6[k] * yk;
+            s7 -= r7[k] * yk;
+        }
+        const double* rows8[8] = { r0, r1, r2, r3, r4, r5, r6, r7 };
+        const double sums[8] = { s0, s1, s2, s3, s4, s5, s6, s7 };
+        for (std::size_t r = 0; r < 8; ++r) {
+            double sum = sums[r];
+            const double* lr = rows8[r];
+            for (std::size_t k = i; k < i + r; ++k)
+                sum -= lr[k] * y[k];
+            y[i + r] = sum / lr[i + r];
+        }
+    }
+    for (; i < n; ++i) {
+        const double* li = row(i);
         double sum = b[i];
         for (std::size_t k = 0; k < i; ++k)
-            sum -= l_(i, k) * y[k];
-        y[i] = sum / l_(i, i);
+            sum -= li[k] * y[k];
+        y[i] = sum / li[i];
     }
     return y;
 }
@@ -104,7 +431,7 @@ Cholesky::solveLowerMulti(const Matrix& b) const
 void
 Cholesky::solveLowerMultiInto(const Matrix& b, Matrix& out) const
 {
-    const std::size_t n = l_.rows();
+    const std::size_t n = n_;
     const std::size_t m = b.rows();
     SATORI_ASSERT(b.cols() == n);
     if (out.rows() != n || out.cols() != m)
@@ -113,35 +440,122 @@ Cholesky::solveLowerMultiInto(const Matrix& b, Matrix& out) const
     // inner loops stream contiguously over all m systems at once.
     // Per system this is exactly solveLower(): seed with b, subtract
     // l(i,k) * y[k] in ascending k, divide by the pivot once. The
-    // restrict-qualified row pointers (rows of `out` never overlap)
-    // are what let the inner loops vectorize across systems.
+    // simd kernels are lane-parallel with identical per-element ops,
+    // so the result stays bit-identical to m scalar solves.
     for (std::size_t i = 0; i < n; ++i) {
-        double* __restrict row_i = out.rowPtr(i);
+        const double* li = row(i);
+        double* row_i = out.rowPtr(i);
         for (std::size_t c = 0; c < m; ++c)
             row_i[c] = b(c, i);
-        for (std::size_t k = 0; k < i; ++k) {
-            const double lik = l_(i, k);
-            const double* __restrict row_k = out.rowPtr(k);
-            for (std::size_t c = 0; c < m; ++c)
-                row_i[c] -= lik * row_k[c];
-        }
-        const double lii = l_(i, i);
-        for (std::size_t c = 0; c < m; ++c)
-            row_i[c] /= lii;
+        // k-unrolled by 4 via the fused axpy: per element the same
+        // ascending-k sequence, so results are unchanged bit-for-bit
+        // while row_i round-trips to memory 4x less often.
+        std::size_t k = 0;
+        for (; k + 4 <= i; k += 4)
+            simd::subScaled4(row_i, out.rowPtr(k), li[k],
+                             out.rowPtr(k + 1), li[k + 1],
+                             out.rowPtr(k + 2), li[k + 2],
+                             out.rowPtr(k + 3), li[k + 3], m);
+        for (; k < i; ++k)
+            simd::subScaled(row_i, out.rowPtr(k), li[k], m);
+        simd::divScalar(row_i, li[i], m);
+    }
+}
+
+void
+Cholesky::solveLowerMultiTransposedInto(const Matrix& bt, Matrix& out) const
+{
+    const std::size_t n = n_;
+    SATORI_ASSERT(bt.rows() == n);
+    const std::size_t m = bt.cols();
+    if (out.rows() != n || out.cols() != m)
+        out = Matrix(n, m);
+    // Same substitution as solveLowerMultiInto; the right-hand sides
+    // already sit element-major, so seeding row i is a straight copy
+    // of bt's row i instead of a strided gather.
+    for (std::size_t i = 0; i < n; ++i) {
+        const double* li = row(i);
+        double* row_i = out.rowPtr(i);
+        const double* bt_i = bt.rowPtr(i);
+        std::copy(bt_i, bt_i + m, row_i);
+        // Same 4-way k-unroll as solveLowerMultiInto: bit-identical
+        // per element, 4x fewer row_i round-trips.
+        std::size_t k = 0;
+        for (; k + 4 <= i; k += 4)
+            simd::subScaled4(row_i, out.rowPtr(k), li[k],
+                             out.rowPtr(k + 1), li[k + 1],
+                             out.rowPtr(k + 2), li[k + 2],
+                             out.rowPtr(k + 3), li[k + 3], m);
+        for (; k < i; ++k)
+            simd::subScaled(row_i, out.rowPtr(k), li[k], m);
+        simd::divScalar(row_i, li[i], m);
     }
 }
 
 std::vector<double>
 Cholesky::solveUpper(const std::vector<double>& b) const
 {
-    const std::size_t n = l_.rows();
+    const std::size_t n = n_;
     SATORI_ASSERT(b.size() == n);
     std::vector<double> x(n);
     for (std::size_t ii = n; ii-- > 0;) {
         double sum = b[ii];
         for (std::size_t k = ii + 1; k < n; ++k)
-            sum -= l_(k, ii) * x[k];
-        x[ii] = sum / l_(ii, ii);
+            sum -= row(k)[ii] * x[k];
+        x[ii] = sum / row(ii)[ii];
+    }
+    return x;
+}
+
+std::vector<double>
+Cholesky::solveUpperBlocked(const std::vector<double>& b) const
+{
+    const std::size_t n = n_;
+    SATORI_ASSERT(b.size() == n);
+    std::vector<double> x(n);
+    // Deterministic reassociated order (NOT solveUpper's): columns in
+    // blocks of 4, descending. Each column's accumulator is seeded
+    // with b, the block's shared tail (k past the block) streams once
+    // in ascending k into all four accumulators - four adjacent
+    // column entries per factor row, so the packed triangle is read
+    // once per block instead of once per column - and the in-block
+    // triangle finishes descending. ~3x faster than solveUpper at
+    // n = 1000; bit-stable across runs, not bit-equal to solveUpper.
+    std::size_t ii = n;
+    while (ii >= 4) {
+        const std::size_t j = ii - 4;
+        double s0 = b[j];
+        double s1 = b[j + 1];
+        double s2 = b[j + 2];
+        double s3 = b[j + 3];
+        for (std::size_t k = ii; k < n; ++k) {
+            const double* rk = row(k) + j;
+            const double xk = x[k];
+            s0 -= rk[0] * xk;
+            s1 -= rk[1] * xk;
+            s2 -= rk[2] * xk;
+            s3 -= rk[3] * xk;
+        }
+        const double* r3 = row(j + 3);
+        x[j + 3] = s3 / r3[j + 3];
+        s2 -= r3[j + 2] * x[j + 3];
+        s1 -= r3[j + 1] * x[j + 3];
+        s0 -= r3[j] * x[j + 3];
+        const double* r2 = row(j + 2);
+        x[j + 2] = s2 / r2[j + 2];
+        s1 -= r2[j + 1] * x[j + 2];
+        s0 -= r2[j] * x[j + 2];
+        const double* r1 = row(j + 1);
+        x[j + 1] = s1 / r1[j + 1];
+        s0 -= r1[j] * x[j + 1];
+        x[j] = s0 / row(j)[j];
+        ii = j;
+    }
+    while (ii-- > 0) {
+        double sum = b[ii];
+        for (std::size_t k = ii + 1; k < n; ++k)
+            sum -= row(k)[ii] * x[k];
+        x[ii] = sum / row(ii)[ii];
     }
     return x;
 }
@@ -152,16 +566,23 @@ Cholesky::solve(const std::vector<double>& b) const
     return solveUpper(solveLower(b));
 }
 
+std::vector<double>
+Cholesky::solveBlocked(const std::vector<double>& b) const
+{
+    return solveUpperBlocked(solveLower(b));
+}
+
 double
 Cholesky::conditionEstimate() const
 {
-    if (l_.rows() == 0)
+    if (n_ == 0)
         return 1.0;
-    double lo = l_(0, 0);
-    double hi = l_(0, 0);
-    for (std::size_t i = 1; i < l_.rows(); ++i) {
-        lo = std::min(lo, l_(i, i));
-        hi = std::max(hi, l_(i, i));
+    double lo = row(0)[0];
+    double hi = row(0)[0];
+    for (std::size_t i = 1; i < n_; ++i) {
+        const double d = row(i)[i];
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
     }
     if (lo <= 0.0)
         return std::numeric_limits<double>::infinity();
@@ -172,8 +593,8 @@ double
 Cholesky::logDet() const
 {
     double sum = 0.0;
-    for (std::size_t i = 0; i < l_.rows(); ++i)
-        sum += std::log(l_(i, i));
+    for (std::size_t i = 0; i < n_; ++i)
+        sum += std::log(row(i)[i]);
     return 2.0 * sum;
 }
 

@@ -1,0 +1,17 @@
+// Fixture: CPU intrinsics outside src/linalg/ (arch-simd-confined).
+// A subsystem hand-rolling its own AVX2 path instead of calling the
+// dispatching linalg::simd kernels.
+#include <immintrin.h>
+
+namespace satori {
+
+double
+sumFourLanes(const double* xs)
+{
+    const __m256d v = _mm256_loadu_pd(xs);
+    double out[4];
+    _mm256_storeu_pd(out, v);
+    return out[0] + out[1] + out[2] + out[3];
+}
+
+} // namespace satori

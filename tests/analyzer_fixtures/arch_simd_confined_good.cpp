@@ -1,0 +1,19 @@
+// Fixture: vector work routed through the linalg::simd API - no
+// intrinsics in the consuming subsystem, so the scalar-exact-fallback
+// contract stays with the kernels.
+#include <cstddef>
+
+namespace satori {
+namespace linalg {
+namespace simd {
+void fmaAccum(double* acc, const double* xs, double a, std::size_t n);
+} // namespace simd
+} // namespace linalg
+
+void
+accumulateScaled(double* acc, const double* xs, double a, std::size_t n)
+{
+    linalg::simd::fmaAccum(acc, xs, a, n);
+}
+
+} // namespace satori

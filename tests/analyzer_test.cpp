@@ -88,6 +88,8 @@ const RuleFixture kRuleFixtures[] = {
      "flow_dead_fatal_good.cpp"},
     {"persist-asymmetric-state", "persist_asym_bad.cpp",
      "persist_asym_good.cpp"},
+    {"arch-simd-confined", "arch_simd_confined_bad.cpp",
+     "arch_simd_confined_good.cpp"},
 };
 
 TEST(AnalyzerRules, BadFixturesFireExactlyTheirRule)

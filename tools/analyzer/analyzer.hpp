@@ -153,6 +153,11 @@ struct Options
      * tests included — goes through harness::ThreadPool/parallelFor.
      */
     std::vector<std::string> raw_thread_allow = {
+        // The pool implementation lives in common/ (shared by the bo
+        // engine's batched scoring and the harness); the harness
+        // header is a thin alias kept for source compatibility.
+        "include/satori/common/parallel",
+        "src/common/parallel",
         "include/satori/harness/",
         "src/harness/",
         // The analyzer's own tree scan claims files from a small
@@ -162,6 +167,17 @@ struct Options
         // in poll()/accept(); pool workers must stay available for
         // deterministic decision-path work.
         "obs/http_exporter",
+    };
+
+    /**
+     * Path substrings where CPU intrinsics / vector extensions are
+     * legitimate: the linalg SIMD kernels (dispatch + AVX2 bodies)
+     * and the analyzer's own rule tables, which must spell the
+     * marker strings to detect them.
+     */
+    std::vector<std::string> simd_allow = {
+        "src/linalg/",
+        "tools/analyzer/",
     };
 
     /**
@@ -512,10 +528,12 @@ renderPersistSchema(const std::vector<SourceFile>& sources,
  * declared subsystem layering DAG (closure of the direct-dependency
  * table in rules_arch.cpp). Reports arch-forbidden-include with the
  * shortest offending include chain, arch-include-cycle on file-level
- * include cycles, and arch-unknown-subsystem for directories missing
- * from the DAG.
+ * include cycles, arch-unknown-subsystem for directories missing
+ * from the DAG, and arch-simd-confined for intrinsics/vector
+ * extensions outside Options::simd_allow.
  */
 void runArchPack(const std::vector<SourceFile>& sources,
+                 const Options& options,
                  std::vector<Finding>& findings);
 
 // --- suppression and baseline ----------------------------------------

@@ -287,7 +287,7 @@ analyzeFile(const fs::path& file, const Options& options,
                 runPersistPack(one, index, options, cross);
         }
         if ((options.packs & kPackArch) != 0)
-            runArchPack(one, cross);
+            runArchPack(one, options, cross);
         fillFingerprints(one[0], cross);
         applySuppressions(one[0], cross);
         findings.insert(findings.end(), cross.begin(), cross.end());
@@ -388,7 +388,7 @@ analyzePaths(const std::vector<fs::path>& targets, const Options& options)
             runPersistPack(sources, index, options, cross);
     }
     if ((options.packs & kPackArch) != 0)
-        runArchPack(sources, cross);
+        runArchPack(sources, options, cross);
     if (!cross.empty()) {
         for (const SourceFile& source : sources) {
             fillFingerprints(source, cross);
@@ -583,6 +583,14 @@ ruleCatalog()
          "about alone.",
          "Break the cycle with a forward declaration or by moving the "
          "shared piece into a header both sides may include."},
+        {"arch-simd-confined", "arch",
+         "Intrinsics or vector extensions outside the linalg SIMD "
+         "home fork the numerics: a second vector code path with its "
+         "own dispatch, fallback, and bit-identity story that no "
+         "shared test pins.",
+         "Express the loop through the linalg::simd kernel API (or "
+         "add a kernel there); its scalar reference implementations "
+         "and runtime dispatch are tested in one place."},
         {"arch-unknown-subsystem", "arch",
          "A directory under include/satori/ or src/ that is not in "
          "the declared layering DAG is invisible to the layering "

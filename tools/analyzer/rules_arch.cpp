@@ -19,6 +19,12 @@
  *                            src/ is not in the declared DAG; extend
  *                            kSubsystemDeps deliberately instead of
  *                            letting layering decay silently.
+ *   arch-simd-confined     - CPU intrinsics / vector extensions
+ *                            outside the allowlisted SIMD home
+ *                            (src/linalg/); everything else consumes
+ *                            the dispatching linalg::simd API so the
+ *                            scalar-exact-fallback contract stays in
+ *                            one reviewed place.
  */
 
 #include "analyzer/analyzer.hpp"
@@ -30,6 +36,17 @@
 namespace satori_analyzer {
 
 namespace {
+
+/** Display path contains any of the allowlist substrings? */
+bool
+pathMatchesAny(const std::string& display,
+               const std::vector<std::string>& allow)
+{
+    for (const std::string& substr : allow)
+        if (display.find(substr) != std::string::npos)
+            return true;
+    return false;
+}
 
 /**
  * Direct dependencies per subsystem; the transitive closure is
@@ -372,17 +389,60 @@ reportUnknown(const std::vector<SourceFile>& sources,
     }
 }
 
+/**
+ * CPU intrinsics or vector extensions outside the SIMD home. The
+ * markers cover the x86 intrinsic header and prefixes, GCC/Clang
+ * vector_size extensions, and runtime CPU dispatch - each one a
+ * sign the file carries its own vector code path instead of calling
+ * the linalg::simd API (whose scalar fallback and bit-identity
+ * contract are tested in one place).
+ */
+void
+scanSimdConfined(const SourceFile& file, const Options& options,
+                 std::vector<Finding>& findings)
+{
+    if (pathMatchesAny(file.display, options.simd_allow))
+        return;
+    static const char* const kMarkers[] = {
+        "immintrin.h", "_mm256_", "_mm512_", "__m256", "__m512",
+        "_mm_set", "_mm_load", "_mm_store",
+        "__builtin_cpu_supports", "vector_size(",
+    };
+    for (std::size_t li = 0; li < file.lines.size(); ++li) {
+        const std::string& code = file.lines[li].code;
+        for (const char* marker : kMarkers) {
+            if (code.find(marker) == std::string::npos)
+                continue;
+            Finding f;
+            f.file = file.display;
+            f.line = static_cast<int>(li) + 1;
+            f.rule = "arch-simd-confined";
+            f.message =
+                std::string("CPU intrinsic / vector-extension marker "
+                            "`") +
+                marker +
+                "` outside src/linalg/; implement vector code behind "
+                "the linalg::simd kernels so the runtime dispatch and "
+                "scalar-exact-fallback contract stay in one place";
+            findings.push_back(std::move(f));
+            break; // one finding per line
+        }
+    }
+}
+
 } // namespace
 
 void
 runArchPack(const std::vector<SourceFile>& sources,
-            std::vector<Finding>& findings)
+            const Options& options, std::vector<Finding>& findings)
 {
     const std::vector<std::vector<Include>> graph =
         buildIncludeGraph(sources);
     reportForbidden(sources, graph, findings);
     reportCycles(sources, graph, findings);
     reportUnknown(sources, findings);
+    for (const SourceFile& source : sources)
+        scanSimdConfined(source, options, findings);
 }
 
 } // namespace satori_analyzer

@@ -168,10 +168,10 @@ scanRawThread(const SourceFile& file, const Options& options,
             hit = true;
         if (hit)
             add(findings, file.display, lineno, "conc-raw-thread",
-                "raw std::thread outside harness/; route work through "
-                "harness::ThreadPool / parallelFor so joins, error "
-                "capture, and slot-write determinism stay in one "
-                "place");
+                "raw std::thread outside the pool implementation; "
+                "route work through common::ThreadPool / parallelFor "
+                "so joins, error capture, and slot-write determinism "
+                "stay in one place");
     }
 }
 

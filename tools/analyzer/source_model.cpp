@@ -54,8 +54,13 @@ stripCommentsAndStrings(const std::string& line, bool& in_block)
             const std::size_t open = line.find('(', i + 1);
             if (open == std::string::npos)
                 break;
-            const std::string closer =
-                ")" + line.substr(i + 1, open - i - 1) + "\"";
+            // Built piecewise: the operator+ chain trips a GCC 12
+            // -Wrestrict false positive under -Werror.
+            std::string closer;
+            closer.reserve(open - i + 1);
+            closer.push_back(')');
+            closer.append(line, i + 1, open - i - 1);
+            closer.push_back('"');
             const std::size_t end = line.find(closer, open + 1);
             if (end == std::string::npos)
                 break;
